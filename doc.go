@@ -1,0 +1,28 @@
+// Package ftfft is a soft-error-resilient FFT library: a from-scratch Go
+// reproduction of "Correcting Soft Errors Online in Fast Fourier Transform"
+// (Liang et al., SC '17), the paper that introduced the first *online*
+// algorithm-based fault tolerance (ABFT) scheme for FFT and the FT-FFTW
+// implementation.
+//
+// The library computes forward and inverse DFTs of arbitrary size while
+// detecting — and transparently correcting — soft errors that strike either
+// the arithmetic (logic-unit faults) or data at rest (memory bit flips),
+// at a few-percent overhead instead of the ≥100% of double/triple modular
+// redundancy:
+//
+//	plan, _ := ftfft.NewPlan(1<<20, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+//	report, err := plan.Forward(dst, src)   // verified output, or err
+//
+// Protection levels range from None (a plain planned FFT, the library's
+// FFTW stand-in) through the paper's offline scheme (verify once at the
+// end, restart on error) to the online two-layer scheme (verify every
+// sub-transform as it completes, recover in O(√N·log√N)), each in a naive
+// and an optimized variant, with or without memory-fault protection.
+// ParallelPlan runs the six-step in-place distributed algorithm of §5 on a
+// simulated multi-rank communicator with checksummed transposes.
+//
+// Fault injection is a first-class citizen (the Injector option), so the
+// resilience claims are testable rather than aspirational; see the examples
+// and the experiments harness (cmd/ftexperiments), which regenerates every
+// table and figure of the paper's evaluation.
+package ftfft

@@ -1,0 +1,79 @@
+// Convolution: FFT-based circular convolution under ABFT protection — a
+// denoising filter built from three protected transforms, with a soft error
+// injected mid-pipeline to show the protection earning its keep.
+//
+//	go run ./examples/convolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+func main() {
+	const n = 1 << 14
+
+	// A noisy two-tone signal and a Gaussian smoothing kernel.
+	signal := workload.Tones(3, n, 0.5,
+		workload.Tone{Bin: 30, Amplitude: 1},
+		workload.Tone{Bin: 90, Amplitude: 0.6},
+	)
+	kernel := workload.GaussianPulse(n, 0, 24)
+	normalizeL1(kernel)
+
+	// Protected convolution with an arithmetic fault injected into one of
+	// the sub-FFTs of the pipeline.
+	sched := ftfft.NewFaultSchedule(5, ftfft.Fault{
+		Site: ftfft.SiteSubFFT2, Rank: ftfft.AnyRank, Occurrence: 17, Index: -1,
+		Mode: ftfft.AddConstant, Value: 3,
+	})
+	smoothed, rep, err := ftfft.Convolve(signal, kernel, ftfft.Options{
+		Protection: ftfft.OnlineABFTMemory,
+		Injector:   sched,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convolved %d points; fault fired=%v; report: %+v\n",
+		n, sched.AllFired(), rep)
+
+	// Compare against the unprotected, fault-free result.
+	want, _, err := ftfft.Convolve(signal, kernel, ftfft.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxDiff float64
+	for i := range smoothed {
+		if d := cmplx.Abs(smoothed[i] - want[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max deviation from fault-free convolution: %.3g\n", maxDiff)
+
+	// Noise suppression estimate: rms of (smoothed − clean tone part).
+	fmt.Printf("input rms %.3f → smoothed rms %.3f (noise suppressed by the kernel)\n",
+		rms(signal), rms(smoothed))
+}
+
+func normalizeL1(k []complex128) {
+	var s float64
+	for _, v := range k {
+		s += cmplx.Abs(v)
+	}
+	for i := range k {
+		k[i] /= complex(s, 0)
+	}
+}
+
+func rms(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

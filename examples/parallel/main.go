@@ -1,0 +1,76 @@
+// Parallel: the six-step in-place distributed FFT (paper §5) on simulated
+// ranks, with soft errors striking messages in transit and sub-FFTs on
+// specific ranks — all detected and corrected without restarting anything.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"time"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+func main() {
+	const (
+		n     = 1 << 18
+		ranks = 8
+	)
+	x := workload.Uniform(13, n)
+
+	// Fault-free reference via the plain parallel path.
+	plain, err := ftfft.NewParallelPlan(n, ranks, ftfft.ParallelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := make([]complex128, n)
+	if _, err := plain.Forward(ref, append([]complex128(nil), x...)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Protected + optimized run under a Table 2-style fault mix: two
+	// transit corruptions and two arithmetic errors on different ranks.
+	sched := ftfft.NewFaultSchedule(99,
+		ftfft.Fault{Site: ftfft.SiteMessage, Rank: 1, Occurrence: 2, Index: -1, Mode: ftfft.AddConstant, Value: 7},
+		ftfft.Fault{Site: ftfft.SiteMessage, Rank: 6, Occurrence: 5, Index: -1, Mode: ftfft.AddConstant, Value: -3},
+		ftfft.Fault{Site: ftfft.SiteParallelFFT1, Rank: 2, Occurrence: 4, Index: -1, Mode: ftfft.AddConstant, Value: 2},
+		ftfft.Fault{Site: ftfft.SiteParallelFFT2, Rank: 7, Occurrence: 8, Index: -1, Mode: ftfft.AddConstant, Value: 5},
+	)
+	prot, err := ftfft.NewParallelPlan(n, ranks, ftfft.ParallelOptions{
+		Protected: true, Optimized: true, Injector: sched,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := make([]complex128, n)
+	start := time.Now()
+	rep, err := prot.Forward(dst, append([]complex128(nil), x...))
+	took := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("opt-FT-FFTW: N=2^18 on %d ranks in %v\n", ranks, took)
+	fmt.Printf("faults fired: %d/4\n", len(sched.Records()))
+	for _, r := range sched.Records() {
+		fmt.Printf("  rank %d, %s[%d]\n", r.Rank, r.Site, r.Index)
+	}
+	fmt.Printf("report: detections=%d recomputations=%d memory-corrections=%d dmr-votes=%d\n",
+		rep.Detections, rep.CompRecomputations, rep.MemCorrections, rep.TwiddleCorrections)
+
+	var maxDiff float64
+	for i := range dst {
+		if d := cmplx.Abs(dst[i] - ref[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max deviation from fault-free reference: %.3g\n", maxDiff)
+	if maxDiff > 1e-6 {
+		log.Fatal("output corrupted — protection failed")
+	}
+	fmt.Println("output verified.")
+}

@@ -1,0 +1,222 @@
+package ftfft
+
+import (
+	"fmt"
+
+	"ftfft/internal/core"
+)
+
+// Protection selects how a transform is guarded against soft errors.
+type Protection int
+
+const (
+	// None performs a plain planned FFT with no fault tolerance — the
+	// baseline the paper calls "FFTW".
+	None Protection = iota
+	// OfflineABFT verifies one weighted checksum after the whole transform
+	// (Algorithm 1, optimized): errors are detected only at the end and
+	// recovery is a full restart.
+	OfflineABFT
+	// OfflineABFTNaive is OfflineABFT without the §4/§7 optimizations
+	// (trigonometric checksum-vector evaluation, unmerged verification).
+	OfflineABFTNaive
+	// OnlineABFT verifies every sub-transform of the two-layer
+	// decomposition as it completes (Algorithm 2, optimized); arithmetic
+	// errors are corrected by recomputing O(√N) work. Memory errors are
+	// out of scope at this level.
+	OnlineABFT
+	// OnlineABFTNaive is the strawman online scheme of the paper's
+	// introduction: offline ABFT applied verbatim to every sub-FFT.
+	OnlineABFTNaive
+	// OnlineABFTMemory is the flagship scheme (Fig. 3): online two-layer
+	// ABFT plus memory-fault location and in-place correction, with the
+	// dual-use checksums, verification postponing, incremental generation
+	// and contiguous buffering optimizations.
+	OnlineABFTMemory
+	// OnlineABFTMemoryNaive is the Fig. 2 hierarchy: memory protection
+	// before the §4 optimizations.
+	OnlineABFTMemoryNaive
+)
+
+func (p Protection) String() string {
+	switch p {
+	case None:
+		return "none"
+	case OfflineABFT:
+		return "offline"
+	case OfflineABFTNaive:
+		return "offline-naive"
+	case OnlineABFT:
+		return "online"
+	case OnlineABFTNaive:
+		return "online-naive"
+	case OnlineABFTMemory:
+		return "online-memory"
+	case OnlineABFTMemoryNaive:
+		return "online-memory-naive"
+	default:
+		return fmt.Sprintf("Protection(%d)", int(p))
+	}
+}
+
+func (p Protection) coreConfig() (core.Config, error) {
+	switch p {
+	case None:
+		return core.Config{Scheme: core.Plain}, nil
+	case OfflineABFT:
+		return core.Config{Scheme: core.Offline, Variant: core.Optimized}, nil
+	case OfflineABFTNaive:
+		return core.Config{Scheme: core.Offline, Variant: core.Naive}, nil
+	case OnlineABFT:
+		return core.Config{Scheme: core.Online, Variant: core.Optimized}, nil
+	case OnlineABFTNaive:
+		return core.Config{Scheme: core.Online, Variant: core.Naive}, nil
+	case OnlineABFTMemory:
+		return core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true}, nil
+	case OnlineABFTMemoryNaive:
+		return core.Config{Scheme: core.Online, Variant: core.Naive, MemoryFT: true}, nil
+	default:
+		return core.Config{}, fmt.Errorf("ftfft: unknown protection level %d", int(p))
+	}
+}
+
+// Report summarizes the fault-tolerance activity of one transform: checksum
+// mismatches detected, sub-FFT recomputations, memory elements repaired,
+// DMR votes, and full restarts. A zero Report means a fault-free run.
+type Report = core.Report
+
+// ErrUncorrectable is returned when the retry budget was exhausted without
+// producing a verified result.
+var ErrUncorrectable = core.ErrUncorrectable
+
+// Options configures a Plan.
+type Options struct {
+	// Protection selects the fault-tolerance scheme. Default None.
+	Protection Protection
+	// Injector, when non-nil, corrupts data at the scheme's fault sites —
+	// the mechanism behind every fault-injection experiment. nil means no
+	// injected faults (real soft errors are, of course, still detected).
+	Injector Injector
+	// EtaScale scales the §8 round-off detection thresholds; 0 means 1.
+	// Raising it trades fault coverage for fewer false alarms.
+	EtaScale float64
+	// MaxRetries caps recomputation attempts per protected unit; 0 means 3.
+	MaxRetries int
+}
+
+// Plan computes protected DFTs of one fixed size. A Plan owns scratch
+// buffers and is not safe for concurrent use; create one Plan per goroutine
+// (plans are cheap relative to the transforms they run).
+type Plan struct {
+	n       int
+	tr      *core.Transformer
+	scratch []complex128
+}
+
+// NewPlan creates a plan for n-point transforms. Online protection levels
+// require a composite n (the paper's two-layer decomposition); powers of two
+// are ideal.
+func NewPlan(n int, opts Options) (*Plan, error) {
+	cfg, err := opts.Protection.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Injector = opts.Injector
+	cfg.EtaScale = opts.EtaScale
+	cfg.MaxRetries = opts.MaxRetries
+	tr, err := core.New(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{n: n, tr: tr, scratch: make([]complex128, n)}, nil
+}
+
+// N returns the transform size.
+func (p *Plan) N() int { return p.n }
+
+// Forward computes X_j = Σ_t x_t·exp(-2πi·jt/N) from src into dst, both of
+// length N and non-overlapping. When memory protection is active and an
+// input memory fault is detected, src is repaired in place.
+func (p *Plan) Forward(dst, src []complex128) (Report, error) {
+	return p.tr.Transform(dst, src)
+}
+
+// Inverse computes the inverse DFT (with 1/N normalization) under the same
+// protection, via the conjugation identity IDFT(x) = conj(DFT(conj(x)))/N —
+// so the entire ABFT machinery guards the inverse path too.
+func (p *Plan) Inverse(dst, src []complex128) (Report, error) {
+	if len(dst) < p.n || len(src) < p.n {
+		return Report{}, fmt.Errorf("ftfft: buffers too short for size %d", p.n)
+	}
+	for i := 0; i < p.n; i++ {
+		p.scratch[i] = conj(src[i])
+	}
+	rep, err := p.tr.Transform(dst[:p.n], p.scratch)
+	if err != nil {
+		return rep, err
+	}
+	inv := complex(1/float64(p.n), 0)
+	for i := 0; i < p.n; i++ {
+		dst[i] = conj(dst[i]) * inv
+	}
+	return rep, nil
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// Forward is a one-shot convenience: it plans, transforms, and returns a
+// fresh output slice.
+func Forward(x []complex128, opts Options) ([]complex128, Report, error) {
+	p, err := NewPlan(len(x), opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	dst := make([]complex128, len(x))
+	rep, err := p.Forward(dst, x)
+	return dst, rep, err
+}
+
+// Inverse is the one-shot inverse counterpart of Forward.
+func Inverse(x []complex128, opts Options) ([]complex128, Report, error) {
+	p, err := NewPlan(len(x), opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	dst := make([]complex128, len(x))
+	rep, err := p.Inverse(dst, x)
+	return dst, rep, err
+}
+
+// Convolve returns the circular convolution of a and b (equal lengths) via
+// three protected transforms — a realistic "application" of the library
+// exercised by the examples.
+func Convolve(a, b []complex128, opts Options) ([]complex128, Report, error) {
+	if len(a) != len(b) {
+		return nil, Report{}, fmt.Errorf("ftfft: convolution operands differ in length: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	p, err := NewPlan(n, opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	var total Report
+	fa := make([]complex128, n)
+	rep, err := p.Forward(fa, a)
+	total.Add(rep)
+	if err != nil {
+		return nil, total, err
+	}
+	fb := make([]complex128, n)
+	rep, err = p.Forward(fb, b)
+	total.Add(rep)
+	if err != nil {
+		return nil, total, err
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	out := make([]complex128, n)
+	rep, err = p.Inverse(out, fa)
+	total.Add(rep)
+	return out, total, err
+}

@@ -1,0 +1,243 @@
+package ftfft_test
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+
+	"ftfft"
+	"ftfft/internal/dft"
+	"ftfft/internal/workload"
+)
+
+var allProtections = []ftfft.Protection{
+	ftfft.None,
+	ftfft.OfflineABFT, ftfft.OfflineABFTNaive,
+	ftfft.OnlineABFT, ftfft.OnlineABFTNaive,
+	ftfft.OnlineABFTMemory, ftfft.OnlineABFTMemoryNaive,
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbs(a []complex128) float64 {
+	var m float64
+	for _, v := range a {
+		if d := cmplx.Abs(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesDFTAllProtections(t *testing.T) {
+	n := 512
+	x := workload.Uniform(1, n)
+	want := dft.Transform(x)
+	tol := 1e-8 * float64(n) * (1 + maxAbs(want))
+	for _, prot := range allProtections {
+		got, rep, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{Protection: prot})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if !rep.Clean() {
+			t.Errorf("%v: fault-free run not clean: %+v", prot, rep)
+		}
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Errorf("%v: diff %g", prot, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	n := 1024
+	x := workload.Normal(2, n)
+	for _, prot := range []ftfft.Protection{ftfft.None, ftfft.OnlineABFTMemory} {
+		p, err := ftfft.NewPlan(n, ftfft.Options{Protection: prot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		X := make([]complex128, n)
+		y := make([]complex128, n)
+		if _, err := p.Forward(X, x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Inverse(y, X); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(y, x); d > 1e-9*float64(n)*(1+maxAbs(x)) {
+			t.Errorf("%v: round trip diff %g", prot, d)
+		}
+	}
+}
+
+func TestInverseMatchesDirectIDFT(t *testing.T) {
+	n := 256
+	x := workload.Uniform(3, n)
+	want := dft.Inverse(x)
+	got, rep, err := ftfft.Inverse(x, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	if err != nil || !rep.Clean() {
+		t.Fatalf("err=%v rep=%+v", err, rep)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestFaultInjectionRecoveryThroughPublicAPI(t *testing.T) {
+	n := 1024
+	x := workload.Uniform(4, n)
+	want := dft.Transform(x)
+	sched := ftfft.NewFaultSchedule(1,
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 3, Index: -1, Mode: ftfft.AddConstant, Value: 7},
+		ftfft.Fault{Site: ftfft.SiteInputMemory, Rank: ftfft.AnyRank, Index: 100, Mode: ftfft.SetConstant, Value: -5},
+	)
+	got, rep, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{
+		Protection: ftfft.OnlineABFTMemory,
+		Injector:   sched,
+	})
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() {
+		t.Fatal("faults did not fire")
+	}
+	if rep.Clean() {
+		t.Fatalf("expected recovery activity, got clean report")
+	}
+	if d := maxAbsDiff(got, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("output wrong after recovery: %g (%+v)", d, rep)
+	}
+	if len(sched.Records()) != 2 {
+		t.Fatalf("expected 2 injection records, got %d", len(sched.Records()))
+	}
+}
+
+func TestConvolveTheorem(t *testing.T) {
+	n := 256
+	a := workload.Uniform(5, n)
+	b := workload.GaussianPulse(n, n/2, 8)
+	got, rep, err := ftfft.Convolve(a, b, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	if err != nil || !rep.Clean() {
+		t.Fatalf("err=%v rep=%+v", err, rep)
+	}
+	// Direct O(n²) circular convolution.
+	want := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += a[j] * b[(i-j+n)%n]
+		}
+		want[i] = s
+	}
+	if d := maxAbsDiff(got, want); d > 1e-8*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("convolution diff %g", d)
+	}
+	if _, _, err := ftfft.Convolve(a, b[:128], ftfft.Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestParallelPlanPublicAPI(t *testing.T) {
+	n, p := 4096, 8
+	x := workload.Uniform(6, n)
+	want := dft.Transform(x)
+	for _, opts := range []ftfft.ParallelOptions{
+		{},
+		{Optimized: true},
+		{Protected: true},
+		{Protected: true, Optimized: true},
+	} {
+		pp, err := ftfft.NewParallelPlan(n, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp.N() != n || pp.Ranks() != p {
+			t.Fatalf("accessors: %d %d", pp.N(), pp.Ranks())
+		}
+		dst := make([]complex128, n)
+		src := append([]complex128(nil), x...)
+		rep, err := pp.Forward(dst, src)
+		if err != nil {
+			t.Fatalf("%+v: %v (%+v)", opts, err, rep)
+		}
+		if d := maxAbsDiff(dst, want); d > 1e-8*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("%+v: diff %g", opts, d)
+		}
+	}
+	if _, err := ftfft.NewParallelPlan(100, 3, ftfft.ParallelOptions{}); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestParallelFaultRecoveryPublicAPI(t *testing.T) {
+	n, p := 4096, 8
+	x := workload.Uniform(7, n)
+	want := dft.Transform(x)
+	sched := ftfft.NewFaultSchedule(2,
+		ftfft.Fault{Site: ftfft.SiteMessage, Rank: 3, Occurrence: 2, Index: -1, Mode: ftfft.AddConstant, Value: 4},
+	)
+	pp, err := ftfft.NewParallelPlan(n, p, ftfft.ParallelOptions{Protected: true, Optimized: true, Injector: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	rep, err := pp.Forward(dst, src)
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() || rep.MemCorrections == 0 {
+		t.Fatalf("fired=%v rep=%+v", sched.AllFired(), rep)
+	}
+	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestUncorrectableSurfacesAsError(t *testing.T) {
+	n := 256
+	// A fault that re-fires on every visit defeats the retry budget.
+	sched := ftfft.NewFaultSchedule(3,
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 1, Index: 0, Mode: ftfft.AddConstant, Value: 100},
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 2, Index: 0, Mode: ftfft.AddConstant, Value: 100},
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 3, Index: 0, Mode: ftfft.AddConstant, Value: 100},
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 4, Index: 0, Mode: ftfft.AddConstant, Value: 100},
+	)
+	_, rep, err := ftfft.Forward(workload.Uniform(8, n), ftfft.Options{
+		Protection: ftfft.OnlineABFT, Injector: sched, MaxRetries: 3,
+	})
+	if !errors.Is(err, ftfft.ErrUncorrectable) {
+		t.Fatalf("want ErrUncorrectable, got %v", err)
+	}
+	if !rep.Uncorrectable {
+		t.Fatalf("report not marked: %+v", rep)
+	}
+}
+
+func TestProtectionStringer(t *testing.T) {
+	for _, p := range allProtections {
+		if p.String() == "" {
+			t.Fatalf("empty name for %d", int(p))
+		}
+	}
+	if ftfft.Protection(99).String() == "" {
+		t.Fatal("unknown protection must stringify")
+	}
+}
+
+func TestOnlineRejectsPrimeSizes(t *testing.T) {
+	if _, err := ftfft.NewPlan(101, ftfft.Options{Protection: ftfft.OnlineABFT}); err == nil {
+		t.Fatal("online plan on prime size must fail")
+	}
+	if _, err := ftfft.NewPlan(101, ftfft.Options{Protection: ftfft.OfflineABFT}); err != nil {
+		t.Fatalf("offline plan on prime size should work: %v", err)
+	}
+}

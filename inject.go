@@ -1,0 +1,64 @@
+package ftfft
+
+import "ftfft/internal/fault"
+
+// Injector decides, at each fault site a protected transform visits, whether
+// to corrupt the visited block. The built-in Schedule implementation fires a
+// deterministic list of faults; bring your own Injector for custom fault
+// models.
+type Injector = fault.Injector
+
+// Fault describes one scheduled soft error: what kind, where, when, and how
+// the element is corrupted. The zero Rank matters in parallel plans; use
+// AnyRank for sequential ones.
+type Fault = fault.Fault
+
+// FaultRecord logs an injection that actually happened.
+type FaultRecord = fault.Record
+
+// Schedule is the deterministic injector used by the paper-reproduction
+// experiments; it fires each fault exactly once and records what it did.
+type Schedule = fault.Schedule
+
+// NewFaultSchedule builds a deterministic injector; seed drives random index
+// selection for faults with Index = -1.
+func NewFaultSchedule(seed int64, faults ...Fault) *Schedule {
+	return fault.NewSchedule(seed, faults...)
+}
+
+// AnyRank matches every rank in a Fault's Rank field.
+const AnyRank = -1
+
+// Fault sites (where a Fault can strike).
+const (
+	// SiteSubFFT1 is a first-layer sub-FFT output (arithmetic fault).
+	SiteSubFFT1 = fault.SiteSubFFT1
+	// SiteSubFFT2 is a second-layer sub-FFT output.
+	SiteSubFFT2 = fault.SiteSubFFT2
+	// SiteFullFFT is the whole-transform output (offline scheme).
+	SiteFullFFT = fault.SiteFullFFT
+	// SiteTwiddle is the twiddle-multiplication result.
+	SiteTwiddle = fault.SiteTwiddle
+	// SiteInputMemory is the input array at rest.
+	SiteInputMemory = fault.SiteInputMemory
+	// SiteIntermediateMemory is the inter-layer intermediate at rest.
+	SiteIntermediateMemory = fault.SiteIntermediateMemory
+	// SiteOutputMemory is the output array at rest.
+	SiteOutputMemory = fault.SiteOutputMemory
+	// SiteMessage is a message payload in transit (parallel plans).
+	SiteMessage = fault.SiteMessage
+	// SiteParallelFFT1 is a p-point sub-FFT output in the parallel FFT1.
+	SiteParallelFFT1 = fault.SiteParallelFFT1
+	// SiteParallelFFT2 is a sub-FFT output inside the parallel FFT2.
+	SiteParallelFFT2 = fault.SiteParallelFFT2
+)
+
+// Fault corruption modes.
+const (
+	// AddConstant adds Value to the element (arithmetic-fault model).
+	AddConstant = fault.AddConstant
+	// SetConstant overwrites the element with Value (memory-fault model).
+	SetConstant = fault.SetConstant
+	// BitFlip flips bit Bit of the real part (the Table 6 model).
+	BitFlip = fault.BitFlip
+)

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"ftfft/internal/checksum"
+	"ftfft/internal/fault"
+)
+
+// dmrCheckVector computes the input checksum vector rA of size n with double
+// modular redundancy, as Algorithm 2 prescribes: the vector is computed
+// twice and compared; a disagreement triggers a third computation and a
+// majority vote. The fault model (§3.2) assumes faults do not strike during
+// checksum generation itself, so no injection site is visited here — the DMR
+// cost is what matters for the overhead measurements.
+func (t *Transformer) dmrCheckVector(n int, rep *Report) []complex128 {
+	a := checksum.CheckVector(n)
+	b := checksum.CheckVector(n)
+	for i := range a {
+		if a[i] != b[i] {
+			rep.Detections++
+			c := checksum.CheckVector(n)
+			// Majority vote: the recomputation is deterministic, so the
+			// third run agrees with whichever copy was clean.
+			if b[i] == c[i] {
+				a[i] = b[i]
+			}
+			rep.TwiddleCorrections++
+			break
+		}
+	}
+	return a
+}
+
+// dmrTwiddle computes dst[i] = src[i] · tw[i·twStride] for i in [0, len(dst))
+// with DMR: first pass computes, the injector may strike the result, the
+// second pass recomputes and compares, and any mismatch is resolved by a
+// third computation with majority voting (§3.1).
+func (t *Transformer) dmrTwiddle(dst, src, tw []complex128, twStride int, rep *Report) {
+	n := len(dst)
+	ti := 0
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] * tw[ti]
+		ti += twStride
+	}
+	fault.Visit(t.cfg.Injector, fault.SiteTwiddle, 0, dst, n, 1)
+	ti = 0
+	for i := 0; i < n; i++ {
+		v2 := src[i] * tw[ti]
+		if dst[i] != v2 {
+			rep.Detections++
+			v3 := src[i] * tw[ti]
+			if v2 == v3 {
+				dst[i] = v2
+			}
+			rep.TwiddleCorrections++
+		}
+		ti += twStride
+	}
+}

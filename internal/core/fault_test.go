@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ftfft/internal/dft"
+	"ftfft/internal/fault"
+)
+
+// protectedConfigs enumerates the fault-tolerant configurations.
+func protectedConfigs(memOnly bool) []Config {
+	all := allConfigs()[1:]
+	if !memOnly {
+		return all
+	}
+	var out []Config
+	for _, c := range all {
+		if c.MemoryFT {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runWithFaults executes one protected transform of size n with the given
+// schedule and verifies (a) the fault actually fired, (b) the transform
+// recovered, and (c) the output matches the reference.
+func runWithFaults(t *testing.T, n int, cfg Config, sched *fault.Schedule, wantDetect bool) Report {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+
+	cfg.Injector = sched
+	tr, err := New(n, cfg)
+	if err != nil {
+		t.Fatalf("%s: New: %v", cfgName(cfg), err)
+	}
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	rep, err := tr.Transform(dst, src)
+	if err != nil {
+		t.Fatalf("%s: Transform failed: %v (report %+v)", cfgName(cfg), err, rep)
+	}
+	if !sched.AllFired() {
+		t.Fatalf("%s: scheduled fault did not fire (records %d)", cfgName(cfg), len(sched.Records()))
+	}
+	if wantDetect && rep.Clean() {
+		t.Fatalf("%s: fault fired but report is clean", cfgName(cfg))
+	}
+	tol := 1e-7 * float64(n) * (1 + maxAbs(want))
+	if d := maxAbsDiff(dst, want); d > tol {
+		t.Fatalf("%s: output corrupted after recovery: diff %g > %g (report %+v)",
+			cfgName(cfg), d, tol, rep)
+	}
+	return rep
+}
+
+func TestComputationalFaultStage1Recovered(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(false) {
+		site := fault.SiteSubFFT1
+		occ := 2
+		if cfg.Scheme == Offline {
+			site = fault.SiteFullFFT
+			occ = 1 // the offline scheme visits this site once per attempt
+		}
+		sched := fault.NewSchedule(1, fault.Fault{
+			Site: site, Rank: -1, Occurrence: occ, Index: 5,
+			Mode: fault.AddConstant, Value: 1.5,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if cfg.Scheme == Online && rep.CompRecomputations == 0 {
+			t.Errorf("%s: expected a sub-FFT recomputation, got %+v", cfgName(cfg), rep)
+		}
+		if cfg.Scheme == Offline && rep.FullRestarts == 0 {
+			t.Errorf("%s: expected a full restart, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+func TestComputationalFaultStage2Recovered(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(false) {
+		if cfg.Scheme != Online {
+			continue
+		}
+		sched := fault.NewSchedule(2, fault.Fault{
+			Site: fault.SiteSubFFT2, Rank: -1, Occurrence: 7, Index: -1,
+			Mode: fault.AddConstant, Value: -2.25,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.CompRecomputations == 0 {
+			t.Errorf("%s: expected recomputation, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+func TestTwiddleFaultCorrectedByDMR(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(false) {
+		if cfg.Scheme != Online {
+			continue
+		}
+		sched := fault.NewSchedule(3, fault.Fault{
+			Site: fault.SiteTwiddle, Rank: -1, Occurrence: 3, Index: -1,
+			Mode: fault.AddConstant, Value: 3.5,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.TwiddleCorrections == 0 {
+			t.Errorf("%s: expected a DMR correction, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+func TestInputMemoryFaultRecovered(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(true) {
+		sched := fault.NewSchedule(4, fault.Fault{
+			Site: fault.SiteInputMemory, Rank: -1, Index: 137,
+			Mode: fault.SetConstant, Value: 42,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.MemCorrections == 0 {
+			t.Errorf("%s: expected a memory correction, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+func TestIntermediateMemoryFaultRecovered(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(true) {
+		if cfg.Scheme != Online {
+			continue // the offline scheme has no intermediate site
+		}
+		sched := fault.NewSchedule(5, fault.Fault{
+			Site: fault.SiteIntermediateMemory, Rank: -1, Index: 600,
+			Mode: fault.AddConstant, Value: 17,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.MemCorrections == 0 {
+			t.Errorf("%s: expected a memory correction, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+func TestOutputMemoryFaultRecovered(t *testing.T) {
+	n := 1024
+	for _, cfg := range protectedConfigs(true) {
+		if cfg.Scheme != Online {
+			continue
+		}
+		sched := fault.NewSchedule(6, fault.Fault{
+			Site: fault.SiteOutputMemory, Rank: -1, Index: 1001,
+			Mode: fault.AddConstant, Value: -9,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.MemCorrections == 0 && rep.CompRecomputations == 0 {
+			t.Errorf("%s: expected recovery activity, got %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+// TestPaperFaultMixes reproduces the Table 1 fault mixes (1c, 1m+1c, 1m+2c)
+// on the optimized online scheme.
+func TestPaperFaultMixes(t *testing.T) {
+	n := 4096
+	cfg := Config{Scheme: Online, Variant: Optimized, MemoryFT: true}
+	mixes := map[string][]fault.Fault{
+		"1c": {
+			{Site: fault.SiteSubFFT1, Rank: -1, Occurrence: 4, Index: 3, Mode: fault.AddConstant, Value: 2},
+		},
+		"1m+1c": {
+			{Site: fault.SiteInputMemory, Rank: -1, Index: 77, Mode: fault.SetConstant, Value: 5},
+			{Site: fault.SiteSubFFT2, Rank: -1, Occurrence: 9, Index: 2, Mode: fault.AddConstant, Value: 2},
+		},
+		"1m+2c": {
+			{Site: fault.SiteIntermediateMemory, Rank: -1, Index: 1234, Mode: fault.AddConstant, Value: 4},
+			{Site: fault.SiteSubFFT1, Rank: -1, Occurrence: 11, Index: 0, Mode: fault.AddConstant, Value: 2},
+			{Site: fault.SiteSubFFT2, Rank: -1, Occurrence: 30, Index: 1, Mode: fault.AddConstant, Value: -3},
+		},
+	}
+	for name, faults := range mixes {
+		sched := fault.NewSchedule(7, faults...)
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.Detections < len(faults)-1 {
+			t.Errorf("mix %s: only %d detections for %d faults: %+v", name, rep.Detections, len(faults), rep)
+		}
+	}
+}
+
+// TestCompOnlySchemesIgnoreMemoryFaults documents the scope boundary: without
+// MemoryFT, faults striking resident data are not in the fault model and the
+// output is silently wrong — exactly why §3.2 exists.
+func TestCompOnlySchemesIgnoreMemoryFaults(t *testing.T) {
+	n := 1024
+	rng := rand.New(rand.NewSource(8))
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	cfg := Config{Scheme: Online, Variant: Optimized, MemoryFT: false}
+	sched := fault.NewSchedule(9, fault.Fault{
+		Site: fault.SiteInputMemory, Rank: -1, Index: 100,
+		Mode: fault.SetConstant, Value: 1000,
+	})
+	cfg.Injector = sched
+	tr, _ := New(n, cfg)
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	if _, err := tr.Transform(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.AllFired() {
+		t.Fatal("fault did not fire")
+	}
+	if maxAbsDiff(dst, want) < 1 {
+		t.Fatal("memory fault should have corrupted an unprotected run")
+	}
+}
+
+// TestRetryBudgetExhaustion: a fault that re-fires on every recomputation
+// must eventually surface as ErrUncorrectable rather than looping forever.
+type alwaysCorrupt struct{ site fault.Site }
+
+func (a alwaysCorrupt) Visit(site fault.Site, rank int, data []complex128, n, stride int) bool {
+	if site != a.site || n == 0 {
+		return false
+	}
+	data[0] += 100
+	return true
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	n := 256
+	for _, cfg := range []Config{
+		{Scheme: Online, Variant: Optimized, Injector: alwaysCorrupt{fault.SiteSubFFT1}, MaxRetries: 2},
+		{Scheme: Offline, Variant: Optimized, Injector: alwaysCorrupt{fault.SiteFullFFT}, MaxRetries: 2},
+	} {
+		tr, err := New(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(10))
+		src := randomVec(rng, n)
+		dst := make([]complex128, n)
+		rep, err := tr.Transform(dst, src)
+		if !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("%s: want ErrUncorrectable, got %v", cfgName(cfg), err)
+		}
+		if !rep.Uncorrectable {
+			t.Fatalf("%s: report not marked uncorrectable: %+v", cfgName(cfg), rep)
+		}
+	}
+}
+
+// TestBitFlipFaultsTable6Style injects single high-bit flips into the input
+// (the Table 6 fault model) and checks the optimized online scheme repairs
+// them.
+func TestBitFlipFaultsTable6Style(t *testing.T) {
+	n := 1024
+	cfg := Config{Scheme: Online, Variant: Optimized, MemoryFT: true}
+	for _, bit := range []int{52, 55, 58, 61} {
+		sched := fault.NewSchedule(int64(bit), fault.Fault{
+			Site: fault.SiteInputMemory, Rank: -1, Index: -1,
+			Mode: fault.BitFlip, Bit: bit,
+		})
+		rep := runWithFaults(t, n, cfg, sched, true)
+		if rep.MemCorrections == 0 {
+			t.Errorf("bit %d: expected a memory correction, got %+v", bit, rep)
+		}
+	}
+}
+
+func TestOfflineMemoryFaultCostsARestart(t *testing.T) {
+	// The Table 1 signature: Opt-Offline pays a full restart for one memory
+	// fault, while Opt-Online repairs it without restarting anything.
+	n := 4096
+	schedOff := fault.NewSchedule(11, fault.Fault{
+		Site: fault.SiteInputMemory, Rank: -1, Index: 1000, Mode: fault.SetConstant, Value: 3,
+	})
+	repOff := runWithFaults(t, n, Config{Scheme: Offline, Variant: Optimized, MemoryFT: true}, schedOff, true)
+	if repOff.FullRestarts == 0 {
+		t.Errorf("offline: expected full restart, got %+v", repOff)
+	}
+	schedOn := fault.NewSchedule(11, fault.Fault{
+		Site: fault.SiteInputMemory, Rank: -1, Index: 1000, Mode: fault.SetConstant, Value: 3,
+	})
+	repOn := runWithFaults(t, n, Config{Scheme: Online, Variant: Optimized, MemoryFT: true}, schedOn, true)
+	if repOn.FullRestarts != 0 {
+		t.Errorf("online: should not need a full restart: %+v", repOn)
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/fault"
+	"ftfft/internal/fft"
+	"ftfft/internal/roundoff"
+)
+
+// InPlaceTransformer executes protected forward FFTs that overwrite their
+// input — the regime of the parallel scheme (§5), where restart-based
+// recovery is impossible because the original input is destroyed as soon as
+// the first layer completes (Fig. 5). Protection therefore follows Fig. 4:
+// every sub-FFT keeps its gathered input as a backup until its output
+// verifies, memory between layers is covered by incrementally accumulated
+// checksums, and when n = r·k² (r small, 2 or 8 for power-of-two sizes) the
+// extra middle layer of r-point FFTs is protected by DMR rather than ABFT.
+//
+// Decomposition (n = N2·N1 with N2 = k, N1 = r·k):
+//
+//	layer A: N1 k-point FFTs over stride-N1 sub-vectors   (ABFT)
+//	twiddle ω_n^{n1·j2}
+//	layer B, per contiguous N1-block:
+//	    r == 1: one k-point FFT                            (ABFT)
+//	    r != 1: k r-point FFTs (DMR) + twiddle (DMR) + r k-point FFTs (ABFT)
+//	local adjustment to natural output order
+//
+// An InPlaceTransformer is not safe for concurrent use.
+type InPlaceTransformer struct {
+	n, k, r, n1 int // n = k·n1, n1 = r·k
+	cfg         Config
+	rank        int // rank tag passed to the injector (parallel use)
+
+	planK *fft.Plan
+	planR *fft.Plan
+
+	ckv []complex128 // CheckVector(k): stage checksum weights
+	cn1 []complex128 // CheckVector(n1): block memory-pair weights
+	crv []complex128 // CheckVector(r), r > 1
+
+	// twA[n1*?]: layer-A twiddles ω_n^{n1·j2}; twB: intra-block twiddles
+	// ω_{n1}^{n1'·j2'} for the r ≠ 1 case.
+	twA []complex128 // n entries: twA[j2*n1+i1] multiplies block j2 elem i1
+	twB []complex128 // n1 entries (r != 1)
+
+	bufA, bufB, bufC []complex128 // k-sized work buffers
+	rbuf1, rbuf2     []complex128 // r-sized DMR buffers
+	adjust           []complex128 // n-sized buffer for the final reorder
+	blockPairs       []checksum.Pair
+}
+
+// NewInPlace builds an in-place protected transformer for size n, which must
+// be expressible as k·(r·k) with k ≥ 2 and 1 ≤ r ≤ maxSmallRadix. For
+// power-of-two n this always holds with r ∈ {1, 2}.
+func NewInPlace(n int, cfg Config) (*InPlaceTransformer, error) {
+	k, r, err := splitInPlace(n)
+	if err != nil {
+		return nil, err
+	}
+	t := &InPlaceTransformer{n: n, k: k, r: r, n1: r * k, cfg: cfg}
+	if t.planK, err = fft.NewPlan(k, fft.Forward); err != nil {
+		return nil, err
+	}
+	if r > 1 {
+		if t.planR, err = fft.NewPlan(r, fft.Forward); err != nil {
+			return nil, err
+		}
+		t.crv = checksum.CheckVector(r)
+		t.twB = make([]complex128, t.n1)
+		for i1 := 0; i1 < k; i1++ {
+			for j2 := 0; j2 < r; j2++ {
+				t.twB[j2*k+i1] = omegaN(t.n1, i1*j2)
+			}
+		}
+	}
+	t.ckv = checksum.CheckVector(k)
+	t.cn1 = checksum.CheckVector(t.n1)
+	t.twA = make([]complex128, n)
+	for j2 := 0; j2 < k; j2++ {
+		for i1 := 0; i1 < t.n1; i1++ {
+			t.twA[j2*t.n1+i1] = omegaN(n, i1*j2)
+		}
+	}
+	t.bufA = make([]complex128, k)
+	t.bufB = make([]complex128, k)
+	t.bufC = make([]complex128, k)
+	if r > 1 {
+		t.rbuf1 = make([]complex128, r)
+		t.rbuf2 = make([]complex128, r)
+	}
+	t.adjust = make([]complex128, n)
+	t.blockPairs = make([]checksum.Pair, k)
+	return t, nil
+}
+
+// maxSmallRadix bounds the DMR-protected middle layer.
+const maxSmallRadix = 16
+
+// splitInPlace finds n = k·r·k with r minimal (preferring r = 1).
+func splitInPlace(n int) (k, r int, err error) {
+	for rr := 1; rr <= maxSmallRadix; rr++ {
+		if n%rr != 0 {
+			continue
+		}
+		q := n / rr
+		kk := int(math.Round(math.Sqrt(float64(q))))
+		for d := kk; d >= 2; d-- {
+			if d*d == q {
+				return d, rr, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("core: size %d is not k·r·k² with small r; no in-place plan", n)
+}
+
+// SetRank tags injector visits with a parallel rank.
+func (t *InPlaceTransformer) SetRank(rank int) { t.rank = rank }
+
+// N returns the transform size.
+func (t *InPlaceTransformer) N() int { return t.n }
+
+// Shape returns the (k, r) decomposition with n = k·(r·k).
+func (t *InPlaceTransformer) Shape() (k, r int) { return t.k, t.r }
+
+// Transform computes the forward DFT of buf in place. The input is
+// destroyed even when an error is returned.
+func (t *InPlaceTransformer) Transform(buf []complex128) (Report, error) {
+	var rep Report
+	if len(buf) < t.n {
+		return rep, fmt.Errorf("core: buffer too short: %d < %d", len(buf), t.n)
+	}
+	buf = buf[:t.n]
+	th := t.inPlaceThresholds(buf)
+	inj := t.cfg.Injector
+	n1, k, r := t.n1, t.k, t.r
+	protect := t.cfg.Scheme != Plain
+
+	fault.Visit(inj, fault.SiteInputMemory, t.rank, buf, t.n, 1)
+
+	// ---- Layer A: n1 k-point FFTs over stride-n1 sub-vectors ----
+	for i := range t.blockPairs {
+		t.blockPairs[i] = checksum.Pair{}
+	}
+	for i1 := 0; i1 < n1; i1++ {
+		sub := buf[i1:]
+		gather(t.bufA, sub, k, n1) // bufA doubles as the Fig. 4 input backup
+		var cx complex128
+		if protect {
+			cx = checksum.Dot(t.ckv, t.bufA)
+		}
+		ok := !protect
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planK.Execute(t.bufC, t.bufA)
+			if !protect {
+				break
+			}
+			fault.Visit(inj, fault.SiteParallelFFT2, t.rank, t.bufC, k, 1)
+			if ccvPass(checksum.DotOmega3(t.bufC), cx, th.Eta1, k) {
+				ok = true
+				break
+			}
+			rep.Detections++
+			// Input backup still intact: verify it to disambiguate.
+			cur := checksum.Dot(t.ckv, t.bufA)
+			if !ccvPass(cur, cx, th.Eta1, k) {
+				// The backup itself took a memory hit after CCG; it is
+				// still pre-overwrite, so re-gather from buf.
+				gather(t.bufA, sub, k, n1)
+				cx = checksum.Dot(t.ckv, t.bufA)
+				rep.MemCorrections++
+				continue
+			}
+			rep.CompRecomputations++
+		}
+		if !ok {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		// Overwrite in place; fold each element into its destination
+		// block's memory pair (incremental CMCG, §4.3).
+		idx := i1
+		wrow := t.cn1[i1]
+		iw := complex(float64(i1), 0) * wrow
+		for j2 := 0; j2 < k; j2++ {
+			v := t.bufC[j2]
+			buf[idx] = v
+			t.blockPairs[j2].D1 += wrow * v
+			t.blockPairs[j2].D2 += iw * v
+			idx += n1
+		}
+	}
+
+	fault.Visit(inj, fault.SiteIntermediateMemory, t.rank, buf, t.n, 1)
+
+	// ---- Layer B: per contiguous n1-block ----
+	for j2 := 0; j2 < k; j2++ {
+		block := buf[j2*n1 : (j2+1)*n1]
+		if protect {
+			// CMCV of the block against the accumulated pair.
+			idx, corrected, ok := checksum.CorrectSingleStrided(
+				t.cn1, block, n1, 1, t.blockPairs[j2], th.EtaMemCross)
+			if corrected {
+				rep.Detections++
+				rep.MemCorrections++
+				_ = idx
+			}
+			if !ok {
+				rep.Uncorrectable = true
+				return rep, ErrUncorrectable
+			}
+		}
+		// Layer-A twiddle ω_n^{i1·j2}, DMR-protected.
+		t.dmrTwiddleInPlace(block, t.twA[j2*n1:(j2+1)*n1], &rep, protect)
+
+		if r == 1 {
+			if !t.blockFFTK(block, 0, 1, th, &rep, protect) {
+				return rep, ErrUncorrectable
+			}
+			continue
+		}
+
+		// r != 1: k r-point FFTs (stride k) under DMR …
+		for i1 := 0; i1 < k; i1++ {
+			t.dmrSmallFFT(block[i1:], k, &rep, protect)
+		}
+		// … intra-block twiddle ω_{n1}^{i1·j2'} (DMR) …
+		t.dmrTwiddleInPlace(block, t.twB, &rep, protect)
+		// … and r contiguous k-point FFTs under ABFT.
+		for j2p := 0; j2p < r; j2p++ {
+			if !t.blockFFTK(block, j2p*k, 1, th, &rep, protect) {
+				return rep, ErrUncorrectable
+			}
+		}
+	}
+
+	// ---- Local adjustment to natural order ----
+	// Position j2·n1 + j2'·k + j1' holds X_{(j1'·r + j2')·k + j2}
+	// (r = 1: position j2·k + j1 holds X_{j1·k + j2}).
+	t.localAdjust(buf)
+
+	fault.Visit(inj, fault.SiteOutputMemory, t.rank, buf, t.n, 1)
+	return rep, nil
+}
+
+// blockFFTK transforms block[off], block[off+stride], … (k elements) in
+// place with ABFT protection, keeping the gathered input as backup.
+func (t *InPlaceTransformer) blockFFTK(block []complex128, off, stride int, th Thresholds, rep *Report, protect bool) bool {
+	gather(t.bufA, block[off:], t.k, stride)
+	var cx complex128
+	if protect {
+		cx = checksum.Dot(t.ckv, t.bufA)
+	}
+	ok := !protect
+	for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+		t.planK.Execute(t.bufC, t.bufA)
+		if !protect {
+			break
+		}
+		fault.Visit(t.cfg.Injector, fault.SiteParallelFFT2, t.rank, t.bufC, t.k, 1)
+		if ccvPass(checksum.DotOmega3(t.bufC), cx, th.Eta2, t.k) {
+			ok = true
+			break
+		}
+		rep.Detections++
+		cur := checksum.Dot(t.ckv, t.bufA)
+		if !ccvPass(cur, cx, th.Eta2, t.k) {
+			gather(t.bufA, block[off:], t.k, stride)
+			cx = checksum.Dot(t.ckv, t.bufA)
+			rep.MemCorrections++
+			continue
+		}
+		rep.CompRecomputations++
+	}
+	if !ok {
+		rep.Uncorrectable = true
+		return false
+	}
+	scatter(block[off:], t.bufC, t.k, stride)
+	return true
+}
+
+// dmrSmallFFT runs the r-point FFT over sub[0], sub[stride], … twice and
+// compares, with a third run breaking ties — the middle-layer DMR of Fig. 6.
+func (t *InPlaceTransformer) dmrSmallFFT(sub []complex128, stride int, rep *Report, protect bool) {
+	t.planR.ExecuteStrided(t.rbuf1, sub, stride)
+	if protect {
+		fault.Visit(t.cfg.Injector, fault.SiteParallelFFT2, t.rank, t.rbuf1, t.r, 1)
+		t.planR.ExecuteStrided(t.rbuf2, sub, stride)
+		for i := 0; i < t.r; i++ {
+			if t.rbuf1[i] != t.rbuf2[i] {
+				rep.Detections++
+				t.planR.ExecuteStrided(t.rbuf1, sub, stride)
+				if t.rbuf1[i] != t.rbuf2[i] {
+					// Third run agreed with neither… deterministic
+					// recomputation means it agrees with the clean run.
+					t.rbuf1[i] = t.rbuf2[i]
+				}
+				rep.CompRecomputations++
+				break
+			}
+		}
+	}
+	scatter(sub, t.rbuf1, t.r, stride)
+}
+
+// dmrTwiddleInPlace multiplies block element-wise by tw with DMR. The
+// original values are needed for the recheck, so the products are staged
+// through bufA-sized chunks.
+func (t *InPlaceTransformer) dmrTwiddleInPlace(block, tw []complex128, rep *Report, protect bool) {
+	if !protect {
+		for i := range block {
+			block[i] *= tw[i]
+		}
+		return
+	}
+	for off := 0; off < len(block); off += t.k {
+		end := off + t.k
+		if end > len(block) {
+			end = len(block)
+		}
+		chunk := block[off:end]
+		twc := tw[off:end]
+		dst := t.bufB[:len(chunk)]
+		for i := range chunk {
+			dst[i] = chunk[i] * twc[i]
+		}
+		fault.Visit(t.cfg.Injector, fault.SiteTwiddle, t.rank, dst, len(chunk), 1)
+		for i := range chunk {
+			v2 := chunk[i] * twc[i]
+			if dst[i] != v2 {
+				rep.Detections++
+				v3 := chunk[i] * twc[i]
+				if v2 == v3 {
+					dst[i] = v2
+				}
+				rep.TwiddleCorrections++
+			}
+		}
+		copy(chunk, dst)
+	}
+}
+
+// localAdjust permutes the computed spectrum into natural order. For r = 1
+// this is an in-place square transpose; otherwise it routes through the
+// plan-owned buffer (the adjustment is folded into communication in the
+// parallel scheme, so this buffer exists only for standalone use).
+func (t *InPlaceTransformer) localAdjust(buf []complex128) {
+	k, r, n1 := t.k, t.r, t.n1
+	if r == 1 {
+		for j2 := 0; j2 < k; j2++ {
+			for j1 := j2 + 1; j1 < k; j1++ {
+				buf[j2*k+j1], buf[j1*k+j2] = buf[j1*k+j2], buf[j2*k+j1]
+			}
+		}
+		return
+	}
+	for j2 := 0; j2 < k; j2++ {
+		for j2p := 0; j2p < r; j2p++ {
+			for j1p := 0; j1p < k; j1p++ {
+				t.adjust[(j1p*r+j2p)*k+j2] = buf[j2*n1+j2p*k+j1p]
+			}
+		}
+	}
+	copy(buf, t.adjust)
+}
+
+// inPlaceThresholds mirrors Transformer.thresholds for the in-place layout.
+func (t *InPlaceTransformer) inPlaceThresholds(buf []complex128) Thresholds {
+	if t.cfg.Thresholds != nil {
+		return *t.cfg.Thresholds
+	}
+	stride := len(buf) / 1024
+	if stride < 1 {
+		stride = 1
+	}
+	sigma0 := roundoff.RMSStrided(buf, len(buf)/stride, stride)
+	if sigma0 == 0 {
+		sigma0 = 1
+	}
+	s := t.cfg.etaScale()
+	sigmaMid := sigma0 * math.Sqrt(float64(t.k))
+	return Thresholds{
+		Eta1:        s * roundoff.EtaStage1(t.k, sigma0),
+		Eta2:        s * roundoff.EtaStage2(t.k, t.n1, sigma0),
+		EtaMemCross: s * roundoff.EtaAccumulated(t.n1, sigmaMid*maxWeight(t.n1)),
+		EtaMemOut:   s * roundoff.EtaAccumulated(t.n, sigma0*math.Sqrt(float64(t.n))),
+	}
+}

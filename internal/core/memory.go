@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math/cmplx"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/fault"
+)
+
+// onlineMemNaive implements the Fig. 2 hierarchy: online ABFT with memory
+// fault tolerance, before the §4 optimizations. The computational machinery
+// is shared with the optimized scheme (checksum vectors computed once,
+// gathered buffers), but the memory protocol is the expensive one the paper
+// starts from:
+//
+//   - classic checksums r₁ = (1,…,1), r₂ = (0,…,n-1) computed in two
+//     separate passes per block;
+//   - an explicit MCV before every sub-FFT (the §4.2 optimization postpones
+//     these into the CCVs);
+//   - at the layer boundary, every intermediate row is re-verified and every
+//     column checksum regenerated from scratch — "each element is verified
+//     twice" — instead of the §4.3 incremental generation;
+//   - output column-group checksums verified in a final strided pass.
+func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Report, error) {
+	var rep Report
+	m, k := t.m, t.k
+	inj := t.cfg.Injector
+
+	cm := t.dmrCheckVector(m, &rep)
+
+	// MCG for every stage-1 sub-input: classic checksums, two strided
+	// passes each.
+	for i := 0; i < k; i++ {
+		t.inPairs[i] = classicPairStridedTwoPass(src[i:], m, k)
+	}
+	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, 1)
+
+	// ---- Stage 1 ----
+	for i := 0; i < k; i++ {
+		// MCV before use; repair single memory errors in place.
+		if !t.verifyClassicStrided(src[i:], m, k, &t.inPairs[i], &rep) {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		gather(t.bufA[:m], src[i:], m, k)
+		cx := checksum.Dot(cm, t.bufA[:m])
+		row := t.work[i*m : (i+1)*m]
+		ok := false
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planM.Execute(row, t.bufA[:m])
+			fault.Visit(inj, fault.SiteSubFFT1, 0, row, m, 1)
+			if ccvPass(checksum.DotOmega3(row), cx, th.Eta1, m) {
+				ok = true
+				break
+			}
+			rep.Detections++
+			rep.CompRecomputations++
+		}
+		if !ok {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		// MCG of the produced row.
+		t.rowPairs[i] = classicPairTwoPass(row)
+	}
+
+	fault.Visit(inj, fault.SiteIntermediateMemory, 0, t.work, t.n, 1)
+
+	// ---- Layer boundary: verify rows, regenerate column checksums ----
+	for i := 0; i < k; i++ {
+		row := t.work[i*m : (i+1)*m]
+		if !t.verifyClassic(row, &t.rowPairs[i], &rep) {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+	}
+	for j := 0; j < m; j++ {
+		t.colPairs[j] = classicPairStridedTwoPass(t.work[j:], k, m)
+	}
+
+	// ---- Stage 2 ----
+	ck := t.dmrCheckVector(k, &rep)
+	for j := 0; j < m; j++ {
+		if !t.verifyClassicStrided(t.work[j:], k, m, &t.colPairs[j], &rep) {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		gather(t.bufA[:k], t.work[j:], k, m)
+		t.dmrTwiddle(t.bufB[:k], t.bufA[:k], t.twiddle[j:], m, &rep)
+		cx2 := checksum.Dot(ck, t.bufB[:k])
+		ok := false
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planK.Execute(t.bufC[:k], t.bufB[:k])
+			fault.Visit(inj, fault.SiteSubFFT2, 0, t.bufC[:k], k, 1)
+			if ccvPass(checksum.DotOmega3(t.bufC[:k]), cx2, th.Eta2, k) {
+				ok = true
+				break
+			}
+			rep.Detections++
+			rep.CompRecomputations++
+		}
+		if !ok {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		scatter(dst[j:], t.bufC[:k], k, m)
+		t.outPairs[j] = classicPairTwoPass(t.bufC[:k])
+	}
+
+	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, 1)
+
+	// ---- Final MCV over the output column groups ----
+	for j := 0; j < m; j++ {
+		if !t.verifyClassicStrided(dst[j:], k, m, &t.outPairs[j], &rep) {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+	}
+	return rep, nil
+}
+
+// onlineMemOpt implements the Fig. 3 optimized hierarchy:
+//
+//   - CMCG (§4.1/§4.4): one contiguous sweep over the input accumulates a
+//     modified checksum pair per stage-1 sub-FFT, whose D1 *is* the
+//     computational input checksum;
+//   - verification postponing (§4.2): no MCV before the m-point FFTs — the
+//     CCV afterwards detects both fault classes, and on mismatch the input
+//     pair disambiguates memory from computational faults;
+//   - incremental generation (§4.3): stage-2 input pairs accumulate as each
+//     verified row is produced, so the intermediate is never re-read for
+//     checksum generation;
+//   - the final output is protected by one whole-array pair accumulated at
+//     scatter time and verified in a single contiguous sweep, with located
+//     single errors repaired in place (second-level recovery recomputes the
+//     affected column from the intact intermediate).
+func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report, error) {
+	var rep Report
+	m, k := t.m, t.k
+	inj := t.cfg.Injector
+
+	cm := t.dmrCheckVector(m, &rep)
+	ck := t.dmrCheckVector(k, &rep)
+
+	// ---- CMCG: one contiguous sweep over the input ----
+	for i := range t.inPairs[:k] {
+		t.inPairs[i] = checksum.Pair{}
+	}
+	for idx, v := range src {
+		i := idx % k // owning sub-FFT
+		j := idx / k // position within it
+		w := cm[j] * v
+		t.inPairs[i].D1 += w
+		t.inPairs[i].D2 += complex(float64(j), 0) * w
+	}
+	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, 1)
+
+	acc := checksum.NewAccumulator(ck, m)
+	var outPair checksum.Pair
+
+	// ---- Stage 1 with postponed MCV ----
+	for i := 0; i < k; i++ {
+		gather(t.bufA[:m], src[i:], m, k)
+		cx := t.inPairs[i].D1
+		row := t.work[i*m : (i+1)*m]
+		ok := false
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planM.Execute(row, t.bufA[:m])
+			fault.Visit(inj, fault.SiteSubFFT1, 0, row, m, 1)
+			if ccvPass(checksum.DotOmega3(row), cx, th.Eta1, m) {
+				ok = true
+				break
+			}
+			rep.Detections++
+			// Postponed MCV: was it the input or the computation?
+			cur := checksum.GeneratePair(cm, t.bufA[:m])
+			d := t.inPairs[i].Sub(cur)
+			if cmplx.Abs(d.D1) > th.Eta1 {
+				// Memory fault in the input: locate, repair the gathered
+				// buffer and the resident input, and recompute.
+				if jj, located := checksum.Locate(d, m); located {
+					t.bufA[jj] += d.D1 / cm[jj]
+					src[i+jj*k] = t.bufA[jj]
+					rep.MemCorrections++
+					continue
+				}
+				rep.Uncorrectable = true
+				return rep, ErrUncorrectable
+			}
+			rep.CompRecomputations++
+		}
+		if !ok {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		acc.AddRow(i, row) // §4.3 incremental stage-2 checksums
+	}
+
+	fault.Visit(inj, fault.SiteIntermediateMemory, 0, t.work, t.n, 1)
+
+	// ---- Stage 2: CMCV & TM & CCG fused per column ----
+	for j := 0; j < m; j++ {
+		gather(t.bufA[:k], t.work[j:], k, m)
+		// CMCV against the incrementally accumulated pair; repairs single
+		// corrupted intermediate elements.
+		idx, corrected, ok := checksum.CorrectSingle(ck, t.bufA[:k], acc.Column(j), th.EtaMemCross)
+		if corrected {
+			rep.Detections++
+			rep.MemCorrections++
+			t.work[j+idx*m] = t.bufA[idx]
+		}
+		if !ok {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		t.dmrTwiddle(t.bufB[:k], t.bufA[:k], t.twiddle[j:], m, &rep)
+		cx2 := checksum.Dot(ck, t.bufB[:k])
+		okFFT := false
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planK.Execute(t.bufC[:k], t.bufB[:k])
+			fault.Visit(inj, fault.SiteSubFFT2, 0, t.bufC[:k], k, 1)
+			if ccvPass(checksum.DotOmega3(t.bufC[:k]), cx2, th.Eta2, k) {
+				okFFT = true
+				break
+			}
+			rep.Detections++
+			// Disambiguate: if the twiddled buffer changed since CCG, the
+			// local buffer took a memory hit — rebuild it from the (still
+			// verified) intermediate; otherwise recompute the FFT.
+			if cmplx.Abs(checksum.Dot(ck, t.bufB[:k])-cx2) > th.Eta2 {
+				gather(t.bufA[:k], t.work[j:], k, m)
+				t.dmrTwiddle(t.bufB[:k], t.bufA[:k], t.twiddle[j:], m, &rep)
+				cx2 = checksum.Dot(ck, t.bufB[:k])
+				rep.MemCorrections++
+				continue
+			}
+			rep.CompRecomputations++
+		}
+		if !okFFT {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+		// Scatter and fold into the whole-output pair.
+		idxOut := j
+		for j1 := 0; j1 < k; j1++ {
+			v := t.bufC[j1]
+			dst[idxOut] = v
+			w := checksum.Omega3(idxOut) * v
+			outPair.D1 += w
+			outPair.D2 += complex(float64(idxOut), 0) * w
+			idxOut += m
+		}
+	}
+
+	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, 1)
+
+	// ---- Final CMCV over the whole output ----
+	for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+		var cur checksum.Pair
+		for g, v := range dst {
+			w := checksum.Omega3(g) * v
+			cur.D1 += w
+			cur.D2 += complex(float64(g), 0) * w
+		}
+		d := outPair.Sub(cur)
+		if cmplx.Abs(d.D1) <= th.EtaMemOut {
+			return rep, nil
+		}
+		rep.Detections++
+		if g, located := checksum.Locate(d, t.n); located {
+			dst[g] += d.D1 / checksum.Omega3(g)
+			rep.MemCorrections++
+			continue
+		}
+		// Locate failed (e.g. two hits in the same array): second-level
+		// recovery is possible because the intermediate is intact, but a
+		// multi-error repair is out of the single-fault model — recompute
+		// the whole second stage.
+		if !t.recomputeStage2(dst, ck, &outPair, th, &rep) {
+			rep.Uncorrectable = true
+			return rep, ErrUncorrectable
+		}
+	}
+	rep.Uncorrectable = true
+	return rep, ErrUncorrectable
+}
+
+// recomputeStage2 re-runs the whole second layer from the intact
+// intermediate, rebuilding the output pair. Used as second-level recovery
+// when the final output verification cannot locate a single repairable
+// element.
+func (t *Transformer) recomputeStage2(dst []complex128, ck []complex128, outPair *checksum.Pair, th Thresholds, rep *Report) bool {
+	m, k := t.m, t.k
+	*outPair = checksum.Pair{}
+	for j := 0; j < m; j++ {
+		gather(t.bufA[:k], t.work[j:], k, m)
+		t.dmrTwiddle(t.bufB[:k], t.bufA[:k], t.twiddle[j:], m, rep)
+		cx2 := checksum.Dot(ck, t.bufB[:k])
+		ok := false
+		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+			t.planK.Execute(t.bufC[:k], t.bufB[:k])
+			if ccvPass(checksum.DotOmega3(t.bufC[:k]), cx2, th.Eta2, k) {
+				ok = true
+				break
+			}
+			rep.Detections++
+			rep.CompRecomputations++
+		}
+		if !ok {
+			return false
+		}
+		idxOut := j
+		for j1 := 0; j1 < k; j1++ {
+			v := t.bufC[j1]
+			dst[idxOut] = v
+			w := checksum.Omega3(idxOut) * v
+			outPair.D1 += w
+			outPair.D2 += complex(float64(idxOut), 0) * w
+			idxOut += m
+		}
+	}
+	rep.CompRecomputations++
+	return true
+}
+
+// classicPairTwoPass computes the classic memory checksums S₁ = Σ x_j and
+// S₂ = Σ j·x_j in two separate passes, as the un-optimized scheme does.
+func classicPairTwoPass(x []complex128) checksum.Pair {
+	var s1 complex128
+	for _, v := range x {
+		s1 += v
+	}
+	var s2 complex128
+	for j, v := range x {
+		s2 += complex(float64(j), 0) * v
+	}
+	return checksum.Pair{D1: s1, D2: s2}
+}
+
+// classicPairStridedTwoPass is classicPairTwoPass over a strided block.
+func classicPairStridedTwoPass(x []complex128, n, stride int) checksum.Pair {
+	var s1 complex128
+	idx := 0
+	for j := 0; j < n; j++ {
+		s1 += x[idx]
+		idx += stride
+	}
+	var s2 complex128
+	idx = 0
+	for j := 0; j < n; j++ {
+		s2 += complex(float64(j), 0) * x[idx]
+		idx += stride
+	}
+	return checksum.Pair{D1: s1, D2: s2}
+}
+
+// verifyClassic recomputes the classic pair of x (same order as generation,
+// so the comparison is exact in the fault-free case) and repairs a single
+// corrupted element in place. It returns false when repair failed.
+func (t *Transformer) verifyClassic(x []complex128, stored *checksum.Pair, rep *Report) bool {
+	cur := classicPairTwoPass(x)
+	d := stored.Sub(cur)
+	if d.D1 == 0 && d.D2 == 0 {
+		return true
+	}
+	rep.Detections++
+	j, ok := checksum.Locate(d, len(x))
+	if !ok {
+		return false
+	}
+	x[j] += d.D1
+	rep.MemCorrections++
+	// The repair rounds (x'_j + Δ ≠ x_j bitwise), so the re-verification
+	// tolerates round-off relative to the correction magnitude.
+	tol := 1e-9 * (1 + cmplx.Abs(stored.D1) + cmplx.Abs(d.D1))
+	cur = classicPairTwoPass(x)
+	d = stored.Sub(cur)
+	return cmplx.Abs(d.D1) <= tol
+}
+
+// verifyClassicStrided is verifyClassic over a strided block.
+func (t *Transformer) verifyClassicStrided(x []complex128, n, stride int, stored *checksum.Pair, rep *Report) bool {
+	cur := classicPairStridedTwoPass(x, n, stride)
+	d := stored.Sub(cur)
+	if d.D1 == 0 && d.D2 == 0 {
+		return true
+	}
+	rep.Detections++
+	j, ok := checksum.Locate(d, n)
+	if !ok {
+		return false
+	}
+	x[j*stride] += d.D1
+	rep.MemCorrections++
+	tol := 1e-9 * (1 + cmplx.Abs(stored.D1) + cmplx.Abs(d.D1))
+	cur = classicPairStridedTwoPass(x, n, stride)
+	d = stored.Sub(cur)
+	return cmplx.Abs(d.D1) <= tol
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/cmplx"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/fault"
+)
+
+// offline implements Algorithm 1, in both variants and with optional memory
+// protection (the Table 1 "Opt-Offline" rows):
+//
+//   - Naive: the input checksum vector rA is evaluated trigonometrically,
+//     the output checksum uses an explicitly materialized weight vector, and
+//     memory protection uses the classic r₁ = (1,…,1), r₂ = (0,1,…,n-1)
+//     checksums computed in two separate passes.
+//   - Optimized: rA uses the incremental closed form (§7.1.1), the output
+//     checksum uses the merged ω₃-bucket evaluation, and the memory
+//     checksums are the §4.1 dual-use pair (r′₁ = rA, r′₂ = j·rA) computed
+//     in the same pass as the computational checksum.
+//
+// Any error — wherever it struck — surfaces only at the final verification,
+// and recovery is a full restart; with memory protection the input is first
+// re-verified and repaired so the restart starts from clean data.
+func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, error) {
+	var rep Report
+	naive := t.cfg.Variant == Naive
+
+	// Input checksum vector generation.
+	var ra []complex128
+	if naive {
+		ra = checksum.CheckVectorTrig(t.n)
+	} else {
+		ra = checksum.CheckVector(t.n)
+	}
+
+	// Computational input checksum, fused with memory checksum generation
+	// in the optimized variant.
+	var cx complex128
+	var inPair checksum.Pair
+	var naiveOnes, naiveIdx complex128 // classic memory checksums (naive)
+	if t.cfg.MemoryFT && !naive {
+		inPair = checksum.GeneratePair(ra, src)
+		cx = inPair.D1 // dual use (§4.1)
+	} else {
+		cx = checksum.Dot(ra, src)
+		if t.cfg.MemoryFT {
+			// Classic checksums, deliberately in two extra passes.
+			for _, v := range src {
+				naiveOnes += v
+			}
+			for j, v := range src {
+				naiveIdx += complex(float64(j), 0) * v
+			}
+		}
+	}
+
+	// The input now rests in memory until the computation reads it.
+	fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, 1)
+
+	// Naive CCV materializes the weight vector; optimized uses DotOmega3.
+	var rWeights []complex128
+	if naive {
+		rWeights = checksum.Weights(t.n)
+	}
+
+	for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
+		t.plain(dst, src)
+		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
+		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
+
+		var rX complex128
+		if naive {
+			rX = checksum.Dot(rWeights, dst)
+		} else {
+			rX = checksum.DotOmega3(dst)
+		}
+		if ccvPass(rX, cx, th.EtaOffline, t.n) {
+			return rep, nil
+		}
+		rep.Detections++
+
+		if t.cfg.MemoryFT {
+			// Re-verify the input; repair it if the mismatch came from a
+			// memory fault, then restart from clean data.
+			if naive {
+				var curOnes, curIdx complex128
+				for _, v := range src {
+					curOnes += v
+				}
+				for j, v := range src {
+					curIdx += complex(float64(j), 0) * v
+				}
+				d := checksum.Pair{D1: naiveOnes - curOnes, D2: naiveIdx - curIdx}
+				if cmplx.Abs(d.D1) > 0 {
+					if j, ok := checksum.Locate(d, t.n); ok {
+						src[j] += d.D1
+						rep.MemCorrections++
+						cx = checksum.Dot(ra, src)
+					}
+				}
+			} else {
+				cur := checksum.GeneratePair(ra, src)
+				d := inPair.Sub(cur)
+				if cmplx.Abs(d.D1) > th.EtaMemOut {
+					if j, ok := checksum.Locate(d, t.n); ok {
+						src[j] += d.D1 / ra[j]
+						rep.MemCorrections++
+						cur = checksum.GeneratePair(ra, src)
+						inPair = cur
+						cx = cur.D1
+					}
+				}
+			}
+		}
+		rep.FullRestarts++
+	}
+	rep.Uncorrectable = true
+	return rep, ErrUncorrectable
+}

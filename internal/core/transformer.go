@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/fault"
+	"ftfft/internal/fft"
+	"ftfft/internal/roundoff"
+)
+
+// ErrUncorrectable is returned when a transform exhausted its retry budget
+// without producing a verified result; the output must not be trusted.
+var ErrUncorrectable = errors.New("core: fault could not be corrected within the retry budget")
+
+// Transformer executes protected (or plain) forward FFTs of a fixed size.
+// It owns all working storage, so a Transformer is NOT safe for concurrent
+// use; create one per goroutine. The FFT plans and twiddle tables are built
+// once here ("plan time", as FFTW does), while checksum vectors are computed
+// inside Transform — they are part of the fault-tolerance overhead the paper
+// measures.
+type Transformer struct {
+	n, m, k int
+	cfg     Config
+
+	planM *fft.Plan
+	planK *fft.Plan
+
+	// twiddle[i*m+j] = ω_n^{i·j}: the inter-layer twiddle table.
+	twiddle []complex128
+
+	// work is the k×m row-major intermediate (W).
+	work []complex128
+	// bufA/bufB/bufC are gather / twiddled-input / sub-FFT-output buffers
+	// of length max(m, k).
+	bufA, bufB, bufC []complex128
+
+	// Per-sub-FFT checksum pair storage, reused across calls.
+	inPairs  []checksum.Pair // k entries (stage-1 sub-inputs)
+	rowPairs []checksum.Pair // k entries (intermediate rows, Fig. 2)
+	colPairs []checksum.Pair // m entries (intermediate columns)
+	outPairs []checksum.Pair // m entries (output column groups, Fig. 2)
+}
+
+// New builds a Transformer for n-point forward transforms under cfg.
+// Online schemes need a composite n ≥ 4; Plain and Offline accept any n the
+// FFT engine accepts.
+func New(n int, cfg Config) (*Transformer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: invalid size %d", n)
+	}
+	t := &Transformer{n: n, cfg: cfg}
+	var err error
+	t.m, t.k, err = Split(n)
+	if err != nil {
+		if cfg.Scheme == Online {
+			return nil, err
+		}
+		// Plain/Offline on indivisible sizes: degenerate single-layer
+		// "decomposition" m=n, k=1.
+		t.m, t.k = n, 1
+	}
+	if t.planM, err = fft.NewPlan(t.m, fft.Forward); err != nil {
+		return nil, err
+	}
+	if t.planK, err = fft.NewPlan(t.k, fft.Forward); err != nil {
+		return nil, err
+	}
+	t.twiddle = twiddleTable(n, t.m, t.k)
+	t.work = make([]complex128, n)
+	bufLen := t.m
+	if t.k > bufLen {
+		bufLen = t.k
+	}
+	t.bufA = make([]complex128, bufLen)
+	t.bufB = make([]complex128, bufLen)
+	t.bufC = make([]complex128, bufLen)
+	t.inPairs = make([]checksum.Pair, t.k)
+	t.rowPairs = make([]checksum.Pair, t.k)
+	t.colPairs = make([]checksum.Pair, t.m)
+	t.outPairs = make([]checksum.Pair, t.m)
+	return t, nil
+}
+
+// N returns the transform size.
+func (t *Transformer) N() int { return t.n }
+
+// Layout returns the two-layer decomposition (m, k) with n = m·k.
+func (t *Transformer) Layout() (m, k int) { return t.m, t.k }
+
+// Transform computes the forward DFT of src into dst under the configured
+// protection scheme. dst and src must each have length N and must not
+// overlap. When memory protection is enabled and an input memory fault is
+// detected, src is repaired in place (that is the scheme's defining
+// behaviour). The returned Report is valid even when an error is returned.
+func (t *Transformer) Transform(dst, src []complex128) (Report, error) {
+	if len(dst) < t.n || len(src) < t.n {
+		return Report{}, fmt.Errorf("core: buffers too short: dst=%d src=%d need %d", len(dst), len(src), t.n)
+	}
+	dst = dst[:t.n]
+	src = src[:t.n]
+	switch t.cfg.Scheme {
+	case Plain:
+		// Memory fault sites are visited even unprotected — faults are
+		// physical events that strike whether or not anyone checks. This
+		// is what the Table 6 "NoCorrection" row measures.
+		fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, 1)
+		t.plain(dst, src)
+		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
+		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
+		return Report{}, nil
+	case Offline:
+		return t.offline(dst, src, t.thresholds(src))
+	case Online:
+		th := t.thresholds(src)
+		if t.cfg.MemoryFT {
+			if t.cfg.Variant == Optimized {
+				return t.onlineMemOpt(dst, src, th)
+			}
+			return t.onlineMemNaive(dst, src, th)
+		}
+		return t.onlineComp(dst, src, th)
+	default:
+		return Report{}, fmt.Errorf("core: unknown scheme %d", t.cfg.Scheme)
+	}
+}
+
+// thresholds derives the η values for this input, unless overridden.
+func (t *Transformer) thresholds(src []complex128) Thresholds {
+	if t.cfg.Thresholds != nil {
+		return *t.cfg.Thresholds
+	}
+	// Sample the input RMS (≤1024 probes) — O(N/stride) so the derivation
+	// itself adds no measurable overhead.
+	stride := len(src) / 1024
+	if stride < 1 {
+		stride = 1
+	}
+	probes := len(src) / stride
+	sigma0 := roundoff.RMSStrided(src, probes, stride)
+	if sigma0 == 0 {
+		sigma0 = 1
+	}
+	s := t.cfg.etaScale()
+	sigmaMid := sigma0 * sqrtF(t.m)
+	return Thresholds{
+		Eta1:        s * roundoff.EtaStage1(t.m, sigma0),
+		Eta2:        s * roundoff.EtaStage2(t.k, t.m, sigma0),
+		EtaOffline:  s * roundoff.EtaOffline(t.n, sigma0),
+		EtaMemCross: s * roundoff.EtaAccumulated(t.k, sigmaMid*maxWeight(t.k)),
+		EtaMemOut:   s * roundoff.EtaAccumulated(t.n, sigma0*sqrtF(t.n)),
+	}
+}
+
+func sqrtF(n int) float64 { return math.Sqrt(float64(n)) }
+
+// maxWeight bounds |(rA)_j| for an n-point check vector: ≈ √3·3n/(2π),
+// clamped below by 1.
+func maxWeight(n int) float64 {
+	w := 0.827 * float64(n)
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// plain is the unprotected two-layer baseline ("FFTW" in the figures). The
+// twiddle multiplication is fused into the column gather exactly as in the
+// optimized protected path, so scheme comparisons isolate checksum cost.
+func (t *Transformer) plain(dst, src []complex128) {
+	m, k := t.m, t.k
+	for i := 0; i < k; i++ {
+		gather(t.bufA[:m], src[i:], m, k)
+		t.planM.Execute(t.work[i*m:(i+1)*m], t.bufA[:m])
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < k; i++ {
+			t.bufB[i] = t.work[i*m+j] * t.twiddle[i*m+j]
+		}
+		t.planK.Execute(t.bufC[:k], t.bufB[:k])
+		scatter(dst[j:], t.bufC[:k], k, m)
+	}
+}
+
+// gather copies the strided elements src[0], src[stride], … into dst[0..n-1].
+func gather(dst, src []complex128, n, stride int) {
+	idx := 0
+	for j := 0; j < n; j++ {
+		dst[j] = src[idx]
+		idx += stride
+	}
+}
+
+// scatter copies dst[j*stride] = src[j] for j in [0, n).
+func scatter(dst, src []complex128, n, stride int) {
+	idx := 0
+	for j := 0; j < n; j++ {
+		dst[idx] = src[j]
+		idx += stride
+	}
+}

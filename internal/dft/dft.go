@@ -1,0 +1,115 @@
+// Package dft implements the discrete Fourier transform directly from its
+// O(N²) definition. It is the ground truth against which every FFT path and
+// every fault-tolerance scheme in this repository is validated, and it also
+// provides the "naive" trigonometric evaluation of the input checksum vector
+// used by the un-optimized offline ABFT scheme (Fig. 7, first bar).
+package dft
+
+import "math"
+
+// Omega returns ω_N^k = exp(-2πik/N), the N-th principal root of unity raised
+// to the k-th power. k may be negative or exceed N.
+func Omega(n, k int) complex128 {
+	// Reduce k to (-n/2, n/2] so the angle stays small, sin/cos stay
+	// accurate, and Omega(n,-k) is the exact conjugate of Omega(n,k).
+	k %= n
+	if 2*k > n {
+		k -= n
+	} else if 2*k <= -n {
+		k += n
+	}
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	s, c := math.Sincos(ang)
+	return complex(c, s)
+}
+
+// OmegaInv returns ω_N^{-k} = exp(+2πik/N).
+func OmegaInv(n, k int) complex128 {
+	return Omega(n, -k)
+}
+
+// Transform computes the forward DFT of src into a freshly allocated slice:
+//
+//	X_j = Σ_{n=0}^{N-1} x_n ω_N^{jn}
+func Transform(src []complex128) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			sum += src[t] * Omega(n, j*t)
+		}
+		dst[j] = sum
+	}
+	return dst
+}
+
+// Inverse computes the inverse DFT of src into a freshly allocated slice:
+//
+//	x_n = (1/N) Σ_{j=0}^{N-1} X_j ω_N^{-jn}
+func Inverse(src []complex128) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n)
+	scale := complex(1/float64(n), 0)
+	for t := 0; t < n; t++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += src[j] * OmegaInv(n, j*t)
+		}
+		dst[t] = sum * scale
+	}
+	return dst
+}
+
+// TransformStrided computes the forward DFT of the n strided elements
+// src[0], src[stride], ..., src[(n-1)*stride] into dst[0..n-1].
+// It is the reference for the decomposed sub-FFT paths.
+func TransformStrided(dst, src []complex128, n, stride int) {
+	for j := 0; j < n; j++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			sum += src[t*stride] * Omega(n, j*t)
+		}
+		dst[j] = sum
+	}
+}
+
+// CheckVectorNaive evaluates the input checksum vector rA for an n-point DFT
+// by direct summation with per-element trigonometric calls:
+//
+//	(rA)_j = Σ_{t=0}^{n-1} ω_3^t ω_n^{tj}
+//
+// This is the expensive path the paper's naive offline scheme pays for; the
+// optimized schemes use checksum.CheckVector (closed form) instead.
+func CheckVectorNaive(n int) []complex128 {
+	out := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			sum += omega3(t) * Omega(n, t*j)
+		}
+		out[j] = sum
+	}
+	return out
+}
+
+// omega3 returns ω_3^k where ω_3 = -1/2 + (√3/2)i = exp(+2πi/3), the first
+// cube root of unity as chosen by the paper (following Wang & Jha). The same
+// constant is defined in internal/checksum; it is duplicated here so that the
+// reference package has no dependencies.
+func omega3(k int) complex128 {
+	k %= 3
+	if k < 0 {
+		k += 3
+	}
+	const half = 0.5
+	sqrt3half := math.Sqrt(3) / 2
+	switch k {
+	case 0:
+		return 1
+	case 1:
+		return complex(-half, sqrt3half)
+	default:
+		return complex(-half, -sqrt3half)
+	}
+}

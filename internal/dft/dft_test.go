@@ -1,0 +1,236 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestOmegaBasics(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want complex128
+	}{
+		{4, 0, 1},
+		{4, 1, complex(0, -1)},
+		{4, 2, -1},
+		{4, 3, complex(0, 1)},
+		{4, 4, 1},
+		{4, -1, complex(0, 1)},
+		{2, 1, -1},
+		{8, 2, complex(0, -1)},
+	}
+	for _, c := range cases {
+		got := Omega(c.n, c.k)
+		if !approxEqual(got, c.want, 1e-15) {
+			t.Errorf("Omega(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestOmegaPeriodicity(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for k := -2 * n; k <= 2*n; k++ {
+			a := Omega(n, k)
+			b := Omega(n, k+n)
+			if !approxEqual(a, b, 1e-14) {
+				t.Fatalf("Omega(%d,%d) != Omega(%d,%d): %v vs %v", n, k, n, k+n, a, b)
+			}
+		}
+	}
+}
+
+func TestOmegaInvIsConjugate(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for k := 0; k < n; k++ {
+			if !approxEqual(OmegaInv(n, k), cmplx.Conj(Omega(n, k)), 1e-15) {
+				t.Fatalf("OmegaInv(%d,%d) != conj(Omega)", n, k)
+			}
+		}
+	}
+}
+
+func TestTransformImpulse(t *testing.T) {
+	// DFT of the unit impulse is the all-ones vector.
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16} {
+		x := make([]complex128, n)
+		x[0] = 1
+		X := Transform(x)
+		for j, v := range X {
+			if !approxEqual(v, 1, 1e-12) {
+				t.Fatalf("n=%d: X[%d] = %v, want 1", n, j, v)
+			}
+		}
+	}
+}
+
+func TestTransformConstant(t *testing.T) {
+	// DFT of the all-ones vector is N at bin 0 and 0 elsewhere.
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 15} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = 1
+		}
+		X := Transform(x)
+		if !approxEqual(X[0], complex(float64(n), 0), 1e-10*float64(n)) {
+			t.Fatalf("n=%d: X[0] = %v, want %d", n, X[0], n)
+		}
+		for j := 1; j < n; j++ {
+			if !approxEqual(X[j], 0, 1e-10*float64(n)) {
+				t.Fatalf("n=%d: X[%d] = %v, want 0", n, j, X[j])
+			}
+		}
+	}
+}
+
+func TestTransformSingleTone(t *testing.T) {
+	// x_n = ω_N^{-fn} has DFT N·δ_{j,f}.
+	n, f := 16, 3
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = OmegaInv(n, f*i)
+	}
+	X := Transform(x)
+	for j := range X {
+		want := complex128(0)
+		if j == f {
+			want = complex(float64(n), 0)
+		}
+		if !approxEqual(X[j], want, 1e-11) {
+			t.Fatalf("X[%d] = %v, want %v", j, X[j], want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 12, 31, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := Inverse(Transform(x))
+		for i := range x {
+			if !approxEqual(x[i], y[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d round trip mismatch at %d: %v vs %v", n, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	// DFT(a·x + b·y) = a·DFT(x) + b·DFT(y)
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		b := complex(r.NormFloat64(), r.NormFloat64())
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		z := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			y[i] = complex(r.NormFloat64(), r.NormFloat64())
+			z[i] = a*x[i] + b*y[i]
+		}
+		X, Y, Z := Transform(x), Transform(y), Transform(z)
+		for j := 0; j < n; j++ {
+			if !approxEqual(Z[j], a*X[j]+b*Y[j], 1e-9*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² = (1/N) Σ|X|²
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(48)
+		x := make([]complex128, n)
+		var ein float64
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			ein += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X := Transform(x)
+		var eout float64
+		for _, v := range X {
+			eout += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(ein-eout/float64(n)) <= 1e-8*(1+ein)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformStridedMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]complex128, 60)
+	for i := range buf {
+		buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, c := range []struct{ n, stride int }{{5, 3}, {4, 15}, {12, 5}, {1, 7}, {60, 1}} {
+		gathered := make([]complex128, c.n)
+		for i := 0; i < c.n; i++ {
+			gathered[i] = buf[i*c.stride]
+		}
+		want := Transform(gathered)
+		got := make([]complex128, c.n)
+		TransformStrided(got, buf, c.n, c.stride)
+		for i := range want {
+			if !approxEqual(got[i], want[i], 1e-10*float64(c.n)) {
+				t.Fatalf("n=%d stride=%d mismatch at %d", c.n, c.stride, i)
+			}
+		}
+	}
+}
+
+func TestCheckVectorNaiveGeometricSum(t *testing.T) {
+	// (rA)_j must equal the geometric sum Σ_t (ω3 ω_n^j)^t; cross-check
+	// against fresh accumulation in a different order.
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		ra := CheckVectorNaive(n)
+		for j := 0; j < n; j++ {
+			q := omega3(1) * Omega(n, j)
+			term := complex128(1)
+			var sum complex128
+			for t := 0; t < n; t++ {
+				sum += term
+				term *= q
+			}
+			if !approxEqual(ra[j], sum, 1e-11*float64(n)) {
+				t.Fatalf("n=%d j=%d: %v vs %v", n, j, ra[j], sum)
+			}
+		}
+	}
+}
+
+func TestOmega3IsCubeRoot(t *testing.T) {
+	w := omega3(1)
+	if !approxEqual(w*w*w, 1, 1e-15) {
+		t.Fatalf("ω3³ = %v, want 1", w*w*w)
+	}
+	if !approxEqual(w, complex(-0.5, math.Sqrt(3)/2), 1e-15) {
+		t.Fatalf("ω3 = %v, want -1/2+√3/2 i", w)
+	}
+	if !approxEqual(omega3(2), cmplx.Conj(w), 1e-15) {
+		t.Fatalf("ω3² should be conj(ω3)")
+	}
+	if !approxEqual(omega3(-1), omega3(2), 1e-15) {
+		t.Fatalf("negative powers should wrap")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func fmtSscanf(s, format string, args ...any) (int, error) {
+	return fmt.Sscanf(s, format, args...)
+}
+
+// smallOpts keeps every experiment affordable inside the test suite.
+func smallOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Sizes:     []int{1 << 12, 1 << 13},
+		ParallelN: 1 << 14,
+		WeakBase:  1 << 12,
+		Ranks:     []int{2, 4},
+		Runs:      1,
+		FaultRuns: 10,
+		Out:       buf,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, name := range Names() {
+		var buf bytes.Buffer
+		if err := Run(name, smallOpts(&buf)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "===") {
+			t.Errorf("%s: no banner in output:\n%s", name, out)
+		}
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+			t.Errorf("%s: suspiciously short output:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := Run("fig99", smallOpts(&bytes.Buffer{})); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable5ShapeOnlineBeatsOffline(t *testing.T) {
+	// The central numerical-stability claim: online detects magnitudes at
+	// least 100× smaller than offline (paper: 1e-7 vs 1e-2 at 2^25).
+	var buf bytes.Buffer
+	o := smallOpts(&buf)
+	o.Sizes = []int{1 << 14}
+	if err := Table5(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var offE1, onE1 string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 4 && f[0] == "Offline" {
+			offE1 = f[1]
+		}
+		if len(f) == 4 && f[0] == "Online" {
+			onE1 = f[1]
+		}
+	}
+	if offE1 == "" || onE1 == "" {
+		t.Fatalf("could not parse table:\n%s", out)
+	}
+	offExp := parseMag(t, offE1)
+	onExp := parseMag(t, onE1)
+	if onExp > offExp-2 {
+		t.Errorf("online (1e%d) should detect ≥100× smaller errors than offline (1e%d):\n%s", onExp, offExp, out)
+	}
+}
+
+func parseMag(t *testing.T, s string) int {
+	t.Helper()
+	var e int
+	if _, err := sscanf(s, "1e%d", &e); err != nil {
+		t.Fatalf("bad magnitude %q", s)
+	}
+	return e
+}
+
+func sscanf(s, format string, args ...any) (int, error) {
+	return fmtSscanf(s, format, args...)
+}
+
+func TestFig7aShapeOptOnlineCheapest(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts(&buf)
+	o.Sizes = []int{1 << 14}
+	o.Runs = 3
+	if err := Fig7a(o); err != nil {
+		t.Fatal(err)
+	}
+	// Parse the single data row: N, offline, opt-offline, cfto-online,
+	// opt-online.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	f := strings.Fields(lines[len(lines)-1])
+	if len(f) != 5 {
+		t.Fatalf("bad row: %q", lines[len(lines)-1])
+	}
+	vals := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := fmtSscanf(strings.TrimSuffix(f[i+1], "%"), "%f", &vals[i]); err != nil {
+			t.Fatalf("bad value %q", f[i+1])
+		}
+	}
+	offline, optOffline, naiveOnline, optOnline := vals[0], vals[1], vals[2], vals[3]
+	// The paper's qualitative claims (with generous slack for timing noise
+	// at these small sizes):
+	if optOffline > offline {
+		t.Errorf("Opt-Offline (%g%%) should beat Offline (%g%%)", optOffline, offline)
+	}
+	if naiveOnline < optOnline {
+		t.Errorf("naive online (%g%%) should cost more than Opt-Online (%g%%)", naiveOnline, optOnline)
+	}
+	if optOnline > offline {
+		t.Errorf("Opt-Online (%g%%) should beat naive Offline (%g%%)", optOnline, offline)
+	}
+}

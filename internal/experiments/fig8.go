@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ftfft/internal/fault"
+	"ftfft/internal/parallel"
+	"ftfft/internal/workload"
+)
+
+// Fig8a reproduces Fig. 8(a): parallel strong scaling at fixed N. Expected
+// shape: FT-FFTW > FFTW (checksum cost); the §6 optimizations close most of
+// the gap, so opt-FT-FFTW ≈ opt-FFTW.
+func Fig8a(o Options) error {
+	o = o.withDefaults()
+	header(o.Out, fmt.Sprintf("Fig 8(a) — strong scaling, execution time (ms), N=2^%d", log2(o.ParallelN)))
+	fmt.Fprintf(o.Out, "%-8s %12s %12s %12s %12s\n", "ranks", "FFTW", "FT-FFTW", "opt-FFTW", "opt-FT-FFTW")
+	for _, p := range o.Ranks {
+		if err := fig8Row(o, o.ParallelN, p, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig8b reproduces Fig. 8(b): weak scaling at fixed per-rank size.
+func Fig8b(o Options) error {
+	o = o.withDefaults()
+	header(o.Out, fmt.Sprintf("Fig 8(b) — weak scaling, execution time (ms), N/rank=2^%d", log2(o.WeakBase)))
+	fmt.Fprintf(o.Out, "%-8s %12s %12s %12s %12s\n", "N", "FFTW", "FT-FFTW", "opt-FFTW", "opt-FT-FFTW")
+	for _, p := range o.Ranks {
+		if err := fig8Row(o, o.WeakBase*p, p, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig8Row(o Options, n, p int, weak bool) error {
+	src := workload.Uniform(int64(n+p), n)
+	variants := []parallel.Config{
+		{},
+		{Protected: true},
+		{Optimized: true},
+		{Protected: true, Optimized: true},
+	}
+	if weak {
+		fmt.Fprintf(o.Out, "2^%-6d", log2(n))
+	} else {
+		fmt.Fprintf(o.Out, "%-8d", p)
+	}
+	for _, cfg := range variants {
+		d, err := timeParallel(n, p, cfg, src, o.Runs, nil)
+		if err != nil {
+			return fmt.Errorf("n=%d p=%d: %w", n, p, err)
+		}
+		fmt.Fprintf(o.Out, " %12.2f", float64(d)/float64(time.Millisecond))
+	}
+	fmt.Fprintln(o.Out)
+	return nil
+}
+
+// Table2 reproduces Table 2: strong-scaling opt-FT-FFTW under fault mixes.
+// Expected shape: all fault cases within noise of the fault-free run.
+func Table2(o Options) error {
+	o = o.withDefaults()
+	header(o.Out, fmt.Sprintf("Table 2 — strong scaling opt-FT-FFTW with faults (ms), N=2^%d", log2(o.ParallelN)))
+	fmt.Fprintf(o.Out, "%-26s", "Scheme")
+	for _, p := range o.Ranks {
+		fmt.Fprintf(o.Out, " %10s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(o.Out)
+	for _, mix := range faultMixes() {
+		fmt.Fprintf(o.Out, "%-26s", "Opt-FT-FFTW ("+mix.name+")")
+		for _, p := range o.Ranks {
+			n := o.ParallelN
+			src := workload.Uniform(int64(n+p), n)
+			d, err := timeParallel(n, p, parallel.Config{Protected: true, Optimized: true}, src, o.Runs, mix.faults)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(o.Out, " %10.2f", float64(d)/float64(time.Millisecond))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3: weak-scaling opt-FT-FFTW under fault mixes.
+func Table3(o Options) error {
+	o = o.withDefaults()
+	header(o.Out, fmt.Sprintf("Table 3 — weak scaling opt-FT-FFTW with faults (ms), N/rank=2^%d", log2(o.WeakBase)))
+	fmt.Fprintf(o.Out, "%-26s", "Scheme")
+	for _, p := range o.Ranks {
+		fmt.Fprintf(o.Out, " %10s", fmt.Sprintf("N=2^%d", log2(o.WeakBase*p)))
+	}
+	fmt.Fprintln(o.Out)
+	for _, mix := range faultMixes() {
+		fmt.Fprintf(o.Out, "%-26s", "Opt-FT-FFTW ("+mix.name+")")
+		for _, p := range o.Ranks {
+			n := o.WeakBase * p
+			src := workload.Uniform(int64(n+p), n)
+			d, err := timeParallel(n, p, parallel.Config{Protected: true, Optimized: true}, src, o.Runs, mix.faults)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(o.Out, " %10.2f", float64(d)/float64(time.Millisecond))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+type mix struct {
+	name   string
+	faults func() []fault.Fault
+}
+
+func faultMixes() []mix {
+	twoMem := func() []fault.Fault {
+		return []fault.Fault{
+			{Site: fault.SiteMessage, Rank: 0, Occurrence: 2, Index: -1, Mode: fault.AddConstant, Value: 5},
+			{Site: fault.SiteMessage, Rank: 1, Occurrence: 3, Index: -1, Mode: fault.AddConstant, Value: -4},
+		}
+	}
+	twoComp := func() []fault.Fault {
+		return []fault.Fault{
+			{Site: fault.SiteParallelFFT1, Rank: 0, Occurrence: 2, Index: -1, Mode: fault.AddConstant, Value: 3},
+			{Site: fault.SiteParallelFFT2, Rank: 1, Occurrence: 4, Index: -1, Mode: fault.AddConstant, Value: 6},
+		}
+	}
+	return []mix{
+		{"0", nil},
+		{"2m", twoMem},
+		{"2c", twoComp},
+		{"2m+2c", func() []fault.Fault { return append(twoMem(), twoComp()...) }},
+	}
+}
+
+func timeParallel(n, p int, cfg parallel.Config, src []complex128, reps int, faults func() []fault.Fault) (time.Duration, error) {
+	dst := make([]complex128, n)
+	in := make([]complex128, n)
+	return timeMedian(reps, func() error {
+		copy(in, src)
+		c := cfg
+		if faults != nil {
+			c.Injector = fault.NewSchedule(7, faults()...)
+		}
+		pl, err := parallel.NewPlan(n, p, c)
+		if err != nil {
+			return err
+		}
+		_, err = pl.Transform(dst, in)
+		return err
+	})
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ftfft/internal/core"
+	"ftfft/internal/fault"
+	"ftfft/internal/workload"
+)
+
+// Table1 reproduces the paper's Table 1: sequential execution time with
+// faults injected. The expected shape: Opt-Offline(1m) ≈ 2× Opt-Offline(0)
+// (a memory fault costs the offline scheme a full restart), while the online
+// scheme's time barely moves as faults accumulate (each costs one O(√N)
+// sub-FFT recomputation).
+func Table1(o Options) error {
+	o = o.withDefaults()
+	header(o.Out, "Table 1 — execution time (ms) with faults, sequential")
+	fmt.Fprintf(o.Out, "%-24s", "Scheme")
+	for _, n := range o.Sizes {
+		fmt.Fprintf(o.Out, " %10s", fmt.Sprintf("N=2^%d", log2(n)))
+	}
+	fmt.Fprintln(o.Out)
+
+	rows := []struct {
+		name   string
+		cfg    core.Config
+		faults func() []fault.Fault
+	}{
+		{"FFTW (0)", core.Config{Scheme: core.Plain}, nil},
+		{"Opt-Offline (0)", core.Config{Scheme: core.Offline, Variant: core.Optimized, MemoryFT: true}, nil},
+		{"Opt-Offline (1m)", core.Config{Scheme: core.Offline, Variant: core.Optimized, MemoryFT: true},
+			func() []fault.Fault {
+				return []fault.Fault{{Site: fault.SiteInputMemory, Rank: -1, Index: -1, Mode: fault.SetConstant, Value: 7}}
+			}},
+		{"Opt-Online (0)", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true}, nil},
+		{"Opt-Online (1c)", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true},
+			func() []fault.Fault {
+				return []fault.Fault{{Site: fault.SiteSubFFT1, Rank: -1, Occurrence: 2, Index: -1, Mode: fault.AddConstant, Value: 3}}
+			}},
+		{"Opt-Online (1m+1c)", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true},
+			func() []fault.Fault {
+				return []fault.Fault{
+					{Site: fault.SiteInputMemory, Rank: -1, Index: -1, Mode: fault.SetConstant, Value: 7},
+					{Site: fault.SiteSubFFT2, Rank: -1, Occurrence: 3, Index: -1, Mode: fault.AddConstant, Value: 3},
+				}
+			}},
+		{"Opt-Online (1m+2c)", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true},
+			func() []fault.Fault {
+				return []fault.Fault{
+					{Site: fault.SiteIntermediateMemory, Rank: -1, Index: -1, Mode: fault.AddConstant, Value: 7},
+					{Site: fault.SiteSubFFT1, Rank: -1, Occurrence: 5, Index: -1, Mode: fault.AddConstant, Value: 3},
+					{Site: fault.SiteSubFFT2, Rank: -1, Occurrence: 9, Index: -1, Mode: fault.AddConstant, Value: -4},
+				}
+			}},
+	}
+
+	for _, row := range rows {
+		fmt.Fprintf(o.Out, "%-24s", row.name)
+		for _, n := range o.Sizes {
+			src := workload.Uniform(int64(n), n)
+			d, err := timeFaulty(n, row.cfg, src, o.Runs, row.faults)
+			if err != nil {
+				return fmt.Errorf("%s N=%d: %w", row.name, n, err)
+			}
+			fmt.Fprintf(o.Out, " %10.2f", float64(d)/float64(time.Millisecond))
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// timeFaulty measures a scheme with a fresh fault schedule per repetition.
+func timeFaulty(n int, cfg core.Config, src []complex128, reps int, faults func() []fault.Fault) (time.Duration, error) {
+	dst := make([]complex128, n)
+	in := make([]complex128, n)
+	return timeMedian(reps, func() error {
+		copy(in, src)
+		c := cfg
+		if faults != nil {
+			c.Injector = fault.NewSchedule(42, faults()...)
+		}
+		tr, err := core.New(n, c)
+		if err != nil {
+			return err
+		}
+		_, err = tr.Transform(dst, in)
+		return err
+	})
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/fft"
+	"ftfft/internal/roundoff"
+	"ftfft/internal/workload"
+)
+
+// Table4 reproduces the paper's Table 4: observed maximum round-off checksum
+// difference vs. the §8 estimate, and the resulting throughput (fraction of
+// fault-free sub-FFTs whose difference stays below the threshold), for
+// U(-1,1) and N(0,1) inputs and for both decomposition layers. Expected
+// shape: Est ≥ Max (thresholds hold) with throughput ≈ 100%.
+func Table4(o Options) error {
+	o = o.withDefaults()
+	n := o.Sizes[0]
+	m, k, err := core.Split(n)
+	if err != nil {
+		return err
+	}
+	header(o.Out, fmt.Sprintf("Table 4 — round-off approximation, N=2^%d (m=%d, k=%d), %d runs", log2(n), m, k, o.FaultRuns))
+	fmt.Fprintf(o.Out, "%-10s %12s %12s %9s %12s %12s %9s\n",
+		"Input", "Max1", "Est1", "Thput1", "Max2", "Est2", "Thput2")
+
+	for _, dist := range []struct {
+		name   string
+		gen    func(seed int64, n int) []complex128
+		sigma0 float64
+	}{
+		{"U(-1,1)", workload.Uniform, 1 / 1.7320508075688772},
+		{"N(0,1)", workload.Normal, 1},
+	} {
+		max1, max2, below1, below2, total1, total2 := 0.0, 0.0, 0, 0, 0, 0
+		est1 := roundoff.EtaStage1(m, dist.sigma0)
+		est2 := roundoff.EtaStage2(k, m, dist.sigma0)
+		planM := fft.MustPlan(m, fft.Forward)
+		planK := fft.MustPlan(k, fft.Forward)
+		cm := checksum.CheckVector(m)
+		ck := checksum.CheckVector(k)
+		out := make([]complex128, m)
+		buf := make([]complex128, m)
+		colIn := make([]complex128, k)
+		colOut := make([]complex128, k)
+
+		for run := 0; run < o.FaultRuns; run++ {
+			x := dist.gen(int64(run), n)
+			// Stage 1: all k m-point sub-FFTs.
+			work := make([]complex128, n)
+			for i := 0; i < k; i++ {
+				for j := 0; j < m; j++ {
+					buf[j] = x[i+j*k]
+				}
+				cx := checksum.Dot(cm, buf)
+				planM.Execute(out, buf)
+				copy(work[i*m:], out)
+				d := cmplx.Abs(checksum.DotOmega3(out) - cx)
+				if d > max1 {
+					max1 = d
+				}
+				if d <= est1 {
+					below1++
+				}
+				total1++
+			}
+			// Stage 2: a sample of the m k-point column FFTs (with
+			// twiddles), to keep the experiment affordable.
+			for j := 0; j < m; j += maxI(1, m/16) {
+				for i := 0; i < k; i++ {
+					colIn[i] = work[i*m+j] * omegaTw(n, i*j)
+				}
+				cx := checksum.Dot(ck, colIn)
+				planK.Execute(colOut, colIn)
+				d := cmplx.Abs(checksum.DotOmega3(colOut) - cx)
+				if d > max2 {
+					max2 = d
+				}
+				if d <= est2 {
+					below2++
+				}
+				total2++
+			}
+		}
+		fmt.Fprintf(o.Out, "%-10s %12.3g %12.3g %8.2f%% %12.3g %12.3g %8.2f%%\n",
+			dist.name, max1, est1, 100*float64(below1)/float64(total1),
+			max2, est2, 100*float64(below2)/float64(total2))
+	}
+	return nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func omegaTw(n, k int) complex128 {
+	return omegaUnit(n, k)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/fft"
+	"ftfft/internal/roundoff"
+	"ftfft/internal/workload"
+)
+
+// Table5 reproduces the paper's Table 5: the minimal error magnitude each
+// scheme can detect, at three injection positions — e1 in the input after
+// checksum generation, e2 in the input of a second-layer FFT, e3 in the
+// final output. Expected shape: the online scheme detects magnitudes several
+// orders smaller than the offline scheme, because its verification units are
+// √N-sized (threshold conditioning scales as ε·n² with unit size n).
+func Table5(o Options) error {
+	o = o.withDefaults()
+	n := o.Sizes[0]
+	m, k, err := core.Split(n)
+	if err != nil {
+		return err
+	}
+	header(o.Out, fmt.Sprintf("Table 5 — minimal detectable error magnitude, N=2^%d", log2(n)))
+	fmt.Fprintf(o.Out, "%-10s %10s %10s %10s\n", "Scheme", "e1", "e2", "e3")
+
+	x := workload.Uniform(3, n)
+	sigma0 := 1 / math.Sqrt(3)
+
+	planN := fft.MustPlan(n, fft.Forward)
+	planM := fft.MustPlan(m, fft.Forward)
+	planK := fft.MustPlan(k, fft.Forward)
+	ran := checksum.CheckVector(n)
+	cm := checksum.CheckVector(m)
+	ck := checksum.CheckVector(k)
+	etaOff := roundoff.EtaOffline(n, sigma0)
+	eta1 := roundoff.EtaStage1(m, sigma0)
+	eta2 := roundoff.EtaStage2(k, m, sigma0)
+	etaOut := roundoff.EtaAccumulated(n, sigma0*math.Sqrt(float64(n)))
+
+	// Each detector returns whether an injected error of magnitude eps at a
+	// fixed position is detected by the given scheme's check.
+
+	// Offline e1: corrupt input after (rA)·x; verify at the end.
+	offE1 := func(eps float64) bool {
+		cx := checksum.Dot(ran, x)
+		bad := append([]complex128(nil), x...)
+		bad[n/7] += complex(eps, 0)
+		X := make([]complex128, n)
+		planN.Execute(X, bad)
+		return cmplx.Abs(checksum.DotOmega3(X)-cx) > etaOff
+	}
+	// Offline e2/e3: corrupt mid-computation or the output — the checksum
+	// difference at the final verification is the same magnitude, so the
+	// detector coincides with e3.
+	offE3 := func(eps float64) bool {
+		cx := checksum.Dot(ran, x)
+		X := make([]complex128, n)
+		planN.Execute(X, x)
+		X[n/7] += complex(eps, 0)
+		return cmplx.Abs(checksum.DotOmega3(X)-cx) > etaOff
+	}
+
+	// Online e1: corrupt a first-layer sub-input after its checksum.
+	onE1 := func(eps float64) bool {
+		buf := make([]complex128, m)
+		for j := 0; j < m; j++ {
+			buf[j] = x[j*k]
+		}
+		cx := checksum.Dot(cm, buf)
+		buf[m/7] += complex(eps, 0)
+		out := make([]complex128, m)
+		planM.Execute(out, buf)
+		return cmplx.Abs(checksum.DotOmega3(out)-cx) > eta1
+	}
+	// Online e2: corrupt a second-layer sub-input after its checksum.
+	onE2 := func(eps float64) bool {
+		buf := make([]complex128, k)
+		for i := 0; i < k; i++ {
+			buf[i] = x[i] * complex(math.Sqrt(float64(m)), 0) // stage-2 scale
+		}
+		cx := checksum.Dot(ck, buf)
+		buf[k/7] += complex(eps, 0)
+		out := make([]complex128, k)
+		planK.Execute(out, buf)
+		return cmplx.Abs(checksum.DotOmega3(out)-cx) > eta2
+	}
+	// Online e3: corrupt the final output; the whole-output memory pair
+	// (Fig. 3) is the detector.
+	onE3 := func(eps float64) bool {
+		X := make([]complex128, n)
+		planN.Execute(X, x)
+		w := checksum.Weights(n)
+		stored := checksum.GeneratePair(w, X)
+		X[n/7] += complex(eps, 0)
+		cur := checksum.GeneratePair(w, X)
+		return cmplx.Abs(stored.D1-cur.D1) > etaOut
+	}
+
+	fmt.Fprintf(o.Out, "%-10s %10s %10s %10s\n", "Offline",
+		fmtMag(minDetectable(offE1)), fmtMag(minDetectable(offE3)), fmtMag(minDetectable(offE3)))
+	fmt.Fprintf(o.Out, "%-10s %10s %10s %10s\n", "Online",
+		fmtMag(minDetectable(onE1)), fmtMag(minDetectable(onE2)), fmtMag(minDetectable(onE3)))
+	return nil
+}
+
+// minDetectable sweeps magnitudes 10^0 … 10^-16 and returns the smallest
+// detected one (+Inf when even 1.0 goes unnoticed).
+func minDetectable(detect func(eps float64) bool) float64 {
+	minMag := math.Inf(1)
+	for e := 0; e >= -16; e-- {
+		eps := math.Pow(10, float64(e))
+		if detect(eps) {
+			minMag = eps
+		} else {
+			break
+		}
+	}
+	return minMag
+}
+
+func fmtMag(v float64) string {
+	if math.IsInf(v, 1) {
+		return "undetected"
+	}
+	return fmt.Sprintf("1e%d", int(math.Round(math.Log10(v))))
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import "math"
+
+// omegaUnit returns ω_n^k = exp(-2πik/n) with symmetric reduction.
+func omegaUnit(n, k int) complex128 {
+	k %= n
+	if 2*k > n {
+		k -= n
+	} else if 2*k <= -n {
+		k += n
+	}
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	s, c := math.Sincos(ang)
+	return complex(c, s)
+}

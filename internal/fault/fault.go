@@ -1,0 +1,362 @@
+// Package fault provides the deterministic soft-error injector used to
+// evaluate every ABFT scheme in this repository. It mirrors the paper's own
+// methodology (§9.2.2): a computational fault is simulated by adding a
+// constant to an element produced by a computation, a memory fault by
+// overwriting (or bit-flipping) an element at rest between phases, and a
+// communication fault by corrupting a message in transit.
+//
+// Protected code declares injection *sites*; an Injector decides, per visit,
+// whether to corrupt. Schedules are deterministic so experiments are
+// reproducible, and every injection is recorded so tests can assert that a
+// fault actually fired before claiming it was corrected.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a fault by the paper's taxonomy.
+type Kind int
+
+const (
+	// Computational faults strike logic units during a computation.
+	Computational Kind = iota
+	// Memory faults strike data at rest between computations.
+	Memory
+	// Communication faults strike messages in transit (parallel scheme).
+	Communication
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Computational:
+		return "computational"
+	case Memory:
+		return "memory"
+	case Communication:
+		return "communication"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Site identifies a point in a protected algorithm where faults can strike.
+type Site int
+
+const (
+	// SiteSubFFT1 is the output of a first-layer (m-point) sub-FFT, before
+	// its checksum verification.
+	SiteSubFFT1 Site = iota
+	// SiteSubFFT2 is the output of a second-layer (k-point) sub-FFT.
+	SiteSubFFT2
+	// SiteFullFFT is the output of a whole FFT (offline scheme, before the
+	// single final verification).
+	SiteFullFFT
+	// SiteTwiddle is the result of the twiddle multiplication stage.
+	SiteTwiddle
+	// SiteInputMemory is the input array at rest, after input checksums
+	// were generated but before the data is consumed.
+	SiteInputMemory
+	// SiteIntermediateMemory is the k×m intermediate at rest between the
+	// two ABFT layers.
+	SiteIntermediateMemory
+	// SiteOutputMemory is the output array at rest after computation but
+	// before the final verification.
+	SiteOutputMemory
+	// SiteMessage is a message payload in transit between ranks.
+	SiteMessage
+	// SiteParallelFFT1 is the output of a p-point sub-FFT in the parallel
+	// scheme's FFT1 stage.
+	SiteParallelFFT1
+	// SiteParallelFFT2 is a sub-FFT output inside the parallel scheme's
+	// FFT2 stage.
+	SiteParallelFFT2
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"subfft1", "subfft2", "fullfft", "twiddle", "input-memory",
+	"intermediate-memory", "output-memory", "message", "parallel-fft1",
+	"parallel-fft2",
+}
+
+func (s Site) String() string {
+	if s >= 0 && int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("Site(%d)", int(s))
+}
+
+// Mode selects how an element is corrupted.
+type Mode int
+
+const (
+	// AddConstant adds Value to the real part of the element — the paper's
+	// computational-fault model.
+	AddConstant Mode = iota
+	// SetConstant overwrites the element with Value — the paper's
+	// memory-fault model.
+	SetConstant
+	// BitFlip flips bit Bit (0..63) of the real part's IEEE-754
+	// representation — the Table 6 fault model.
+	BitFlip
+)
+
+func (m Mode) String() string {
+	switch m {
+	case AddConstant:
+		return "add-constant"
+	case SetConstant:
+		return "set-constant"
+	case BitFlip:
+		return "bit-flip"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Fault describes one scheduled injection.
+type Fault struct {
+	Kind Kind
+	Site Site
+	// Occurrence selects the Occurrence-th visit (1-based) of Site on a
+	// matching rank. Zero means the first visit.
+	Occurrence int
+	// Rank restricts injection to one rank in the parallel scheme;
+	// -1 matches any rank (and the sequential scheme, which visits with
+	// rank 0).
+	Rank int
+	// Index is the element to corrupt within the visited block; -1 picks a
+	// deterministic pseudo-random index.
+	Index int
+	Mode  Mode
+	// Value is the constant for AddConstant/SetConstant.
+	Value float64
+	// Bit is the bit position for BitFlip.
+	Bit int
+}
+
+// Record logs an injection that actually happened.
+type Record struct {
+	Fault Fault
+	Site  Site
+	Rank  int
+	Visit int
+	Index int
+	// Before and After are the corrupted element's value around injection.
+	Before complex128
+	After  complex128
+}
+
+// Injector decides at each site visit whether to corrupt the visited block.
+// Implementations must be safe for concurrent use (the parallel scheme
+// visits from many goroutines).
+type Injector interface {
+	// Visit may corrupt data in place. n and stride describe the logical
+	// block layout inside data (element i lives at data[i*stride]); rank
+	// is the visiting rank (0 in sequential code).
+	Visit(site Site, rank int, data []complex128, n, stride int) bool
+}
+
+// Visit is a nil-safe convenience wrapper.
+func Visit(inj Injector, site Site, rank int, data []complex128, n, stride int) bool {
+	if inj == nil {
+		return false
+	}
+	return inj.Visit(site, rank, data, n, stride)
+}
+
+// Schedule is the deterministic Injector used throughout the experiments.
+type Schedule struct {
+	mu      sync.Mutex
+	faults  []Fault
+	fired   []bool
+	nFired  int
+	allDone atomic.Bool
+	visits  map[visitKey]int
+	rng     *rand.Rand
+	records []Record
+
+	// Lock-free relevance filters: protected code visits sites on every
+	// sub-operation from every rank, and taking the mutex on visits that
+	// cannot possibly match a fault would serialize the parallel ranks and
+	// distort the timing experiments.
+	siteUnfired [numSites]atomic.Int32
+	siteAnyRank [numSites]bool
+	siteRanks   [numSites]map[int]bool
+}
+
+type visitKey struct {
+	site Site
+	rank int
+}
+
+// NewSchedule builds an injector that fires each fault exactly once at its
+// scheduled visit. seed drives random index selection.
+func NewSchedule(seed int64, faults ...Fault) *Schedule {
+	s := &Schedule{
+		faults: append([]Fault(nil), faults...),
+		fired:  make([]bool, len(faults)),
+		visits: make(map[visitKey]int),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	if len(faults) == 0 {
+		s.allDone.Store(true)
+	}
+	s.rebuildFilters()
+	return s
+}
+
+// rebuildFilters recomputes the lock-free relevance filters. Callers must
+// hold s.mu (or be the constructor).
+func (s *Schedule) rebuildFilters() {
+	for i := range s.siteUnfired {
+		s.siteUnfired[i].Store(0)
+		s.siteAnyRank[i] = false
+		s.siteRanks[i] = nil
+	}
+	for i, f := range s.faults {
+		if f.Site < 0 || int(f.Site) >= int(numSites) {
+			continue
+		}
+		if !s.fired[i] {
+			s.siteUnfired[f.Site].Add(1)
+		}
+		if f.Rank < 0 {
+			s.siteAnyRank[f.Site] = true
+		} else {
+			if s.siteRanks[f.Site] == nil {
+				s.siteRanks[f.Site] = make(map[int]bool)
+			}
+			s.siteRanks[f.Site][f.Rank] = true
+		}
+	}
+}
+
+// Visit implements Injector.
+func (s *Schedule) Visit(site Site, rank int, data []complex128, n, stride int) bool {
+	if s == nil || n == 0 {
+		return false
+	}
+	// Fast paths: all faults fired; no unfired fault at this site; or no
+	// fault at this site can match the visiting rank. Occurrence counts
+	// only matter for faults that could still match, so skipping the lock
+	// here cannot change which visit a fault fires on.
+	if s.allDone.Load() {
+		return false
+	}
+	if site >= 0 && int(site) < int(numSites) {
+		if s.siteUnfired[site].Load() == 0 {
+			return false
+		}
+		if !s.siteAnyRank[site] && !s.siteRanks[site][rank] {
+			return false
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Count this visit for the specific rank and for the any-rank key.
+	s.visits[visitKey{site, rank}]++
+	visit := s.visits[visitKey{site, rank}]
+	injected := false
+	for i, f := range s.faults {
+		if s.fired[i] || f.Site != site {
+			continue
+		}
+		if f.Rank >= 0 && f.Rank != rank {
+			continue
+		}
+		occ := f.Occurrence
+		if occ == 0 {
+			occ = 1
+		}
+		if visit != occ {
+			continue
+		}
+		idx := f.Index
+		if idx < 0 || idx >= n {
+			idx = s.rng.Intn(n)
+		}
+		pos := idx * stride
+		before := data[pos]
+		data[pos] = corrupt(before, f)
+		s.fired[i] = true
+		s.nFired++
+		s.siteUnfired[f.Site].Add(-1)
+		if s.nFired == len(s.faults) {
+			s.allDone.Store(true)
+		}
+		s.records = append(s.records, Record{
+			Fault: f, Site: site, Rank: rank, Visit: visit, Index: idx,
+			Before: before, After: data[pos],
+		})
+		injected = true
+	}
+	return injected
+}
+
+func corrupt(v complex128, f Fault) complex128 {
+	switch f.Mode {
+	case AddConstant:
+		return v + complex(f.Value, 0)
+	case SetConstant:
+		return complex(f.Value, 0)
+	case BitFlip:
+		bits := math.Float64bits(real(v))
+		bits ^= 1 << uint(f.Bit&63)
+		return complex(math.Float64frombits(bits), imag(v))
+	default:
+		return v
+	}
+}
+
+// Records returns a copy of the injection log.
+func (s *Schedule) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// FiredCount reports how many scheduled faults have fired.
+func (s *Schedule) FiredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// AllFired reports whether every scheduled fault has fired.
+func (s *Schedule) AllFired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.fired {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset re-arms all faults and clears counters and records, so one schedule
+// can be reused across benchmark iterations.
+func (s *Schedule) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.fired {
+		s.fired[i] = false
+	}
+	s.nFired = 0
+	s.allDone.Store(false)
+	s.visits = make(map[visitKey]int)
+	s.records = s.records[:0]
+	s.rebuildFilters()
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func block(n int) []complex128 {
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(float64(i), -float64(i))
+	}
+	return b
+}
+
+func TestScheduleFiresAtOccurrence(t *testing.T) {
+	s := NewSchedule(1, Fault{
+		Site: SiteSubFFT1, Occurrence: 3, Index: 2, Mode: AddConstant, Value: 10, Rank: -1,
+	})
+	data := block(8)
+	if s.Visit(SiteSubFFT1, 0, data, 8, 1) {
+		t.Fatal("fired on visit 1")
+	}
+	if s.Visit(SiteSubFFT1, 0, data, 8, 1) {
+		t.Fatal("fired on visit 2")
+	}
+	if !s.Visit(SiteSubFFT1, 0, data, 8, 1) {
+		t.Fatal("did not fire on visit 3")
+	}
+	if got := real(data[2]); got != 12 {
+		t.Fatalf("data[2] = %g, want 12", got)
+	}
+	// Fires exactly once.
+	if s.Visit(SiteSubFFT1, 0, data, 8, 1) {
+		t.Fatal("fired twice")
+	}
+	if !s.AllFired() {
+		t.Fatal("AllFired should be true")
+	}
+}
+
+func TestScheduleSiteAndRankFiltering(t *testing.T) {
+	s := NewSchedule(1,
+		Fault{Site: SiteTwiddle, Rank: 2, Index: 0, Mode: SetConstant, Value: 99},
+	)
+	data := block(4)
+	if s.Visit(SiteSubFFT1, 2, data, 4, 1) {
+		t.Fatal("wrong site fired")
+	}
+	if s.Visit(SiteTwiddle, 1, data, 4, 1) {
+		t.Fatal("wrong rank fired")
+	}
+	if !s.Visit(SiteTwiddle, 2, data, 4, 1) {
+		t.Fatal("matching visit did not fire")
+	}
+	if data[0] != 99 {
+		t.Fatalf("data[0] = %v, want 99", data[0])
+	}
+}
+
+func TestPerRankVisitCountsAreIndependent(t *testing.T) {
+	// Occurrence counts are per (site, rank): rank 1's second visit fires
+	// even if rank 0 visited many times.
+	s := NewSchedule(1, Fault{Site: SiteMessage, Rank: 1, Occurrence: 2, Index: 0, Mode: AddConstant, Value: 1})
+	data := block(4)
+	for i := 0; i < 5; i++ {
+		s.Visit(SiteMessage, 0, data, 4, 1)
+	}
+	if s.Visit(SiteMessage, 1, data, 4, 1) {
+		t.Fatal("rank 1 visit 1 fired")
+	}
+	if !s.Visit(SiteMessage, 1, data, 4, 1) {
+		t.Fatal("rank 1 visit 2 did not fire")
+	}
+}
+
+func TestStridedInjection(t *testing.T) {
+	s := NewSchedule(1, Fault{Site: SiteInputMemory, Rank: -1, Index: 3, Mode: SetConstant, Value: 7})
+	data := block(20)
+	if !s.Visit(SiteInputMemory, 0, data, 5, 4) {
+		t.Fatal("did not fire")
+	}
+	if data[12] != 7 { // logical index 3, stride 4
+		t.Fatalf("data[12] = %v, want 7", data[12])
+	}
+}
+
+func TestBitFlipMode(t *testing.T) {
+	s := NewSchedule(1, Fault{Site: SiteOutputMemory, Rank: -1, Index: 0, Mode: BitFlip, Bit: 62})
+	data := []complex128{complex(1.5, 2.5)}
+	s.Visit(SiteOutputMemory, 0, data, 1, 1)
+	wantBits := math.Float64bits(1.5) ^ (1 << 62)
+	if got := math.Float64bits(real(data[0])); got != wantBits {
+		t.Fatalf("real bits = %#x, want %#x", got, wantBits)
+	}
+	if imag(data[0]) != 2.5 {
+		t.Fatal("imaginary part must be untouched")
+	}
+}
+
+func TestRandomIndexIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		s := NewSchedule(seed, Fault{Site: SiteSubFFT1, Rank: -1, Index: -1, Mode: AddConstant, Value: 1})
+		data := block(64)
+		s.Visit(SiteSubFFT1, 0, data, 64, 1)
+		recs := s.Records()
+		if len(recs) != 1 {
+			t.Fatalf("expected 1 record, got %d", len(recs))
+		}
+		return recs[0].Index
+	}
+	if run(42) != run(42) {
+		t.Fatal("same seed produced different indices")
+	}
+}
+
+func TestRecordsCaptureBeforeAfter(t *testing.T) {
+	s := NewSchedule(1, Fault{Site: SiteSubFFT2, Rank: -1, Index: 1, Mode: AddConstant, Value: 3})
+	data := block(4)
+	s.Visit(SiteSubFFT2, 0, data, 4, 1)
+	recs := s.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Before != complex(1, -1) || r.After != complex(4, -1) || r.Index != 1 {
+		t.Fatalf("bad record: %+v", r)
+	}
+}
+
+func TestResetReArms(t *testing.T) {
+	s := NewSchedule(1, Fault{Site: SiteSubFFT1, Rank: -1, Index: 0, Mode: AddConstant, Value: 1})
+	data := block(2)
+	if !s.Visit(SiteSubFFT1, 0, data, 2, 1) {
+		t.Fatal("first fire failed")
+	}
+	s.Reset()
+	if s.FiredCount() != 0 || len(s.Records()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if !s.Visit(SiteSubFFT1, 0, data, 2, 1) {
+		t.Fatal("did not fire after Reset")
+	}
+}
+
+func TestNilInjectorHelper(t *testing.T) {
+	data := block(4)
+	if Visit(nil, SiteSubFFT1, 0, data, 4, 1) {
+		t.Fatal("nil injector fired")
+	}
+}
+
+func TestConcurrentVisits(t *testing.T) {
+	s := NewSchedule(1, Fault{Site: SiteMessage, Rank: -1, Occurrence: 50, Index: 0, Mode: AddConstant, Value: 1})
+	var wg sync.WaitGroup
+	fires := make(chan bool, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := block(4)
+			for i := 0; i < 16; i++ {
+				if s.Visit(SiteMessage, 0, data, 4, 1) {
+					fires <- true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fires)
+	n := 0
+	for range fires {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("fault fired %d times, want exactly 1", n)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Computational.String() != "computational" || Memory.String() != "memory" ||
+		Communication.String() != "communication" {
+		t.Fatal("Kind.String broken")
+	}
+	if SiteSubFFT1.String() != "subfft1" || SiteMessage.String() != "message" {
+		t.Fatal("Site.String broken")
+	}
+	if AddConstant.String() != "add-constant" || BitFlip.String() != "bit-flip" {
+		t.Fatal("Mode.String broken")
+	}
+	if Kind(99).String() == "" || Site(99).String() == "" || Mode(99).String() == "" {
+		t.Fatal("unknown values must still stringify")
+	}
+}
+
+func TestOutOfRangeIndexFallsBackToRandom(t *testing.T) {
+	s := NewSchedule(3, Fault{Site: SiteSubFFT1, Rank: -1, Index: 1000, Mode: AddConstant, Value: 1})
+	data := block(8)
+	if !s.Visit(SiteSubFFT1, 0, data, 8, 1) {
+		t.Fatal("did not fire")
+	}
+	r := s.Records()[0]
+	if r.Index < 0 || r.Index >= 8 {
+		t.Fatalf("index %d out of range", r.Index)
+	}
+}

@@ -1,0 +1,120 @@
+package fft
+
+import "fmt"
+
+// bluestein implements the chirp-z transform, turning a DFT of arbitrary
+// size n into a circular convolution of power-of-two size M ≥ 2n-1, which the
+// radix-2/4 machinery handles. It is engaged by the planner for sizes with
+// prime factors larger than maxGenericRadix.
+//
+// Identity: with c_t = exp(sign·πi·t²/n),
+//
+//	X_j = c_j · Σ_k (x_k·c_k) · conj(c_{j-k})
+//
+// so X = c ⊙ (x⊙c ⊛ conj(c)), computed via three size-M transforms (one of
+// which is precomputed here).
+type bluestein struct {
+	n    int
+	m    int
+	sign Sign
+
+	chirp []complex128 // c_t for t in [0, n)
+	bq    []complex128 // forward transform of the padded conj-chirp kernel
+
+	fwd *Plan // size-m Forward plan
+	inv *Plan // size-m Inverse plan
+
+	bufs chan *blueBufs
+}
+
+type blueBufs struct {
+	a  []complex128
+	fa []complex128
+}
+
+func newBluestein(n int, sign Sign) (*bluestein, error) {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	b := &bluestein{n: n, m: m, sign: sign}
+	var err error
+	if b.fwd, err = NewPlan(m, Forward); err != nil {
+		return nil, fmt.Errorf("fft: bluestein(%d): %w", n, err)
+	}
+	if b.inv, err = NewPlan(m, Inverse); err != nil {
+		return nil, fmt.Errorf("fft: bluestein(%d): %w", n, err)
+	}
+
+	b.chirp = make([]complex128, n)
+	for t := 0; t < n; t++ {
+		// c_t = exp(sign·2πi·t²/(2n)); reduce t² mod 2n to stay accurate.
+		t2 := (t * t) % (2 * n)
+		b.chirp[t] = unitAngle(sign, t2, 2*n)
+	}
+
+	// Kernel: q_t = conj(c_t) at offsets 0..n-1 and mirrored at m-t for the
+	// negative lags of the convolution.
+	q := make([]complex128, m)
+	for t := 0; t < n; t++ {
+		cc := conj(b.chirp[t])
+		q[t] = cc
+		if t > 0 {
+			q[m-t] = cc
+		}
+	}
+	b.bq = make([]complex128, m)
+	b.fwd.Execute(b.bq, q)
+
+	b.bufs = make(chan *blueBufs, 4)
+	return b, nil
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// unitAngle returns exp(sign·2πi·k/n) without going through a Plan.
+func unitAngle(sign Sign, k, n int) complex128 {
+	p := Plan{sign: sign}
+	return p.omega(n, k)
+}
+
+func (b *bluestein) getBufs() *blueBufs {
+	select {
+	case bb := <-b.bufs:
+		return bb
+	default:
+		return &blueBufs{
+			a:  make([]complex128, b.m),
+			fa: make([]complex128, b.m),
+		}
+	}
+}
+
+func (b *bluestein) putBufs(bb *blueBufs) {
+	select {
+	case b.bufs <- bb:
+	default:
+	}
+}
+
+// transform computes the n-point DFT of the strided src into dst[0..n-1].
+func (b *bluestein) transform(dst, src []complex128, stride int) {
+	bb := b.getBufs()
+	a, fa := bb.a, bb.fa
+	for i := range a {
+		a[i] = 0
+	}
+	for t := 0; t < b.n; t++ {
+		a[t] = src[t*stride] * b.chirp[t]
+	}
+	b.fwd.Execute(fa, a)
+	for i := range fa {
+		fa[i] *= b.bq[i]
+	}
+	b.inv.Execute(a, fa)
+	scale := complex(1/float64(b.m), 0)
+	for j := 0; j < b.n; j++ {
+		dst[j] = a[j] * scale * b.chirp[j]
+	}
+	b.putBufs(bb)
+}

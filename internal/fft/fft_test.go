@@ -1,0 +1,334 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftfft/internal/dft"
+)
+
+func randomVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbs(a []complex128) float64 {
+	var m float64
+	for _, v := range a {
+		if d := cmplx.Abs(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// sizes covering every code path: powers of two (radix-4/2 mix), radix 3/5/7,
+// generic primes (11..31), Bluestein (37, 149), and composites of everything.
+var testSizes = []int{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32,
+	35, 36, 37, 45, 49, 60, 64, 77, 81, 97, 100, 105, 121, 128, 120, 149,
+	210, 243, 256, 289, 310, 512, 1000, 1024,
+}
+
+func TestExecuteMatchesDirectDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range testSizes {
+		p, err := NewPlan(n, Forward)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		x := randomVec(rng, n)
+		want := dft.Transform(x)
+		got := make([]complex128, n)
+		p.Execute(got, x)
+		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Errorf("n=%d: max diff %g > tol %g (factors %v)", n, d, tol, p.Factors())
+		}
+	}
+}
+
+func TestInverseMatchesDirectIDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 4, 9, 15, 16, 37, 64, 120, 128} {
+		p := MustPlan(n, Inverse)
+		x := randomVec(rng, n)
+		want := dft.Inverse(x)
+		got := make([]complex128, n)
+		p.Execute(got, x)
+		p.Scale(got)
+		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Errorf("n=%d inverse: max diff %g > tol %g", n, d, tol)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := testSizes[rng.Intn(len(testSizes))]
+		fw := MustPlan(n, Forward)
+		bw := MustPlan(n, Inverse)
+		x := randomVec(rng, n)
+		X := make([]complex128, n)
+		y := make([]complex128, n)
+		fw.Execute(X, x)
+		bw.Execute(y, X)
+		bw.Scale(y)
+		return maxAbsDiff(x, y) <= 1e-8*float64(n)*(1+maxAbs(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		p := MustPlan(n, Forward)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		x := randomVec(rng, n)
+		y := randomVec(rng, n)
+		z := make([]complex128, n)
+		for i := range z {
+			z[i] = a*x[i] + y[i]
+		}
+		X := make([]complex128, n)
+		Y := make([]complex128, n)
+		Z := make([]complex128, n)
+		p.Execute(X, x)
+		p.Execute(Y, y)
+		p.Execute(Z, z)
+		for j := range Z {
+			if cmplx.Abs(Z[j]-(a*X[j]+Y[j])) > 1e-8*float64(n)*(1+cmplx.Abs(Z[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		p := MustPlan(n, Forward)
+		x := randomVec(rng, n)
+		X := make([]complex128, n)
+		p.Execute(X, x)
+		var ein, eout float64
+		for i := range x {
+			ein += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			eout += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		return math.Abs(ein-eout/float64(n)) <= 1e-7*(1+ein)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeShiftTheorem(t *testing.T) {
+	// A circular shift by s multiplies bin j by ω_n^{j·s}.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{8, 12, 31, 64} {
+		p := MustPlan(n, Forward)
+		x := randomVec(rng, n)
+		s := 1 + rng.Intn(n-1)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i+s)%n]
+		}
+		X := make([]complex128, n)
+		Y := make([]complex128, n)
+		p.Execute(X, x)
+		p.Execute(Y, shifted)
+		for j := 0; j < n; j++ {
+			want := X[j] * dft.OmegaInv(n, j*s)
+			if cmplx.Abs(Y[j]-want) > 1e-9*float64(n)*(1+cmplx.Abs(want)) {
+				t.Fatalf("n=%d s=%d bin %d: got %v want %v", n, s, j, Y[j], want)
+			}
+		}
+	}
+}
+
+func TestExecuteStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := randomVec(rng, 4096)
+	for _, c := range []struct{ n, stride int }{
+		{16, 3}, {64, 7}, {15, 13}, {37, 2}, {128, 32}, {1, 5},
+	} {
+		p := MustPlan(c.n, Forward)
+		gathered := make([]complex128, c.n)
+		for i := 0; i < c.n; i++ {
+			gathered[i] = base[i*c.stride]
+		}
+		want := make([]complex128, c.n)
+		p.Execute(want, gathered)
+		got := make([]complex128, c.n)
+		p.ExecuteStrided(got, base, c.stride)
+		if d := maxAbsDiff(got, want); d > 1e-10*float64(c.n)*(1+maxAbs(want)) {
+			t.Errorf("n=%d stride=%d: diff %g", c.n, c.stride, d)
+		}
+	}
+}
+
+func TestExecuteDoesNotModifySource(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{16, 15, 37, 128} {
+		p := MustPlan(n, Forward)
+		x := randomVec(rng, n)
+		orig := append([]complex128(nil), x...)
+		dst := make([]complex128, n)
+		p.Execute(dst, x)
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatalf("n=%d: source modified at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestExecuteInPlacePow2MatchesOutOfPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024, 4096} {
+		p := MustPlan(n, Forward)
+		x := randomVec(rng, n)
+		want := make([]complex128, n)
+		p.Execute(want, x)
+		got := append([]complex128(nil), x...)
+		p.ExecuteInPlace(got)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("n=%d in-place: diff %g", n, d)
+		}
+	}
+}
+
+func TestExecuteInPlaceNonPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{6, 15, 37, 100} {
+		p := MustPlan(n, Forward)
+		x := randomVec(rng, n)
+		want := make([]complex128, n)
+		p.Execute(want, x)
+		got := append([]complex128(nil), x...)
+		p.ExecuteInPlace(got)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("n=%d in-place: diff %g", n, d)
+		}
+	}
+}
+
+func TestInPlaceInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	n := 512
+	fw := MustPlan(n, Forward)
+	bw := MustPlan(n, Inverse)
+	x := randomVec(rng, n)
+	buf := append([]complex128(nil), x...)
+	fw.ExecuteInPlace(buf)
+	bw.ExecuteInPlace(buf)
+	bw.Scale(buf)
+	if d := maxAbsDiff(buf, x); d > 1e-9*float64(n)*(1+maxAbs(x)) {
+		t.Fatalf("in-place round trip diff %g", d)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := NewPlan(0, Forward); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := NewPlan(-4, Forward); err == nil {
+		t.Error("expected error for n<0")
+	}
+	if _, err := NewPlan(8, Sign(3)); err == nil {
+		t.Error("expected error for bad sign")
+	}
+}
+
+func TestFactorsMultiplyToN(t *testing.T) {
+	for _, n := range testSizes {
+		p := MustPlan(n, Forward)
+		prod := 1
+		for _, f := range p.Factors() {
+			prod *= f
+		}
+		leaf := p.sizes[len(p.factors)]
+		if prod*leaf != n {
+			t.Errorf("n=%d: factors %v × leaf %d = %d", n, p.Factors(), leaf, prod*leaf)
+		}
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	// A single plan must be safe for concurrent Execute calls.
+	n := 256
+	p := MustPlan(n, Forward)
+	rng := rand.New(rand.NewSource(17))
+	x := randomVec(rng, n)
+	want := make([]complex128, n)
+	p.Execute(want, x)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			dst := make([]complex128, n)
+			for i := 0; i < 50; i++ {
+				p.Execute(dst, x)
+			}
+			if maxAbsDiff(dst, want) > 1e-10*float64(n) {
+				done <- errMismatch
+				return
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errType{}
+
+type errType struct{}
+
+func (errType) Error() string { return "concurrent execute mismatch" }
+
+func TestBluesteinLargePrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, n := range []int{37, 41, 149, 251, 509} {
+		p := MustPlan(n, Forward)
+		if p.blue == nil {
+			t.Fatalf("n=%d should use Bluestein", n)
+		}
+		x := randomVec(rng, n)
+		want := dft.Transform(x)
+		got := make([]complex128, n)
+		p.Execute(got, x)
+		if d := maxAbsDiff(got, want); d > 1e-8*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("n=%d Bluestein diff %g", n, d)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package fft is a from-scratch planned FFT engine, the stand-in for FFTW in
+// this reproduction. It provides:
+//
+//   - a planner that factors N into radix stages (4, 2, 3, 5, 7 and generic
+//     small primes) with per-stage precomputed twiddle tables;
+//   - a recursive mixed-radix Cooley-Tukey executor with specialized
+//     butterflies for radices 2, 3, 4 and 5 and a generic fallback;
+//   - Bluestein's chirp-z algorithm for sizes containing large prime factors;
+//   - an iterative, truly in-place radix-2 path for power-of-two sizes (used
+//     by the parallel in-place scheme, where "input is overwritten" matters);
+//   - strided input execution, which the two-layer ABFT decomposition relies
+//     on for its non-contiguous sub-FFTs.
+//
+// The engine is deterministic and allocation-free on the hot path (scratch
+// buffers are pooled per plan).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Sign selects the transform direction: the exponent of the kernel is
+// exp(sign·2πi/N). Forward uses -1 (engineering convention, matching the
+// paper's ω_N = exp(-2πi/N)); Inverse uses +1 and is unscaled.
+type Sign int
+
+const (
+	// Forward is the forward DFT direction.
+	Forward Sign = -1
+	// Inverse is the unscaled inverse DFT direction. Divide by N to invert
+	// a Forward transform exactly.
+	Inverse Sign = +1
+)
+
+// maxGenericRadix is the largest prime handled by the O(r²) generic
+// butterfly; larger prime factors switch the whole remaining size to
+// Bluestein's algorithm.
+const maxGenericRadix = 31
+
+// Plan holds the factorization and twiddle tables for transforms of a fixed
+// size and direction. Plans are safe for concurrent use by multiple
+// goroutines.
+type Plan struct {
+	n    int
+	sign Sign
+
+	// factors[i] is the radix of recursion level i; sizes[i] is the
+	// sub-transform size at level i (sizes[0] == n). sizes[len(factors)]
+	// is the leaf size: 1 normally, or the Bluestein remainder.
+	factors []int
+	sizes   []int
+
+	// tw[i] holds the inter-stage twiddles for level i: for n' = sizes[i],
+	// r = factors[i], m = n'/r, entry (t-1)*m + k2 is ω_{n'}^{sign·t·k2}
+	// for t in [1,r).
+	tw [][]complex128
+
+	// radixTw[i] holds ω_r^{sign·j} for j in [0,r) at level i, used by the
+	// generic butterfly.
+	radixTw [][]complex128
+
+	// blue is non-nil when the leaf size needs Bluestein's algorithm.
+	blue *bluestein
+
+	maxRadix int
+	scratch  sync.Pool // of []complex128, length maxRadix
+}
+
+// NewPlan creates a plan for size n and direction sign. n must be positive.
+func NewPlan(n int, sign Sign) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fft: size must be positive, got %d", n)
+	}
+	if sign != Forward && sign != Inverse {
+		return nil, fmt.Errorf("fft: sign must be Forward or Inverse, got %d", sign)
+	}
+	p := &Plan{n: n, sign: sign}
+	p.factorize()
+	p.buildTwiddles()
+	if leaf := p.sizes[len(p.factors)]; leaf > 1 {
+		b, err := newBluestein(leaf, sign)
+		if err != nil {
+			return nil, err
+		}
+		p.blue = b
+	}
+	if p.maxRadix < 1 {
+		p.maxRadix = 1
+	}
+	p.scratch.New = func() any {
+		s := make([]complex128, p.maxRadix)
+		return &s
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error; for use with known-good sizes.
+func MustPlan(n int, sign Sign) *Plan {
+	p, err := NewPlan(n, sign)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// N returns the transform size.
+func (p *Plan) N() int { return p.n }
+
+// Direction returns the plan's transform direction.
+func (p *Plan) Direction() Sign { return p.sign }
+
+// Factors returns a copy of the radix sequence chosen by the planner.
+func (p *Plan) Factors() []int {
+	out := make([]int, len(p.factors))
+	copy(out, p.factors)
+	return out
+}
+
+// factorize fills p.factors and p.sizes. It prefers radix 4, then 2, then
+// odd primes in increasing order; any remainder with a prime factor larger
+// than maxGenericRadix is left as a Bluestein leaf.
+func (p *Plan) factorize() {
+	n := p.n
+	p.sizes = append(p.sizes, n)
+	appendFactor := func(r int) {
+		p.factors = append(p.factors, r)
+		n /= r
+		p.sizes = append(p.sizes, n)
+		if r > p.maxRadix {
+			p.maxRadix = r
+		}
+	}
+	for n%4 == 0 {
+		appendFactor(4)
+	}
+	for n%2 == 0 {
+		appendFactor(2)
+	}
+	for f := 3; f <= maxGenericRadix; f += 2 {
+		for n%f == 0 {
+			appendFactor(f)
+		}
+	}
+	// Whatever remains is 1 or has only prime factors > maxGenericRadix;
+	// handled by Bluestein as a single leaf.
+}
+
+// buildTwiddles precomputes per-level twiddle tables.
+func (p *Plan) buildTwiddles() {
+	p.tw = make([][]complex128, len(p.factors))
+	p.radixTw = make([][]complex128, len(p.factors))
+	for i, r := range p.factors {
+		np := p.sizes[i]
+		m := np / r
+		tab := make([]complex128, (r-1)*m)
+		for t := 1; t < r; t++ {
+			for k2 := 0; k2 < m; k2++ {
+				tab[(t-1)*m+k2] = p.omega(np, t*k2)
+			}
+		}
+		p.tw[i] = tab
+		rt := make([]complex128, r)
+		for j := 0; j < r; j++ {
+			rt[j] = p.omega(r, j)
+		}
+		p.radixTw[i] = rt
+	}
+}
+
+// omega returns exp(sign·2πi·k/n).
+func (p *Plan) omega(n, k int) complex128 {
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	ang := float64(p.sign) * 2 * math.Pi * float64(k) / float64(n)
+	s, c := math.Sincos(ang)
+	return complex(c, s)
+}
+
+// Execute computes the transform of src into dst. dst and src must both have
+// length N and must not overlap (use ExecuteInPlace for in-place operation).
+// src is not modified.
+func (p *Plan) Execute(dst, src []complex128) {
+	p.ExecuteStrided(dst, src, 1)
+}
+
+// ExecuteStrided computes the transform of the N strided elements src[0],
+// src[stride], ..., src[(N-1)*stride] into the contiguous dst[0..N-1].
+// This is the primitive the decomposed ABFT sub-FFTs are built on.
+func (p *Plan) ExecuteStrided(dst, src []complex128, stride int) {
+	if len(dst) < p.n {
+		panic(fmt.Sprintf("fft: dst too short: %d < %d", len(dst), p.n))
+	}
+	if need := (p.n-1)*stride + 1; len(src) < need {
+		panic(fmt.Sprintf("fft: src too short for stride %d: %d < %d", stride, len(src), need))
+	}
+	sp := p.scratch.Get().(*[]complex128)
+	p.rec(dst[:p.n], src, stride, 0, *sp)
+	p.scratch.Put(sp)
+}
+
+// ExecuteInPlace transforms buf in place. For power-of-two sizes this uses
+// the iterative bit-reversal radix-2 path and allocates nothing of size N;
+// otherwise it round-trips through a pooled work buffer.
+func (p *Plan) ExecuteInPlace(buf []complex128) {
+	if len(buf) < p.n {
+		panic(fmt.Sprintf("fft: buffer too short: %d < %d", len(buf), p.n))
+	}
+	if isPow2(p.n) {
+		p.radix2InPlace(buf[:p.n])
+		return
+	}
+	work := make([]complex128, p.n)
+	p.Execute(work, buf)
+	copy(buf, work)
+}
+
+// Scale divides every element of buf by N; applying it after an Inverse plan
+// of a Forward transform restores the original vector.
+func (p *Plan) Scale(buf []complex128) {
+	inv := complex(1/float64(p.n), 0)
+	for i := range buf {
+		buf[i] *= inv
+	}
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

@@ -1,0 +1,74 @@
+package fft
+
+import "sync"
+
+// radix2State holds the lazily built tables for the iterative in-place
+// radix-2 path: a bit-reversal permutation and a half-size twiddle table.
+type radix2State struct {
+	once   sync.Once
+	rev    []int32
+	wTable []complex128 // wTable[j] = ω_n^{sign·j}, j in [0, n/2)
+}
+
+var radix2states sync.Map // map[radix2Key]*radix2State
+
+type radix2Key struct {
+	n    int
+	sign Sign
+}
+
+func (p *Plan) radix2state() *radix2State {
+	key := radix2Key{p.n, p.sign}
+	v, _ := radix2states.LoadOrStore(key, &radix2State{})
+	st := v.(*radix2State)
+	st.once.Do(func() {
+		n := p.n
+		st.rev = make([]int32, n)
+		shift := 1
+		for 1<<shift < n {
+			shift++
+		}
+		// Standard incremental bit-reversal construction.
+		for i := 1; i < n; i++ {
+			st.rev[i] = st.rev[i>>1]>>1 | int32(i&1)<<(shift-1)
+		}
+		st.wTable = make([]complex128, n/2)
+		for j := 0; j < n/2; j++ {
+			st.wTable[j] = p.omega(n, j)
+		}
+	})
+	return st
+}
+
+// radix2InPlace computes the transform of buf (length p.n, a power of two)
+// truly in place: O(1) auxiliary space beyond the shared per-size tables.
+// This is the path the parallel in-place scheme uses, where the algorithm's
+// defining property — the input is destroyed — must actually hold.
+func (p *Plan) radix2InPlace(buf []complex128) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	st := p.radix2state()
+	for i, r := range st.rev {
+		if int32(i) < r {
+			buf[i], buf[r] = buf[r], buf[i]
+		}
+	}
+	// Iterative decimation-in-time butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size // twiddle index stride into wTable
+		for start := 0; start < n; start += size {
+			idx := 0
+			for j := start; j < start+half; j++ {
+				w := st.wTable[idx]
+				idx += step
+				a := buf[j]
+				b := buf[j+half] * w
+				buf[j] = a + b
+				buf[j+half] = a - b
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package fft
+
+// rec computes the sizes[lvl]-point transform of the strided source into the
+// contiguous dst. It implements decimation-in-time Cooley-Tukey: with
+// n = r·m, the r sub-transforms over the residue classes src[t], src[t+r·s],
+// ... land contiguously in dst[t·m : (t+1)·m], then the combine pass applies
+// inter-stage twiddles and an r-point butterfly down each column k2,
+// producing dst[k1·m + k2] = Σ_t ω_n^{t·k2} Y_t[k2] ω_r^{t·k1} in place.
+func (p *Plan) rec(dst, src []complex128, stride, lvl int, scratch []complex128) {
+	n := p.sizes[lvl]
+	if lvl == len(p.factors) {
+		// Leaf: size 1 (plain copy) or a Bluestein remainder.
+		if n == 1 {
+			dst[0] = src[0]
+			return
+		}
+		p.blue.transform(dst, src, stride)
+		return
+	}
+	r := p.factors[lvl]
+	m := n / r
+
+	if m == 1 {
+		// Pure butterfly over the strided source; gather directly.
+		for t := 0; t < r; t++ {
+			dst[t] = src[t*stride]
+		}
+		p.butterflyInPlaceColumn(dst, 0, 1, r, lvl, scratch)
+		return
+	}
+
+	for t := 0; t < r; t++ {
+		p.rec(dst[t*m:(t+1)*m], src[t*stride:], stride*r, lvl+1, scratch)
+	}
+
+	tw := p.tw[lvl]
+	switch r {
+	case 2:
+		for k2 := 0; k2 < m; k2++ {
+			a := dst[k2]
+			b := dst[m+k2] * tw[k2]
+			dst[k2] = a + b
+			dst[m+k2] = a - b
+		}
+	case 4:
+		// ω_4^1 = sign·(-i): forward -i, inverse +i.
+		m2, m3 := 2*m, 3*m
+		if p.sign == Forward {
+			for k2 := 0; k2 < m; k2++ {
+				a := dst[k2]
+				b := dst[m+k2] * tw[k2]
+				c := dst[m2+k2] * tw[m+k2]
+				d := dst[m3+k2] * tw[m2+k2]
+				apc, amc := a+c, a-c
+				bpd, bmd := b+d, b-d
+				jbmd := complex(imag(bmd), -real(bmd)) // -i·(b-d)
+				dst[k2] = apc + bpd
+				dst[m+k2] = amc + jbmd
+				dst[m2+k2] = apc - bpd
+				dst[m3+k2] = amc - jbmd
+			}
+		} else {
+			for k2 := 0; k2 < m; k2++ {
+				a := dst[k2]
+				b := dst[m+k2] * tw[k2]
+				c := dst[m2+k2] * tw[m+k2]
+				d := dst[m3+k2] * tw[m2+k2]
+				apc, amc := a+c, a-c
+				bpd, bmd := b+d, b-d
+				jbmd := complex(-imag(bmd), real(bmd)) // +i·(b-d)
+				dst[k2] = apc + bpd
+				dst[m+k2] = amc + jbmd
+				dst[m2+k2] = apc - bpd
+				dst[m3+k2] = amc - jbmd
+			}
+		}
+	case 3:
+		w1, w2 := p.radixTw[lvl][1], p.radixTw[lvl][2]
+		m2 := 2 * m
+		for k2 := 0; k2 < m; k2++ {
+			a := dst[k2]
+			b := dst[m+k2] * tw[k2]
+			c := dst[m2+k2] * tw[m+k2]
+			dst[k2] = a + b + c
+			dst[m+k2] = a + w1*b + w2*c
+			dst[m2+k2] = a + w2*b + w1*c
+		}
+	case 5:
+		rt := p.radixTw[lvl]
+		m2, m3, m4 := 2*m, 3*m, 4*m
+		for k2 := 0; k2 < m; k2++ {
+			a := dst[k2]
+			b := dst[m+k2] * tw[k2]
+			c := dst[m2+k2] * tw[m+k2]
+			d := dst[m3+k2] * tw[m2+k2]
+			e := dst[m4+k2] * tw[m3+k2]
+			dst[k2] = a + b + c + d + e
+			dst[m+k2] = a + rt[1]*b + rt[2]*c + rt[3]*d + rt[4]*e
+			dst[m2+k2] = a + rt[2]*b + rt[4]*c + rt[1]*d + rt[3]*e
+			dst[m3+k2] = a + rt[3]*b + rt[1]*c + rt[4]*d + rt[2]*e
+			dst[m4+k2] = a + rt[4]*b + rt[3]*c + rt[2]*d + rt[1]*e
+		}
+	default:
+		for k2 := 0; k2 < m; k2++ {
+			scratch[0] = dst[k2]
+			for t := 1; t < r; t++ {
+				scratch[t] = dst[t*m+k2] * tw[(t-1)*m+k2]
+			}
+			p.genericButterfly(dst, k2, m, r, lvl, scratch)
+		}
+	}
+}
+
+// butterflyInPlaceColumn applies the r-point DFT to dst[base], dst[base+step],
+// ..., in place, using scratch of length ≥ r. No inter-stage twiddles are
+// applied (they are all 1 when m == 1).
+func (p *Plan) butterflyInPlaceColumn(dst []complex128, base, step, r, lvl int, scratch []complex128) {
+	for t := 0; t < r; t++ {
+		scratch[t] = dst[base+t*step]
+	}
+	rt := p.radixTw[lvl]
+	for k1 := 0; k1 < r; k1++ {
+		sum := scratch[0]
+		idx := 0
+		for t := 1; t < r; t++ {
+			idx += k1
+			if idx >= r {
+				idx -= r
+			}
+			sum += scratch[t] * rt[idx]
+		}
+		dst[base+k1*step] = sum
+	}
+}
+
+// genericButterfly computes the column butterfly for arbitrary radix r from
+// the pre-twiddled values in scratch[0..r-1]:
+//
+//	dst[k1·m + k2] = Σ_t scratch[t]·ω_r^{t·k1}
+func (p *Plan) genericButterfly(dst []complex128, k2, m, r, lvl int, scratch []complex128) {
+	rt := p.radixTw[lvl]
+	for k1 := 0; k1 < r; k1++ {
+		sum := scratch[0]
+		idx := 0
+		for t := 1; t < r; t++ {
+			idx += k1
+			if idx >= r {
+				idx -= r
+			}
+			sum += scratch[t] * rt[idx]
+		}
+		dst[k1*m+k2] = sum
+	}
+}

@@ -1,0 +1,232 @@
+// Package mpi is the message-passing substrate for the parallel FT-FFT
+// scheme — the stand-in for MPI on TIANHE-2. Ranks are goroutines inside one
+// process; point-to-point messages are copied through buffered channels with
+// tag matching, so the semantics the paper's Algorithm 3 relies on hold:
+//
+//   - Isend returns after the payload is captured (buffered send);
+//   - Irecv posts a receive that Wait completes, matching (source, tag);
+//   - messages carry the two per-block checksums of §5 so receivers can
+//     detect and repair single corrupted elements without retransmission;
+//   - an optional fault.Injector corrupts payloads in transit
+//     (fault.SiteMessage), emulating link soft errors.
+//
+// The runtime is deliberately simple but honest about data movement: every
+// send copies its payload, as a NIC would.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"ftfft/internal/fault"
+)
+
+// message is one tagged payload in flight.
+type message struct {
+	tag   int
+	data  []complex128
+	cs    [2]complex128 // per-block checksums (D1, D2); zero when unused
+	hasCS bool
+}
+
+// World owns the mailboxes of a p-rank communicator.
+type World struct {
+	p     int
+	inbox [][]chan message // inbox[dst][src]
+	inj   fault.Injector
+
+	barrier *barrier
+}
+
+// NewWorld creates a communicator with p ranks. inj, when non-nil, corrupts
+// message payloads in transit.
+func NewWorld(p int, inj fault.Injector) *World {
+	if p < 1 {
+		panic("mpi: world size must be ≥ 1")
+	}
+	w := &World{p: p, inj: inj, barrier: newBarrier(p)}
+	w.inbox = make([][]chan message, p)
+	for dst := 0; dst < p; dst++ {
+		w.inbox[dst] = make([]chan message, p)
+		for src := 0; src < p; src++ {
+			// Deep buffering: sends never block in this in-process model.
+			w.inbox[dst][src] = make(chan message, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Comm is one rank's endpoint. A Comm must be used by a single goroutine.
+type Comm struct {
+	w    *World
+	rank int
+	// pending holds messages popped while searching for a tag match.
+	pending [][]message
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.w.p }
+
+// Run spawns body on p ranks and waits for all of them; the first non-nil
+// error is returned.
+func Run(p int, inj fault.Injector, body func(c *Comm) error) error {
+	w := NewWorld(p, inj)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = body(w.Endpoint(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Endpoint returns rank r's Comm.
+func (w *World) Endpoint(r int) *Comm {
+	if r < 0 || r >= w.p {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.p))
+	}
+	return &Comm{w: w, rank: r, pending: make([][]message, w.p)}
+}
+
+// SendRequest tracks an in-flight send.
+type SendRequest struct{ done bool }
+
+// RecvRequest tracks a posted receive.
+type RecvRequest struct {
+	c     *Comm
+	src   int
+	tag   int
+	buf   []complex128
+	n     int
+	cs    [2]complex128
+	hasCS bool
+	done  bool
+}
+
+// Isend sends n elements of data to dst under tag, copying the payload (and
+// letting the world's injector corrupt the copy in transit). It never blocks
+// in this in-process model. cs carries the optional block checksums.
+func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRequest {
+	payload := make([]complex128, len(data))
+	copy(payload, data)
+	// The wire is where transit faults strike.
+	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, payload, len(payload), 1)
+	m := message{tag: tag, data: payload}
+	if cs != nil {
+		m.cs = *cs
+		m.hasCS = true
+	}
+	c.w.inbox[dst][c.rank] <- m
+	return &SendRequest{done: true}
+}
+
+// Send is a blocking send (buffered, so it completes immediately).
+func (c *Comm) Send(dst, tag int, data []complex128, cs *[2]complex128) {
+	c.Isend(dst, tag, data, cs)
+}
+
+// Irecv posts a receive of exactly len(buf) elements from src under tag.
+// Completion happens in Wait.
+func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
+	return &RecvRequest{c: c, src: src, tag: tag, buf: buf}
+}
+
+// Wait completes the receive, returning the sender's block checksums (if
+// any). It blocks until a matching message arrives.
+func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool) {
+	if r.done {
+		return r.cs, r.hasCS
+	}
+	c := r.c
+	// First scan messages already popped for other tags.
+	q := c.pending[r.src]
+	for i, m := range q {
+		if m.tag == r.tag {
+			copy(r.buf, m.data)
+			c.pending[r.src] = append(q[:i], q[i+1:]...)
+			r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+			return r.cs, r.hasCS
+		}
+	}
+	for {
+		m := <-c.w.inbox[c.rank][r.src]
+		if m.tag == r.tag {
+			copy(r.buf, m.data)
+			r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+			return r.cs, r.hasCS
+		}
+		c.pending[r.src] = append(c.pending[r.src], m)
+	}
+}
+
+// Recv is a blocking receive.
+func (c *Comm) Recv(src, tag int, buf []complex128) (cs [2]complex128, hasCS bool) {
+	return c.Irecv(src, tag, buf).Wait()
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.w.barrier.await() }
+
+// barrier is a reusable p-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	phase int
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.p {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}
+
+// TransposeSchedule returns the order in which rank visits its peers during
+// an all-to-all: for power-of-two p the XOR pairing (every step is a
+// disjoint pairing, the classic contention-free schedule), otherwise the
+// cyclic shift (rank+i) mod p.
+func TransposeSchedule(rank, p int) []int {
+	sched := make([]int, p)
+	if p&(p-1) == 0 {
+		for i := 0; i < p; i++ {
+			sched[i] = rank ^ i
+		}
+		return sched
+	}
+	for i := 0; i < p; i++ {
+		sched[i] = (rank + i) % p
+	}
+	return sched
+}

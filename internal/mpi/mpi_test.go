@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"ftfft/internal/fault"
+)
+
+func TestPointToPoint(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := []complex128{1, 2, 3}
+			c.Send(1, 7, data, nil)
+			return nil
+		}
+		buf := make([]complex128, 3)
+		c.Recv(0, 7, buf)
+		for i, want := range []complex128{1, 2, 3} {
+			if buf[i] != want {
+				return errors.New("payload mismatch")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []complex128{10}, nil)
+			c.Send(1, 2, []complex128{20}, nil)
+			return nil
+		}
+		b2 := make([]complex128, 1)
+		b1 := make([]complex128, 1)
+		c.Recv(0, 2, b2) // receive the later tag first
+		c.Recv(0, 1, b1)
+		if b1[0] != 10 || b2[0] != 20 {
+			return errors.New("tag matching failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumsTravelWithMessage(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			cs := [2]complex128{complex(5, 0), complex(6, 0)}
+			c.Send(1, 0, []complex128{1}, &cs)
+			return nil
+		}
+		buf := make([]complex128, 1)
+		cs, has := c.Recv(0, 0, buf)
+		if !has || cs[0] != 5 || cs[1] != 6 {
+			return errors.New("checksums lost in transit")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := []complex128{1}
+			req := c.Isend(1, 0, data, nil)
+			data[0] = 999 // mutate after send; receiver must see 1
+			_ = req
+			return nil
+		}
+		buf := make([]complex128, 1)
+		c.Recv(0, 0, buf)
+		if buf[0] != 1 {
+			return errors.New("send did not copy payload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllExchange(t *testing.T) {
+	p := 4
+	err := Run(p, nil, func(c *Comm) error {
+		// Rank r sends value r*10+dst to each dst.
+		for _, dst := range TransposeSchedule(c.Rank(), p) {
+			c.Send(dst, 3, []complex128{complex(float64(c.Rank()*10+dst), 0)}, nil)
+		}
+		for src := 0; src < p; src++ {
+			buf := make([]complex128, 1)
+			c.Recv(src, 3, buf)
+			want := complex(float64(src*10+c.Rank()), 0)
+			if buf[0] != want {
+				return errors.New("all-to-all mismatch")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	p := 8
+	counter := make(chan int, p*2)
+	err := Run(p, nil, func(c *Comm) error {
+		counter <- 1
+		c.Barrier()
+		// After the barrier every rank must have deposited its token.
+		if len(counter) < p {
+			return errors.New("barrier released early")
+		}
+		c.Barrier() // reusable
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeScheduleProperties(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 3, 6} {
+		for r := 0; r < p; r++ {
+			sched := TransposeSchedule(r, p)
+			seen := make(map[int]bool)
+			for _, dst := range sched {
+				if dst < 0 || dst >= p || seen[dst] {
+					t.Fatalf("p=%d rank=%d: bad schedule %v", p, r, sched)
+				}
+				seen[dst] = true
+			}
+			if sched[0] != r && p&(p-1) == 0 {
+				t.Fatalf("p=%d rank=%d: XOR schedule should start with self", p, r)
+			}
+		}
+	}
+	// XOR schedules are pairwise: at step i, rank a talks to a^i which talks
+	// back to a.
+	p := 8
+	for i := 0; i < p; i++ {
+		for a := 0; a < p; a++ {
+			b := TransposeSchedule(a, p)[i]
+			if TransposeSchedule(b, p)[i] != a {
+				t.Fatalf("XOR schedule not a pairing at step %d", i)
+			}
+		}
+	}
+}
+
+func TestMessageFaultInjection(t *testing.T) {
+	sched := fault.NewSchedule(1, fault.Fault{
+		Site: fault.SiteMessage, Rank: 0, Index: 1, Mode: fault.AddConstant, Value: 9,
+	})
+	err := Run(2, sched, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []complex128{1, 2, 3}, nil)
+			return nil
+		}
+		buf := make([]complex128, 3)
+		c.Recv(0, 0, buf)
+		if buf[1] != 11 {
+			return errors.New("transit fault not applied")
+		}
+		if buf[0] != 1 || buf[2] != 3 {
+			return errors.New("wrong elements corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.AllFired() {
+		t.Fatal("fault did not fire")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := Run(3, nil, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	w := NewWorld(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range endpoint should panic")
+		}
+	}()
+	w.Endpoint(5)
+}

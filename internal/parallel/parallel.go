@@ -1,0 +1,458 @@
+// Package parallel implements the paper's §5–§6: the six-step 1-D parallel
+// in-place FFT and its online ABFT protection, on top of the in-process
+// message-passing runtime (internal/mpi).
+//
+// Data layout, for N = p·q (q = N/p local points, b = q/p block size):
+//
+//	start   rank j owns x[j·q : (j+1)·q]
+//	tran1   rank j sends its block i to rank i  →  rank i holds
+//	        local[n2·b + t] = x[n2·q + i·b + t]           (n1 = i·b+t, n2)
+//	FFT1    b p-point FFTs over n2 (stride b), in place
+//	tran2   rank i sends block j2 to rank j2    →  rank j2 holds
+//	        local[n1] = Y_{n1}(j2) for all n1             (contiguous)
+//	TM      local[n1] ·= ω_N^{n1·j2}                      (DMR)
+//	FFT2    one q-point in-place FFT (core.InPlaceTransformer: two layers,
+//	        or three with a DMR middle layer when q = r·k², Fig. 5/6)
+//	tran3   rank j2 sends block b′ to rank b′   →  local adjust
+//	        out[t·p + j2] = block_{j2}[t]                 (strided scatter)
+//
+// Protection (Fig. 6): every transposed block travels with its two weighted
+// checksums and is verified (and single-element-repaired) on receipt; FFT1
+// sub-FFTs carry dual-use input checksums generated in one contiguous sweep;
+// the twiddle stage is DMR; FFT2 uses the in-place protected transformer.
+// The optimized variant pipelines checksum generation and verification with
+// communication (Algorithm 3) and fuses the MCV+TM+CMCG passes.
+package parallel
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sync"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/fault"
+	"ftfft/internal/fft"
+	"ftfft/internal/mpi"
+	"ftfft/internal/roundoff"
+)
+
+// Config parameterizes a parallel plan.
+type Config struct {
+	// Protected enables the online ABFT scheme (FT-FFTW); false is the
+	// plain parallel FFT (FFTW).
+	Protected bool
+	// Optimized enables the §6 optimizations: communication-computation
+	// overlap in the transposes and fused verification passes. It applies
+	// to both protected and unprotected runs (opt-FFTW / opt-FT-FFTW).
+	Optimized bool
+	// Injector corrupts data at fault sites (including messages in
+	// transit). Safe for concurrent use across ranks.
+	Injector fault.Injector
+	// EtaScale scales all detection thresholds; 0 means 1.
+	EtaScale float64
+	// MaxRetries caps per-unit recomputations; 0 means 3.
+	MaxRetries int
+}
+
+// Plan executes protected parallel forward FFTs of a fixed size on a fixed
+// number of ranks.
+type Plan struct {
+	n, p, q, b int
+	cfg        Config
+}
+
+// NewPlan validates the geometry: p must divide n, p must divide q = n/p,
+// and q must admit an in-place decomposition (k·r·k).
+func NewPlan(n, p int, cfg Config) (*Plan, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("parallel: need at least one rank, got %d", p)
+	}
+	if n%p != 0 {
+		return nil, fmt.Errorf("parallel: size %d not divisible by %d ranks", n, p)
+	}
+	q := n / p
+	if q%p != 0 {
+		return nil, fmt.Errorf("parallel: local size %d not divisible by %d (need p² | n)", q, p)
+	}
+	if p > 1 {
+		if _, err := fft.NewPlan(p, fft.Forward); err != nil {
+			return nil, err
+		}
+	}
+	// Validate that FFT2 has an in-place plan.
+	if _, err := core.NewInPlace(q, core.Config{Scheme: core.Plain}); err != nil {
+		return nil, err
+	}
+	return &Plan{n: n, p: p, q: q, b: q / p, cfg: cfg}, nil
+}
+
+// N returns the global transform size; P the number of ranks.
+func (pl *Plan) N() int { return pl.n }
+
+// P returns the number of ranks.
+func (pl *Plan) P() int { return pl.p }
+
+// Transform computes the forward DFT of src into dst using p ranks.
+// src and dst have length N; rank j reads src[j·q:(j+1)·q] and writes
+// dst[j·q:(j+1)·q] (shared-memory stand-ins for the distributed arrays).
+func (pl *Plan) Transform(dst, src []complex128) (core.Report, error) {
+	if len(dst) < pl.n || len(src) < pl.n {
+		return core.Report{}, fmt.Errorf("parallel: buffers too short for size %d", pl.n)
+	}
+	if pl.p == 1 {
+		return pl.sequentialFallback(dst, src)
+	}
+	reports := make([]core.Report, pl.p)
+	var mu sync.Mutex
+	err := mpi.Run(pl.p, pl.cfg.Injector, func(c *mpi.Comm) error {
+		rep, err := pl.rankBody(c, dst, src)
+		mu.Lock()
+		reports[c.Rank()] = rep
+		mu.Unlock()
+		return err
+	})
+	var total core.Report
+	for _, r := range reports {
+		total.Add(r)
+	}
+	return total, err
+}
+
+// sequentialFallback handles p = 1 with the in-place transformer.
+func (pl *Plan) sequentialFallback(dst, src []complex128) (core.Report, error) {
+	cfg := core.Config{Scheme: core.Plain}
+	if pl.cfg.Protected {
+		cfg = core.Config{
+			Scheme: core.Online, Variant: core.Optimized, MemoryFT: true,
+			Injector: pl.cfg.Injector, EtaScale: pl.cfg.EtaScale, MaxRetries: pl.cfg.MaxRetries,
+		}
+	}
+	tr, err := core.NewInPlace(pl.n, cfg)
+	if err != nil {
+		return core.Report{}, err
+	}
+	copy(dst[:pl.n], src[:pl.n])
+	return tr.Transform(dst[:pl.n])
+}
+
+const (
+	tagTran1 = 1
+	tagTran2 = 2
+	tagTran3 = 3
+)
+
+// rankBody is the per-rank six-step pipeline.
+func (pl *Plan) rankBody(c *mpi.Comm, dst, src []complex128) (core.Report, error) {
+	var rep core.Report
+	p, q, b := pl.p, pl.q, pl.b
+	rank := c.Rank()
+
+	local := make([]complex128, q)
+	recvBuf := make([]complex128, q)
+	copy(local, src[rank*q:(rank+1)*q])
+
+	sigma0 := roundoff.RMSStrided(local, minInt(q, 512), maxInt(1, q/512))
+	if sigma0 == 0 {
+		sigma0 = 1
+	}
+	etaScale := pl.cfg.EtaScale
+	if etaScale == 0 {
+		etaScale = 1
+	}
+
+	// ---- Transpose 1 ----
+	if err := pl.transpose(c, local, recvBuf, tagTran1, &rep, nil); err != nil {
+		return rep, err
+	}
+	local, recvBuf = recvBuf, local
+
+	// ---- FFT1: b p-point FFTs over stride b, in place, protected ----
+	if err := pl.fft1(c, local, sigma0, etaScale, &rep); err != nil {
+		return rep, err
+	}
+
+	// ---- Transpose 2 ----
+	if err := pl.transpose(c, local, recvBuf, tagTran2, &rep, nil); err != nil {
+		return rep, err
+	}
+	local, recvBuf = recvBuf, local
+
+	// ---- Twiddle ω_N^{n1·rank} (DMR) ----
+	pl.twiddleLocal(c, local, &rep)
+
+	// ---- FFT2: q-point in-place (two- or three-layer protected) ----
+	coreCfg := core.Config{Scheme: core.Plain}
+	if pl.cfg.Protected {
+		coreCfg = core.Config{
+			Scheme: core.Online, Variant: core.Optimized, MemoryFT: true,
+			Injector: pl.cfg.Injector, EtaScale: pl.cfg.EtaScale, MaxRetries: pl.cfg.MaxRetries,
+		}
+	}
+	fft2, err := core.NewInPlace(q, coreCfg)
+	if err != nil {
+		return rep, err
+	}
+	fft2.SetRank(rank)
+	r2, err := fft2.Transform(local)
+	rep.Add(r2)
+	if err != nil {
+		return rep, err
+	}
+
+	// ---- Transpose 3 + local adjustment ----
+	out := dst[rank*q : (rank+1)*q]
+	err = pl.transpose(c, local, nil, tagTran3, &rep, func(srcRank int, block []complex128) {
+		// out[t·p + srcRank] = block[t]: interleave by origin rank.
+		idx := srcRank
+		for t := 0; t < b; t++ {
+			out[idx] = block[t]
+			idx += p
+		}
+	})
+	return rep, err
+}
+
+// transpose performs the all-to-all block exchange. Blocks carry weighted
+// checksums when the plan is protected; receivers verify and repair single
+// corrupted elements. With cfg.Optimized the exchange is pipelined
+// (Algorithm 3): while waiting for peer i's block, peer i+1's send is
+// already posted and peer i-1's block is being verified and processed.
+//
+// If process is nil, the incoming block from rank s lands at dest[s·b:(s+1)·b];
+// otherwise process(s, block) consumes it (dest may then be nil).
+func (pl *Plan) transpose(c *mpi.Comm, send, dest []complex128, tag int, rep *core.Report, process func(int, []complex128)) error {
+	p, b := pl.p, pl.b
+	rank := c.Rank()
+	sched := mpi.TransposeSchedule(rank, p)
+	w := checksum.Weights(b)
+
+	makeCS := func(block []complex128) *[2]complex128 {
+		if !pl.cfg.Protected {
+			return nil
+		}
+		pr := checksum.GeneratePair(w, block)
+		return &[2]complex128{pr.D1, pr.D2}
+	}
+	handle := func(s int, block []complex128, cs [2]complex128, hasCS bool) error {
+		if pl.cfg.Protected && hasCS {
+			stored := checksum.Pair{D1: cs[0], D2: cs[1]}
+			cur := checksum.GeneratePair(w, block)
+			d := stored.Sub(cur)
+			// Same data, same summation order: clean transfers compare
+			// exactly; any difference is a transit/memory corruption.
+			if d.D1 != 0 || d.D2 != 0 {
+				rep.Detections++
+				j, ok := checksum.Locate(d, b)
+				if !ok {
+					return fmt.Errorf("parallel: rank %d: unrecoverable corruption in block from %d", rank, s)
+				}
+				block[j] += d.D1 / w[j]
+				rep.MemCorrections++
+			}
+		}
+		if process != nil {
+			process(s, block)
+		} else {
+			copy(dest[s*b:(s+1)*b], block)
+		}
+		return nil
+	}
+
+	if !pl.cfg.Optimized {
+		// Blocking transpose: send everything, then drain in order.
+		for _, dstRank := range sched {
+			blk := send[dstRank*b : (dstRank+1)*b]
+			c.Send(dstRank, tag, blk, makeCS(blk))
+		}
+		buf := make([]complex128, b)
+		for _, s := range sched {
+			cs, has := c.Recv(s, tag, buf)
+			if err := handle(s, buf, cs, has); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Pipelined transpose (Algorithm 3): double-buffered receives; checksum
+	// generation for the next send and verification of the previous block
+	// overlap the in-flight exchange.
+	rb1 := make([]complex128, b)
+	rb2 := make([]complex128, b)
+	var prevReq *mpi.RecvRequest
+	var prevSrc int
+	prevBuf := rb1
+	nextBuf := rb2
+	for i, peer := range sched {
+		blk := send[peer*b : (peer+1)*b]
+		cs := makeCS(blk) // generated while the previous exchange is in flight
+		c.Isend(peer, tag, blk, cs)
+		req := c.Irecv(peer, tag, nextBuf)
+		if prevReq != nil {
+			pcs, phas := prevReq.Wait()
+			if err := handle(prevSrc, prevBuf, pcs, phas); err != nil {
+				return err
+			}
+		}
+		prevReq, prevSrc = req, peer
+		prevBuf, nextBuf = nextBuf, prevBuf
+		_ = i
+	}
+	pcs, phas := prevReq.Wait()
+	return handle(prevSrc, prevBuf, pcs, phas)
+}
+
+// fft1 runs the b p-point sub-FFTs over stride b, in place, with dual-use
+// input checksums generated in one contiguous sweep and Fig. 4 backup-based
+// recovery.
+func (pl *Plan) fft1(c *mpi.Comm, local []complex128, sigma0, etaScale float64, rep *core.Report) error {
+	p, b := pl.p, pl.b
+	rank := c.Rank()
+	plan, err := fft.NewPlan(p, fft.Forward)
+	if err != nil {
+		return err
+	}
+	if !pl.cfg.Protected {
+		bufIn := make([]complex128, p)
+		bufOut := make([]complex128, p)
+		for t := 0; t < b; t++ {
+			gatherStride(bufIn, local[t:], p, b)
+			plan.Execute(bufOut, bufIn)
+			scatterStride(local[t:], bufOut, p, b)
+		}
+		return nil
+	}
+
+	cp := checksum.CheckVector(p)
+	eta := etaScale * roundoff.EtaStage1(p, sigma0)
+	maxRetries := pl.cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+
+	// CMCG: contiguous sweep accumulating one pair per sub-FFT.
+	pairs := make([]checksum.Pair, b)
+	for idx, v := range local {
+		n2 := idx / b
+		t := idx % b
+		wv := cp[n2] * v
+		pairs[t].D1 += wv
+		pairs[t].D2 += complex(float64(n2), 0) * wv
+	}
+
+	bufIn := make([]complex128, p)
+	bufOut := make([]complex128, p)
+	for t := 0; t < b; t++ {
+		gatherStride(bufIn, local[t:], p, b)
+		cx := pairs[t].D1
+		ok := false
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			plan.Execute(bufOut, bufIn)
+			fault.Visit(pl.cfg.Injector, fault.SiteParallelFFT1, rank, bufOut, p, 1)
+			diff := cmplx.Abs(checksum.DotOmega3(bufOut) - cx)
+			floor := relFloor(p, checksum.DotOmega3(bufOut), cx)
+			if diff <= eta+floor {
+				ok = true
+				break
+			}
+			rep.Detections++
+			// Postponed MCV: disambiguate input memory vs computation.
+			cur := checksum.GeneratePair(cp, bufIn)
+			d := pairs[t].Sub(cur)
+			if cmplx.Abs(d.D1) > eta {
+				if jj, located := checksum.Locate(d, p); located {
+					bufIn[jj] += d.D1 / cp[jj]
+					rep.MemCorrections++
+					continue
+				}
+				return fmt.Errorf("parallel: rank %d: unrecoverable FFT1 input corruption", rank)
+			}
+			rep.CompRecomputations++
+		}
+		if !ok {
+			return fmt.Errorf("parallel: rank %d: FFT1 retries exhausted", rank)
+		}
+		scatterStride(local[t:], bufOut, p, b)
+	}
+	return nil
+}
+
+// twiddleLocal applies local[n1] ·= ω_N^{n1·rank} with DMR when protected.
+func (pl *Plan) twiddleLocal(c *mpi.Comm, local []complex128, rep *core.Report) {
+	rank := c.Rank()
+	tw := make([]complex128, pl.q)
+	for n1 := 0; n1 < pl.q; n1++ {
+		tw[n1] = omegaN(pl.n, n1*rank)
+	}
+	if !pl.cfg.Protected {
+		for i := range local {
+			local[i] *= tw[i]
+		}
+		return
+	}
+	chunk := make([]complex128, minInt(pl.q, 1024))
+	for off := 0; off < pl.q; off += len(chunk) {
+		end := minInt(off+len(chunk), pl.q)
+		cpart := chunk[:end-off]
+		for i := range cpart {
+			cpart[i] = local[off+i] * tw[off+i]
+		}
+		fault.Visit(pl.cfg.Injector, fault.SiteTwiddle, rank, cpart, len(cpart), 1)
+		for i := range cpart {
+			v2 := local[off+i] * tw[off+i]
+			if cpart[i] != v2 {
+				rep.Detections++
+				v3 := local[off+i] * tw[off+i]
+				if v2 == v3 {
+					cpart[i] = v2
+				}
+				rep.TwiddleCorrections++
+			}
+		}
+		copy(local[off:end], cpart)
+	}
+}
+
+func relFloor(n int, a, b complex128) float64 {
+	return 64 * 2.220446049250313e-16 * sqrtf(n) * (cmplx.Abs(a) + cmplx.Abs(b))
+}
+
+func sqrtf(n int) float64 {
+	x := float64(n)
+	if x <= 0 {
+		return 0
+	}
+	// Newton is overkill; use the obvious.
+	return mathSqrt(x)
+}
+
+func gatherStride(dst, src []complex128, n, stride int) {
+	idx := 0
+	for j := 0; j < n; j++ {
+		dst[j] = src[idx]
+		idx += stride
+	}
+}
+
+func scatterStride(dst, src []complex128, n, stride int) {
+	idx := 0
+	for j := 0; j < n; j++ {
+		dst[idx] = src[j]
+		idx += stride
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

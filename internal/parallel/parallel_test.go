@@ -1,0 +1,254 @@
+package parallel
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ftfft/internal/dft"
+	"ftfft/internal/fault"
+)
+
+func randomVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbs(a []complex128) float64 {
+	var m float64
+	for _, v := range a {
+		if d := cmplx.Abs(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// geometries that satisfy p² | n and q = n/p in-place-splittable.
+var geoms = []struct{ n, p int }{
+	{64, 2},    // q=32: k=4,r=2
+	{256, 2},   // q=128: k=8,r=2
+	{256, 4},   // q=64: k=8,r=1
+	{1024, 4},  // q=256: k=16,r=1
+	{4096, 8},  // q=512: k=16,r=2
+	{4096, 16}, // q=256
+	{1024, 2},
+}
+
+func TestPlanGeometryValidation(t *testing.T) {
+	if _, err := NewPlan(100, 3, Config{}); err == nil {
+		t.Error("3 does not divide 100")
+	}
+	if _, err := NewPlan(32, 8, Config{}); err == nil {
+		t.Error("q=4 not divisible by p=8; plan must be rejected")
+	}
+	if _, err := NewPlan(0, 0, Config{}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	for _, g := range geoms {
+		if _, err := NewPlan(g.n, g.p, Config{}); err != nil {
+			t.Errorf("NewPlan(%d,%d): %v", g.n, g.p, err)
+		}
+	}
+}
+
+func TestParallelMatchesDFTAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range geoms {
+		x := randomVec(rng, g.n)
+		want := dft.Transform(x)
+		tol := 1e-8 * float64(g.n) * (1 + maxAbs(want))
+		for _, cfg := range []Config{
+			{},                                 // FFTW
+			{Optimized: true},                  // opt-FFTW
+			{Protected: true},                  // FT-FFTW
+			{Protected: true, Optimized: true}, // opt-FT-FFTW
+		} {
+			pl, err := NewPlan(g.n, g.p, cfg)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", g.n, g.p, err)
+			}
+			dst := make([]complex128, g.n)
+			src := append([]complex128(nil), x...)
+			rep, err := pl.Transform(dst, src)
+			if err != nil {
+				t.Fatalf("n=%d p=%d prot=%v opt=%v: %v (%+v)", g.n, g.p, cfg.Protected, cfg.Optimized, err, rep)
+			}
+			if cfg.Protected && !rep.Clean() {
+				t.Errorf("n=%d p=%d opt=%v: fault-free run not clean: %+v", g.n, g.p, cfg.Optimized, rep)
+			}
+			if d := maxAbsDiff(dst, want); d > tol {
+				t.Errorf("n=%d p=%d prot=%v opt=%v: diff %g > %g", g.n, g.p, cfg.Protected, cfg.Optimized, d, tol)
+			}
+		}
+	}
+}
+
+func TestParallelSingleRankFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 256
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	for _, protected := range []bool{false, true} {
+		pl, err := NewPlan(n, 1, Config{Protected: protected})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]complex128, n)
+		if _, err := pl.Transform(dst, x); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(dst, want); d > 1e-8*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("p=1 protected=%v: diff %g", protected, d)
+		}
+	}
+}
+
+func TestMessageFaultCorrectedInTransit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, p := 1024, 4
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	for _, optimized := range []bool{false, true} {
+		sched := fault.NewSchedule(7, fault.Fault{
+			Site: fault.SiteMessage, Rank: 2, Occurrence: 2, Index: -1,
+			Mode: fault.AddConstant, Value: 8,
+		})
+		pl, err := NewPlan(n, p, Config{Protected: true, Optimized: optimized, Injector: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]complex128, n)
+		src := append([]complex128(nil), x...)
+		rep, err := pl.Transform(dst, src)
+		if err != nil {
+			t.Fatalf("opt=%v: %v (%+v)", optimized, err, rep)
+		}
+		if !sched.AllFired() {
+			t.Fatalf("opt=%v: fault did not fire", optimized)
+		}
+		if rep.MemCorrections == 0 {
+			t.Errorf("opt=%v: expected in-transit correction, got %+v", optimized, rep)
+		}
+		if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+			t.Errorf("opt=%v: diff %g", optimized, d)
+		}
+	}
+}
+
+func TestFFT1ComputationalFaultRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, p := 1024, 4
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	sched := fault.NewSchedule(8, fault.Fault{
+		Site: fault.SiteParallelFFT1, Rank: 1, Occurrence: 5, Index: -1,
+		Mode: fault.AddConstant, Value: 3,
+	})
+	pl, _ := NewPlan(n, p, Config{Protected: true, Optimized: true, Injector: sched})
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	rep, err := pl.Transform(dst, src)
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() || rep.CompRecomputations == 0 {
+		t.Fatalf("fired=%v rep=%+v", sched.AllFired(), rep)
+	}
+	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestFFT2FaultRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, p := 4096, 8
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	sched := fault.NewSchedule(9, fault.Fault{
+		Site: fault.SiteParallelFFT2, Rank: 5, Occurrence: 11, Index: -1,
+		Mode: fault.AddConstant, Value: -6,
+	})
+	pl, _ := NewPlan(n, p, Config{Protected: true, Optimized: true, Injector: sched})
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	rep, err := pl.Transform(dst, src)
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() || rep.Clean() {
+		t.Fatalf("fired=%v rep=%+v", sched.AllFired(), rep)
+	}
+	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+// TestPaperTable2FaultMix reproduces the Table 2/3 mixes: two memory and two
+// computational faults spread across ranks, all recovered with negligible
+// extra work.
+func TestPaperTable2FaultMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, p := 4096, 8
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	sched := fault.NewSchedule(10,
+		fault.Fault{Site: fault.SiteMessage, Rank: 0, Occurrence: 3, Index: -1, Mode: fault.AddConstant, Value: 5},
+		fault.Fault{Site: fault.SiteMessage, Rank: 6, Occurrence: 7, Index: -1, Mode: fault.AddConstant, Value: -4},
+		fault.Fault{Site: fault.SiteParallelFFT1, Rank: 3, Occurrence: 2, Index: -1, Mode: fault.AddConstant, Value: 2},
+		fault.Fault{Site: fault.SiteParallelFFT2, Rank: 7, Occurrence: 4, Index: -1, Mode: fault.AddConstant, Value: 9},
+	)
+	pl, _ := NewPlan(n, p, Config{Protected: true, Optimized: true, Injector: sched})
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	rep, err := pl.Transform(dst, src)
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if sched.FiredCount() != 4 {
+		t.Fatalf("only %d/4 faults fired", sched.FiredCount())
+	}
+	if rep.Detections < 3 {
+		t.Errorf("expected ≥3 detections, got %+v", rep)
+	}
+	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("diff %g (%+v)", d, rep)
+	}
+}
+
+func TestUnprotectedSilentlyCorrupts(t *testing.T) {
+	// Sanity: the same transit fault without protection corrupts the output.
+	rng := rand.New(rand.NewSource(7))
+	n, p := 1024, 4
+	x := randomVec(rng, n)
+	want := dft.Transform(x)
+	sched := fault.NewSchedule(11, fault.Fault{
+		Site: fault.SiteMessage, Rank: 2, Occurrence: 2, Index: 0,
+		Mode: fault.SetConstant, Value: 999,
+	})
+	pl, _ := NewPlan(n, p, Config{Protected: false, Injector: sched})
+	dst := make([]complex128, n)
+	src := append([]complex128(nil), x...)
+	if _, err := pl.Transform(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.AllFired() {
+		t.Fatal("fault did not fire")
+	}
+	if maxAbsDiff(dst, want) < 1 {
+		t.Fatal("unprotected run should have been corrupted")
+	}
+}

@@ -1,0 +1,18 @@
+package parallel
+
+import "math"
+
+// omegaN returns ω_n^k = exp(-2πik/n) with symmetric argument reduction.
+func omegaN(n, k int) complex128 {
+	k %= n
+	if 2*k > n {
+		k -= n
+	} else if 2*k <= -n {
+		k += n
+	}
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	s, c := math.Sincos(ang)
+	return complex(c, s)
+}
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }

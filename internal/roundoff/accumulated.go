@@ -1,0 +1,16 @@
+package roundoff
+
+import "math"
+
+// EtaAccumulated returns the threshold for comparing two evaluations of the
+// same weighted sum over n terms of per-component deviation sigma computed
+// in *different* summation orders (the Fig. 3 incremental checksums and the
+// final whole-output verification). Partial sums random-walk to ≈√n·|x| and
+// every addition injects ≈ε·|partial|, so the cross-order difference is
+// bounded by ≈ε·n^{3/2}·σ; the 3σ rule with a factor-2 guard gives:
+//
+//	η = 6·ε·n^{3/2}·σ
+func EtaAccumulated(n int, sigma float64) float64 {
+	nf := float64(n)
+	return 6 * math.Exp2(-MantissaBits) * nf * math.Sqrt(nf) * sigma
+}

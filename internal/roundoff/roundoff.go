@@ -1,0 +1,128 @@
+// Package roundoff implements the paper's round-off analysis (§8): estimates
+// of the checksum-difference magnitude caused purely by floating-point
+// rounding, the η detection thresholds derived from them, and the throughput
+// model used to predict the false-alarm rate.
+//
+// Conventions follow Weinstein (1969) and Gentleman & Sande (1966), as the
+// paper does: σ_ε² = 0.21·2^{-2t} with t the mantissa width (52 for
+// float64), and the FFT noise-to-signal ratio σ_E²/σ_X² = 2σ_ε²·log₂N.
+package roundoff
+
+import "math"
+
+// MantissaBits is t for IEEE-754 binary64.
+const MantissaBits = 52
+
+// SigmaEps returns σ_ε, the rms error of one rounded floating-point
+// multiply/add: σ_ε² = 0.21·2^{-2t} (Gentleman & Sande's measurement).
+func SigmaEps() float64 {
+	return math.Sqrt(0.21) * math.Exp2(-MantissaBits)
+}
+
+// SubFFTNoiseSigma returns σ_e, the standard deviation of the round-off
+// error of one output element of an m-point FFT whose inputs are zero-mean
+// with standard deviation sigma0 (per element, per real/imaginary part):
+//
+//	σ_e = sqrt(2·m·σ₀²·σ_ε²·log₂m)
+//
+// (output variance m·σ₀² times the Weinstein noise-to-signal ratio).
+func SubFFTNoiseSigma(m int, sigma0 float64) float64 {
+	if m < 2 {
+		return 0
+	}
+	return math.Sqrt(2 * float64(m) * sigma0 * sigma0 * SigmaEps() * SigmaEps() * math.Log2(float64(m)))
+}
+
+// ChecksumNoiseSigma returns σ_roe, the paper's upper-bound estimate for the
+// standard deviation of the checksum difference |rX − (rA)x| of an m-point
+// sub-FFT: the m-term checksum summation amplifies the per-element round-off
+// by at most m (§8.1, "we use the upper-bound m·σ_e").
+func ChecksumNoiseSigma(m int, sigma0 float64) float64 {
+	return float64(m) * SubFFTNoiseSigma(m, sigma0)
+}
+
+// WeightConditioningSigma bounds the checksum error caused by the
+// ill-conditioned entries of the closed-form rA vector. Near j ≈ n/3 the
+// denominator 1-ω₃ω_n^j is as small as ≈2π/(3n), so the weight is O(n) and
+// its floating-point error is amplified to ≈√3·2ε·(3n/2π)² ≈ 0.79·ε·n².
+// Multiplied by a typical |x_j| ≈ 1.5σ₀ this dominates the fault-free
+// checksum difference for large n — and is precisely why the offline scheme
+// (one n-sized unit) can only detect errors orders of magnitude larger than
+// the online scheme (two √n-sized units); cf. the paper's Table 5.
+func WeightConditioningSigma(n int, sigma0 float64) float64 {
+	nf := float64(n)
+	return 1.2 * math.Exp2(-MantissaBits) * nf * nf * sigma0
+}
+
+// EtaStage1 returns η₁ for the first-layer m-point FFTs whose inputs have
+// per-component deviation sigma0: the paper's 3·√m·σ_roe term plus the
+// weight-conditioning floor.
+func EtaStage1(m int, sigma0 float64) float64 {
+	return 3 * (math.Sqrt(float64(m))*ChecksumNoiseSigma(m, sigma0) + WeightConditioningSigma(m, sigma0))
+}
+
+// EtaStage2 returns η₂ for the second-layer k-point FFTs.
+// Their inputs are first-layer outputs, with deviation √m·σ₀.
+func EtaStage2(k, m int, sigma0 float64) float64 {
+	s := math.Sqrt(float64(m)) * sigma0
+	return 3 * (math.Sqrt(float64(k))*ChecksumNoiseSigma(k, s) + WeightConditioningSigma(k, s))
+}
+
+// EtaOffline returns the threshold for the single offline verification of an
+// n-point FFT (the whole transform treated as one protected unit).
+func EtaOffline(n int, sigma0 float64) float64 {
+	return 3 * (math.Sqrt(float64(n))*ChecksumNoiseSigma(n, sigma0) + WeightConditioningSigma(n, sigma0))
+}
+
+// EtaMemory returns the threshold for a weighted memory-checksum comparison
+// over m elements of deviation sigma0 (§8.2): the summation's precision loss
+// has deviation ≈ m·σ₀·σ_ε; we keep the 3σ rule with a √m guard consistent
+// with the computational thresholds.
+func EtaMemory(m int, sigma0 float64) float64 {
+	return 3 * math.Sqrt(float64(m)) * float64(m) * sigma0 * SigmaEps() * 64
+}
+
+// Phi is the standard normal CDF.
+func Phi(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Throughput returns the paper's §8 model of expected throughput (fraction
+// of fault-free runs not flagged as faulty) for threshold eta when the
+// checksum difference has deviation sigma over an N-point unit:
+//
+//	throughput = 1 / (3 − 2Φ(η/(√N·σ)))
+func Throughput(eta float64, n int, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	z := eta / (math.Sqrt(float64(n)) * sigma)
+	return 1 / (3 - 2*Phi(z))
+}
+
+// RMS returns the root-mean-square of the real and imaginary components of
+// x — the empirical σ₀ fed into the η formulas when the input distribution
+// is not known a priori.
+func RMS(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(sum / float64(2*len(x)))
+}
+
+// RMSStrided is RMS over x[0], x[stride], ….
+func RMSStrided(x []complex128, n, stride int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for j := 0; j < n; j++ {
+		v := x[j*stride]
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(sum / float64(2*n))
+}

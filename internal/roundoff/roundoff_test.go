@@ -1,0 +1,146 @@
+package roundoff
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/fft"
+)
+
+func TestSigmaEps(t *testing.T) {
+	want := math.Sqrt(0.21) / (1 << 52)
+	if got := SigmaEps(); math.Abs(got-want) > want*1e-12 {
+		t.Fatalf("SigmaEps = %g, want %g", got, want)
+	}
+}
+
+func TestNoiseSigmaMonotonicInSize(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{2, 4, 16, 256, 4096} {
+		s := SubFFTNoiseSigma(m, 1)
+		if s <= prev {
+			t.Fatalf("SubFFTNoiseSigma not increasing at m=%d: %g <= %g", m, s, prev)
+		}
+		prev = s
+	}
+	if SubFFTNoiseSigma(1, 1) != 0 {
+		t.Fatal("m=1 should have zero FFT round-off")
+	}
+}
+
+func TestNoiseSigmaScalesWithSigma0(t *testing.T) {
+	a := SubFFTNoiseSigma(1024, 1)
+	b := SubFFTNoiseSigma(1024, 2)
+	if math.Abs(b-2*a) > 1e-20 {
+		t.Fatalf("σ_e should be linear in σ₀: %g vs %g", b, 2*a)
+	}
+}
+
+func TestPhi(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.841344746},
+		{2, 0.977249868},
+		{3, 0.998650102},
+		{-1, 0.158655254},
+	}
+	for _, c := range cases {
+		if got := Phi(c.z); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("Phi(%g) = %g, want %g", c.z, got, c.want)
+		}
+	}
+}
+
+func TestThroughputModel(t *testing.T) {
+	// η = 3√Nσ gives the paper's 0.997 theoretical throughput.
+	n := 1 << 20
+	sigma := 1.7e-13
+	eta := 3 * math.Sqrt(float64(n)) * sigma
+	got := Throughput(eta, n, sigma)
+	if math.Abs(got-0.99731) > 1e-3 {
+		t.Fatalf("throughput at 3σ = %g, want ≈0.997", got)
+	}
+	// Larger η → throughput → 1; zero η → 1/2.
+	if Throughput(100*eta, n, sigma) < got {
+		t.Fatal("throughput must increase with η")
+	}
+	if h := Throughput(0, n, sigma); math.Abs(h-0.5) > 1e-12 {
+		t.Fatalf("throughput at η=0 = %g, want 0.5", h)
+	}
+	if Throughput(1, n, 0) != 1 {
+		t.Fatal("zero σ must give throughput 1")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(-3, 4), complex(0, 5), complex(5, 0)}
+	if got := RMS(x); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMS = %g", got)
+	}
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) should be 0")
+	}
+	base := make([]complex128, 12)
+	for i := range base {
+		base[i] = complex(float64(i), 0)
+	}
+	gathered := []complex128{base[0], base[4], base[8]}
+	if math.Abs(RMSStrided(base, 3, 4)-RMS(gathered)) > 1e-12 {
+		t.Fatal("RMSStrided mismatch")
+	}
+	if RMSStrided(base, 0, 4) != 0 {
+		t.Fatal("RMSStrided n=0 should be 0")
+	}
+}
+
+// TestEtaBoundsRealRoundoff is the calibration test: for fault-free
+// sub-FFTs the observed checksum difference must stay below the η the
+// analysis prescribes, and η must not be absurdly loose (it must still
+// catch a 1e-6 injected error, cf. Table 5's online row).
+func TestEtaBoundsRealRoundoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{256, 1024, 4096} {
+		sigma0 := 1 / math.Sqrt(3) // U(-1,1) per-component deviation
+		eta := EtaStage1(m, sigma0)
+		plan := fft.MustPlan(m, fft.Forward)
+		ra := checksum.CheckVector(m)
+		out := make([]complex128, m)
+		var maxDiff float64
+		for run := 0; run < 50; run++ {
+			x := make([]complex128, m)
+			for i := range x {
+				x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			}
+			cx := checksum.Dot(ra, x)
+			plan.Execute(out, x)
+			rX := checksum.DotOmega3(out)
+			if d := cmplx.Abs(rX - cx); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > eta {
+			t.Errorf("m=%d: observed round-off %g exceeds η %g", m, maxDiff, eta)
+		}
+		if eta > 1e-6 {
+			t.Errorf("m=%d: η %g too loose to detect 1e-6 errors", m, eta)
+		}
+	}
+}
+
+func TestEtaStage2LargerThanStage1(t *testing.T) {
+	// Stage-2 inputs are √m larger, so η₂ > η₁ for comparable sizes.
+	m, k := 1024, 1024
+	if EtaStage2(k, m, 1) <= EtaStage1(m, 1) {
+		t.Fatal("η₂ should exceed η₁ for equal sizes")
+	}
+}
+
+func TestEtaMemoryPositiveAndTight(t *testing.T) {
+	eta := EtaMemory(4096, 1)
+	if eta <= 0 || eta > 1e-6 {
+		t.Fatalf("EtaMemory = %g out of sane range", eta)
+	}
+}

@@ -1,0 +1,80 @@
+// Package workload generates the deterministic input vectors used by tests,
+// examples and the paper-reproduction experiments: the U(-1,1) and N(0,1)
+// distributions of §9, plus structured signals (tones, chirps, impulse
+// trains) for the application examples.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Uniform returns n complex samples with real and imaginary parts drawn
+// independently from U(-1,1) — the paper's primary evaluation input.
+func Uniform(seed int64, n int) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+// Normal returns n complex samples with components drawn from N(0,1).
+func Normal(seed int64, n int) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// Tone is one sinusoidal component of a synthetic signal.
+type Tone struct {
+	// Bin is the DFT bin the tone lands on (cycles per record).
+	Bin int
+	// Amplitude scales the tone.
+	Amplitude float64
+	// Phase offsets the tone, in radians.
+	Phase float64
+}
+
+// Tones synthesizes n real-valued samples composed of the given tones plus
+// zero-mean Gaussian noise of the given standard deviation.
+func Tones(seed int64, n int, noise float64, tones ...Tone) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		var v float64
+		for _, tn := range tones {
+			v += tn.Amplitude * math.Cos(2*math.Pi*float64(tn.Bin)*float64(t)/float64(n)+tn.Phase)
+		}
+		if noise > 0 {
+			v += noise * rng.NormFloat64()
+		}
+		x[t] = complex(v, 0)
+	}
+	return x
+}
+
+// ImpulseTrain returns n samples with unit impulses every period samples —
+// a wide, flat spectrum that exercises every output bin.
+func ImpulseTrain(n, period int) []complex128 {
+	x := make([]complex128, n)
+	for t := 0; t < n; t += period {
+		x[t] = 1
+	}
+	return x
+}
+
+// GaussianPulse returns a Gaussian envelope centered at c with width sigma,
+// useful as a convolution kernel in the examples.
+func GaussianPulse(n, c int, sigma float64) []complex128 {
+	x := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		d := float64(t - c)
+		x[t] = complex(math.Exp(-d*d/(2*sigma*sigma)), 0)
+	}
+	return x
+}

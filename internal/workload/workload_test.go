@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ftfft/internal/dft"
+)
+
+func TestUniformRangeAndDeterminism(t *testing.T) {
+	a := Uniform(1, 1000)
+	b := Uniform(1, 1000)
+	c := Uniform(2, 1000)
+	diff := false
+	for i := range a {
+		if real(a[i]) < -1 || real(a[i]) > 1 || imag(a[i]) < -1 || imag(a[i]) > 1 {
+			t.Fatalf("sample %d out of range: %v", i, a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	x := Normal(3, 20000)
+	var mean, varr float64
+	for _, v := range x {
+		mean += real(v)
+	}
+	mean /= float64(len(x))
+	for _, v := range x {
+		d := real(v) - mean
+		varr += d * d
+	}
+	varr /= float64(len(x))
+	if math.Abs(mean) > 0.05 || math.Abs(varr-1) > 0.1 {
+		t.Fatalf("mean=%g var=%g", mean, varr)
+	}
+}
+
+func TestTonesSpectrum(t *testing.T) {
+	n := 256
+	x := Tones(4, n, 0, Tone{Bin: 10, Amplitude: 2})
+	X := dft.Transform(x)
+	// A real cosine at bin 10 puts energy n·A/2 at bins 10 and n-10.
+	want := float64(n) // 256·2/2
+	if cmplx.Abs(X[10]) < want*0.99 || cmplx.Abs(X[246]) < want*0.99 {
+		t.Fatalf("tone energy misplaced: |X[10]|=%g |X[246]|=%g", cmplx.Abs(X[10]), cmplx.Abs(X[246]))
+	}
+	for j := 0; j < n; j++ {
+		if j == 10 || j == 246 {
+			continue
+		}
+		if cmplx.Abs(X[j]) > 1e-9*float64(n) {
+			t.Fatalf("leakage at bin %d: %g", j, cmplx.Abs(X[j]))
+		}
+	}
+}
+
+func TestImpulseTrain(t *testing.T) {
+	x := ImpulseTrain(16, 4)
+	count := 0
+	for _, v := range x {
+		if v == 1 {
+			count++
+		} else if v != 0 {
+			t.Fatal("unexpected value")
+		}
+	}
+	if count != 4 {
+		t.Fatalf("expected 4 impulses, got %d", count)
+	}
+}
+
+func TestGaussianPulsePeak(t *testing.T) {
+	x := GaussianPulse(64, 32, 4)
+	if real(x[32]) != 1 {
+		t.Fatalf("peak = %v", x[32])
+	}
+	if real(x[0]) > 1e-10 {
+		t.Fatalf("tail too heavy: %v", x[0])
+	}
+}

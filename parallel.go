@@ -1,0 +1,64 @@
+package ftfft
+
+import (
+	"ftfft/internal/parallel"
+)
+
+// ParallelOptions configures a ParallelPlan.
+type ParallelOptions struct {
+	// Protected enables the online ABFT scheme across ranks (FT-FFTW);
+	// false runs the plain six-step parallel FFT (FFTW).
+	Protected bool
+	// Optimized enables the §6 optimizations — communication-computation
+	// overlap (Algorithm 3) and fused verification passes (opt-FFTW /
+	// opt-FT-FFTW).
+	Optimized bool
+	// Injector corrupts data at fault sites, including messages in
+	// transit. It must be safe for concurrent use (fault.Schedule is).
+	Injector Injector
+	// EtaScale scales detection thresholds; 0 means 1.
+	EtaScale float64
+	// MaxRetries caps per-unit recomputations; 0 means 3.
+	MaxRetries int
+}
+
+// ParallelPlan computes protected forward DFTs with the paper's §5 six-step
+// in-place parallel algorithm. Ranks are goroutines over an in-process
+// message-passing runtime; every transposed block travels with weighted
+// checksums, FFT1 sub-transforms carry dual-use input checksums, the twiddle
+// stage is DMR-protected, and FFT2 runs the in-place two/three-layer
+// protected transform (with a DMR middle layer when N/p = r·k²).
+type ParallelPlan struct {
+	pl *parallel.Plan
+}
+
+// NewParallelPlan creates a plan for n-point transforms over ranks workers.
+// Geometry requirements: ranks² must divide n (so transposes exchange equal
+// blocks) and n/ranks must factor as k·r·k² with small r — powers of two
+// always qualify.
+func NewParallelPlan(n, ranks int, opts ParallelOptions) (*ParallelPlan, error) {
+	pl, err := parallel.NewPlan(n, ranks, parallel.Config{
+		Protected:  opts.Protected,
+		Optimized:  opts.Optimized,
+		Injector:   opts.Injector,
+		EtaScale:   opts.EtaScale,
+		MaxRetries: opts.MaxRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelPlan{pl: pl}, nil
+}
+
+// N returns the global transform size.
+func (p *ParallelPlan) N() int { return p.pl.N() }
+
+// Ranks returns the number of workers.
+func (p *ParallelPlan) Ranks() int { return p.pl.P() }
+
+// Forward computes the forward DFT of src into dst (both length N). Rank j
+// owns the slices [j·N/p, (j+1)·N/p) of both arrays, mirroring the
+// distributed layout.
+func (p *ParallelPlan) Forward(dst, src []complex128) (Report, error) {
+	return p.pl.Transform(dst, src)
+}

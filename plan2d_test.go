@@ -1,0 +1,114 @@
+package ftfft_test
+
+import (
+	"testing"
+
+	"ftfft"
+	"ftfft/internal/dft"
+	"ftfft/internal/workload"
+)
+
+// direct2D is the O((rc)²) reference 2-D DFT.
+func direct2D(x []complex128, rows, cols int) []complex128 {
+	// Rows first…
+	tmp := make([]complex128, rows*cols)
+	for r := 0; r < rows; r++ {
+		copy(tmp[r*cols:], dft.Transform(x[r*cols:(r+1)*cols]))
+	}
+	// …then columns.
+	out := make([]complex128, rows*cols)
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = tmp[r*cols+c]
+		}
+		X := dft.Transform(col)
+		for r := 0; r < rows; r++ {
+			out[r*cols+c] = X[r]
+		}
+	}
+	return out
+}
+
+func Test2DForwardMatchesDirect(t *testing.T) {
+	for _, shape := range []struct{ rows, cols int }{
+		{16, 16}, {8, 32}, {64, 16},
+	} {
+		x := workload.Uniform(int64(shape.rows), shape.rows*shape.cols)
+		want := direct2D(x, shape.rows, shape.cols)
+		for _, prot := range []ftfft.Protection{ftfft.None, ftfft.OnlineABFTMemory} {
+			p, err := ftfft.NewPlan2D(shape.rows, shape.cols, ftfft.Options{Protection: prot})
+			if err != nil {
+				t.Fatalf("%dx%d %v: %v", shape.rows, shape.cols, prot, err)
+			}
+			dst := make([]complex128, len(x))
+			rep, err := p.Forward(dst, append([]complex128(nil), x...))
+			if err != nil || !rep.Clean() {
+				t.Fatalf("%dx%d %v: err=%v rep=%+v", shape.rows, shape.cols, prot, err, rep)
+			}
+			n := float64(len(x))
+			if d := maxAbsDiff(dst, want); d > 1e-8*n*(1+maxAbs(want)) {
+				t.Errorf("%dx%d %v: diff %g", shape.rows, shape.cols, prot, d)
+			}
+		}
+	}
+}
+
+func Test2DInverseRoundTrip(t *testing.T) {
+	rows, cols := 32, 64
+	x := workload.Normal(4, rows*cols)
+	p, err := ftfft.NewPlan2D(rows, cols, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([]complex128, rows*cols)
+	y := make([]complex128, rows*cols)
+	if _, err := p.Forward(X, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Inverse(y, X); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(y, x); d > 1e-9*float64(rows*cols)*(1+maxAbs(x)) {
+		t.Fatalf("2-D round trip diff %g", d)
+	}
+}
+
+func Test2DFaultRecovery(t *testing.T) {
+	rows, cols := 32, 32
+	x := workload.Uniform(5, rows*cols)
+	want := direct2D(x, rows, cols)
+	sched := ftfft.NewFaultSchedule(6,
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 7, Index: -1, Mode: ftfft.AddConstant, Value: 5},
+		ftfft.Fault{Site: ftfft.SiteInputMemory, Rank: ftfft.AnyRank, Occurrence: 3, Index: -1, Mode: ftfft.SetConstant, Value: 9},
+	)
+	p, err := ftfft.NewPlan2D(rows, cols, ftfft.Options{Protection: ftfft.OnlineABFTMemory, Injector: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, rows*cols)
+	rep, err := p.Forward(dst, append([]complex128(nil), x...))
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() || rep.Clean() {
+		t.Fatalf("fired=%v rep=%+v", sched.AllFired(), rep)
+	}
+	n := float64(rows * cols)
+	if d := maxAbsDiff(dst, want); d > 1e-7*n*(1+maxAbs(want)) {
+		t.Fatalf("2-D recovery diff %g (%+v)", d, rep)
+	}
+}
+
+func Test2DValidation(t *testing.T) {
+	if _, err := ftfft.NewPlan2D(0, 8, ftfft.Options{}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	p, _ := ftfft.NewPlan2D(8, 8, ftfft.Options{})
+	if r, c := p.Shape(); r != 8 || c != 8 {
+		t.Fatalf("Shape = %d,%d", r, c)
+	}
+	if _, err := p.Forward(make([]complex128, 10), make([]complex128, 64)); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}
