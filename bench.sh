@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper's benchmark families and record the results as a
+# dated JSON trajectory point (BENCH_<date>.json, via `go test -json`).
+#
+# Usage:
+#   ./bench.sh                 # full benchmark suite
+#   ./bench.sh 'Fig8a'         # one family
+#   BENCHTIME=5s ./bench.sh    # longer per-benchmark budget
+set -euo pipefail
+cd "$(dirname "$0")"
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-2s}"
+out="BENCH_$(date +%Y%m%d).json"
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . | tee "$out"
+echo "wrote $out" >&2

@@ -25,4 +25,20 @@
 // resilience claims are testable rather than aspirational; see the examples
 // and the experiments harness (cmd/ftexperiments), which regenerates every
 // table and figure of the paper's evaluation.
+//
+// # Plan once, execute many
+//
+// Like FFTW, plans front-load all derived state: FFT sub-plans, twiddle
+// tables, checksum weight vectors, the message-passing world and every
+// per-rank workspace buffer are built at NewPlan/NewParallelPlan time and
+// reused by every transform. Steady-state sequential transforms perform
+// zero allocations; parallel transforms allocate only the O(ranks) cost of
+// spawning rank goroutines.
+//
+// Plans are safe for concurrent use by multiple goroutines. Workspaces are
+// per-goroutine: a parallel plan keeps a pool of execution contexts (one
+// mpi world plus one workspace per rank), and each in-flight Transform
+// draws its own, so concurrent calls on one plan never share mutable state.
+// A context is returned to the pool only after a clean transform; contexts
+// that observed an uncorrectable fault are discarded rather than reused.
 package ftfft

@@ -1,0 +1,3 @@
+module ftfft
+
+go 1.24

@@ -1,0 +1,23 @@
+package fft
+
+import "testing"
+
+// TestExecuteInPlaceAllocs pins the pooled-work-buffer behaviour: steady-state
+// in-place execution must not allocate, for the iterative power-of-two path
+// and for the non-power-of-two path that round-trips through the plan's pool.
+func TestExecuteInPlaceAllocs(t *testing.T) {
+	for _, n := range []int{256, 360, 1000} { // 360 = 2³·3²·5, 1000 = 2³·5³
+		p := MustPlan(n, Forward)
+		buf := make([]complex128, n)
+		for i := range buf {
+			buf[i] = complex(float64(i%9)-4, float64(i%4)-2)
+		}
+		p.ExecuteInPlace(buf) // warm the pool
+		allocs := testing.AllocsPerRun(20, func() {
+			p.ExecuteInPlace(buf)
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d: ExecuteInPlace %v allocs/op, want 0", n, allocs)
+		}
+	}
+}

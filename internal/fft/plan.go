@@ -66,6 +66,11 @@ type Plan struct {
 
 	maxRadix int
 	scratch  sync.Pool // of []complex128, length maxRadix
+	work     sync.Pool // of []complex128, length n (non-power-of-two in-place path)
+
+	// r2 is the shared iterative radix-2 state, resolved at plan build time
+	// for power-of-two sizes so ExecuteInPlace does no lookup per call.
+	r2 *radix2State
 }
 
 // NewPlan creates a plan for size n and direction sign. n must be positive.
@@ -92,6 +97,13 @@ func NewPlan(n int, sign Sign) (*Plan, error) {
 	p.scratch.New = func() any {
 		s := make([]complex128, p.maxRadix)
 		return &s
+	}
+	p.work.New = func() any {
+		s := make([]complex128, p.n)
+		return &s
+	}
+	if isPow2(n) {
+		p.r2 = p.radix2state()
 	}
 	return p, nil
 }
@@ -213,9 +225,10 @@ func (p *Plan) ExecuteInPlace(buf []complex128) {
 		p.radix2InPlace(buf[:p.n])
 		return
 	}
-	work := make([]complex128, p.n)
-	p.Execute(work, buf)
-	copy(buf, work)
+	wp := p.work.Get().(*[]complex128)
+	p.Execute(*wp, buf)
+	copy(buf, *wp)
+	p.work.Put(wp)
 }
 
 // Scale divides every element of buf by N; applying it after an Inverse plan

@@ -17,9 +17,14 @@ type radix2Key struct {
 	sign Sign
 }
 
+// radix2state resolves the shared per-(size, direction) state. Called once
+// at plan build time; the hot path uses the cached Plan.r2 pointer.
 func (p *Plan) radix2state() *radix2State {
 	key := radix2Key{p.n, p.sign}
-	v, _ := radix2states.LoadOrStore(key, &radix2State{})
+	v, ok := radix2states.Load(key)
+	if !ok {
+		v, _ = radix2states.LoadOrStore(key, &radix2State{})
+	}
 	st := v.(*radix2State)
 	st.once.Do(func() {
 		n := p.n
@@ -49,7 +54,7 @@ func (p *Plan) radix2InPlace(buf []complex128) {
 	if n == 1 {
 		return
 	}
-	st := p.radix2state()
+	st := p.r2
 	for i, r := range st.rev {
 		if int32(i) < r {
 			buf[i], buf[r] = buf[r], buf[i]

@@ -11,7 +11,14 @@
 //     (fault.SiteMessage), emulating link soft errors.
 //
 // The runtime is deliberately simple but honest about data movement: every
-// send copies its payload, as a NIC would.
+// send copies its payload, as a NIC would. The copy lands in a pooled buffer
+// that is recycled once the matching receive completes, so a World in steady
+// state moves data without allocating.
+//
+// A World is built once and reused across any number of communication
+// rounds (the plan-once/execute-many contract): endpoints are created at
+// construction and Endpoint returns the same *Comm for a given rank every
+// time. A Comm must only ever be used by one goroutine at a time.
 package mpi
 
 import (
@@ -21,10 +28,16 @@ import (
 	"ftfft/internal/fault"
 )
 
+// payload is a pooled message body. Boxing the slice keeps the sync.Pool
+// round-trip allocation-free (the pool stores the same *payload forever).
+type payload struct {
+	data []complex128
+}
+
 // message is one tagged payload in flight.
 type message struct {
 	tag   int
-	data  []complex128
+	buf   *payload
 	cs    [2]complex128 // per-block checksums (D1, D2); zero when unused
 	hasCS bool
 }
@@ -35,7 +48,9 @@ type World struct {
 	inbox [][]chan message // inbox[dst][src]
 	inj   fault.Injector
 
-	barrier *barrier
+	barrier   *barrier
+	endpoints []*Comm
+	payloads  sync.Pool // of *payload, recycled by completed receives
 }
 
 // NewWorld creates a communicator with p ranks. inj, when non-nil, corrupts
@@ -45,6 +60,7 @@ func NewWorld(p int, inj fault.Injector) *World {
 		panic("mpi: world size must be ≥ 1")
 	}
 	w := &World{p: p, inj: inj, barrier: newBarrier(p)}
+	w.payloads.New = func() any { return new(payload) }
 	w.inbox = make([][]chan message, p)
 	for dst := 0; dst < p; dst++ {
 		w.inbox[dst] = make([]chan message, p)
@@ -53,11 +69,25 @@ func NewWorld(p int, inj fault.Injector) *World {
 			w.inbox[dst][src] = make(chan message, 64)
 		}
 	}
+	w.endpoints = make([]*Comm, p)
+	for r := 0; r < p; r++ {
+		w.endpoints[r] = &Comm{w: w, rank: r, pending: make([][]message, p)}
+	}
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
+
+// getPayload returns a pooled buffer holding exactly n elements.
+func (w *World) getPayload(n int) *payload {
+	pb := w.payloads.Get().(*payload)
+	if cap(pb.data) < n {
+		pb.data = make([]complex128, n)
+	}
+	pb.data = pb.data[:n]
+	return pb
+}
 
 // Comm is one rank's endpoint. A Comm must be used by a single goroutine.
 type Comm struct {
@@ -65,6 +95,8 @@ type Comm struct {
 	rank int
 	// pending holds messages popped while searching for a tag match.
 	pending [][]message
+	// freeReqs recycles completed RecvRequests (single-goroutine freelist).
+	freeReqs []*RecvRequest
 }
 
 // Rank returns this endpoint's rank id.
@@ -73,8 +105,9 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.w.p }
 
-// Run spawns body on p ranks and waits for all of them; the first non-nil
-// error is returned.
+// Run spawns body on p ranks of a fresh world and waits for all of them; the
+// first non-nil error is returned. Callers that transform repeatedly should
+// instead hold a World and drive its persistent Endpoints directly.
 func Run(p int, inj fault.Injector, body func(c *Comm) error) error {
 	w := NewWorld(p, inj)
 	errs := make([]error, p)
@@ -95,44 +128,51 @@ func Run(p int, inj fault.Injector, body func(c *Comm) error) error {
 	return nil
 }
 
-// Endpoint returns rank r's Comm.
+// Endpoint returns rank r's Comm. Repeated calls return the same endpoint;
+// its pending-message state persists across communication rounds.
 func (w *World) Endpoint(r int) *Comm {
 	if r < 0 || r >= w.p {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.p))
 	}
-	return &Comm{w: w, rank: r, pending: make([][]message, w.p)}
+	return w.endpoints[r]
 }
 
 // SendRequest tracks an in-flight send.
 type SendRequest struct{ done bool }
 
-// RecvRequest tracks a posted receive.
+// sendDone is the completed send: buffered sends finish inside Isend, so one
+// immutable request serves every send without allocating.
+var sendDone = &SendRequest{done: true}
+
+// RecvRequest tracks a posted receive. Wait must be called exactly once per
+// posted receive; after Wait returns, the request is recycled and must not
+// be touched again.
 type RecvRequest struct {
 	c     *Comm
 	src   int
 	tag   int
 	buf   []complex128
-	n     int
 	cs    [2]complex128
 	hasCS bool
 	done  bool
 }
 
-// Isend sends n elements of data to dst under tag, copying the payload (and
-// letting the world's injector corrupt the copy in transit). It never blocks
-// in this in-process model. cs carries the optional block checksums.
+// Isend sends len(data) elements of data to dst under tag, copying the
+// payload into a pooled buffer (and letting the world's injector corrupt the
+// copy in transit). It never blocks in this in-process model. cs carries the
+// optional block checksums.
 func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRequest {
-	payload := make([]complex128, len(data))
-	copy(payload, data)
+	pb := c.w.getPayload(len(data))
+	copy(pb.data, data)
 	// The wire is where transit faults strike.
-	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, payload, len(payload), 1)
-	m := message{tag: tag, data: payload}
+	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
+	m := message{tag: tag, buf: pb}
 	if cs != nil {
 		m.cs = *cs
 		m.hasCS = true
 	}
 	c.w.inbox[dst][c.rank] <- m
-	return &SendRequest{done: true}
+	return sendDone
 }
 
 // Send is a blocking send (buffered, so it completes immediately).
@@ -143,11 +183,30 @@ func (c *Comm) Send(dst, tag int, data []complex128, cs *[2]complex128) {
 // Irecv posts a receive of exactly len(buf) elements from src under tag.
 // Completion happens in Wait.
 func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
-	return &RecvRequest{c: c, src: src, tag: tag, buf: buf}
+	var r *RecvRequest
+	if k := len(c.freeReqs); k > 0 {
+		r = c.freeReqs[k-1]
+		c.freeReqs = c.freeReqs[:k-1]
+	} else {
+		r = new(RecvRequest)
+	}
+	*r = RecvRequest{c: c, src: src, tag: tag, buf: buf}
+	return r
+}
+
+// complete copies the matched message into the receive buffer, recycles the
+// payload and the request, and records the carried checksums.
+func (r *RecvRequest) complete(m message) {
+	copy(r.buf, m.buf.data)
+	r.c.w.payloads.Put(m.buf)
+	r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+	r.c.freeReqs = append(r.c.freeReqs, r)
 }
 
 // Wait completes the receive, returning the sender's block checksums (if
-// any). It blocks until a matching message arrives.
+// any). It blocks until a matching message arrives. Wait must be called at
+// most once per posted receive: completion returns the request to the
+// endpoint's freelist for reuse by a later Irecv.
 func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool) {
 	if r.done {
 		return r.cs, r.hasCS
@@ -157,17 +216,15 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool) {
 	q := c.pending[r.src]
 	for i, m := range q {
 		if m.tag == r.tag {
-			copy(r.buf, m.data)
 			c.pending[r.src] = append(q[:i], q[i+1:]...)
-			r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+			r.complete(m)
 			return r.cs, r.hasCS
 		}
 	}
 	for {
 		m := <-c.w.inbox[c.rank][r.src]
 		if m.tag == r.tag {
-			copy(r.buf, m.data)
-			r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+			r.complete(m)
 			return r.cs, r.hasCS
 		}
 		c.pending[r.src] = append(c.pending[r.src], m)

@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"testing"
+
+	"ftfft/internal/dft"
+)
+
+// TestTransformAllocs is the zero-allocation steady-state regression test:
+// after plan build, a sequential (p = 1) Plain transform must not allocate
+// at all, and a parallel transform may allocate only the O(p) cost of
+// spawning its rank goroutines.
+func TestTransformAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	const n = 1024
+	src := make([]complex128, n)
+	dst := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		pl, err := NewPlan(n, 1, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up once so lazy pool paths settle.
+		if _, err := pl.Transform(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := pl.Transform(dst, src); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("sequential Plain Transform: %v allocs/op, want 0", allocs)
+		}
+	})
+
+	for _, tc := range []struct {
+		name string
+		p    int
+		cfg  Config
+	}{
+		{"p2/plain", 2, Config{}},
+		{"p2/protected-opt", 2, Config{Protected: true, Optimized: true}},
+		{"p4/plain", 4, Config{}},
+		{"p4/protected", 4, Config{Protected: true}},
+		{"p4/optimized", 4, Config{Optimized: true}},
+		{"p4/protected-opt", 4, Config{Protected: true, Optimized: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := NewPlan(n, tc.p, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pl.Transform(dst, src); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := pl.Transform(dst, src); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// Budget: goroutine spawn and its closure per rank, plus slack
+			// for runtime-internal bookkeeping. Everything else — plans,
+			// twiddles, checksum vectors, buffers, the mpi world and its
+			// message payloads — must come from the plan.
+			budget := float64(4*tc.p + 4)
+			if allocs > budget {
+				t.Errorf("parallel Transform p=%d: %v allocs/op, want ≤ %v (goroutine spawn only)",
+					tc.p, allocs, budget)
+			}
+		})
+	}
+}
+
+// TestTransformRepeatable guards against stale workspace state: two
+// back-to-back Transforms on one plan must produce bit-identical, correct
+// output, for every protection variant, including interleaved use of two
+// distinct plans sharing nothing.
+func TestTransformRepeatable(t *testing.T) {
+	const n, p = 1024, 4
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64((i*31)%17)-8, float64((i*7)%13)-6)
+	}
+	want := dft.Transform(src)
+	tol := 1e-8 * float64(n) * (1 + maxAbs(want))
+
+	for _, cfg := range []Config{
+		{},
+		{Optimized: true},
+		{Protected: true},
+		{Protected: true, Optimized: true},
+	} {
+		pl, err := NewPlan(n, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst1 := make([]complex128, n)
+		dst2 := make([]complex128, n)
+		if _, err := pl.Transform(dst1, src); err != nil {
+			t.Fatalf("prot=%v opt=%v first: %v", cfg.Protected, cfg.Optimized, err)
+		}
+		if _, err := pl.Transform(dst2, src); err != nil {
+			t.Fatalf("prot=%v opt=%v second: %v", cfg.Protected, cfg.Optimized, err)
+		}
+		for i := range dst1 {
+			if dst1[i] != dst2[i] {
+				t.Fatalf("prot=%v opt=%v: outputs differ at %d: %v vs %v (stale workspace state)",
+					cfg.Protected, cfg.Optimized, i, dst1[i], dst2[i])
+			}
+		}
+		if d := maxAbsDiff(dst1, want); d > tol {
+			t.Fatalf("prot=%v opt=%v: diff %g > %g", cfg.Protected, cfg.Optimized, d, tol)
+		}
+	}
+}
+
+// TestTransformConcurrent exercises the execution-context pool: concurrent
+// Transforms on one plan must not interfere.
+func TestTransformConcurrent(t *testing.T) {
+	const n, p = 256, 2
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(float64(i%11)-5, float64(i%3)-1)
+	}
+	want := dft.Transform(src)
+	tol := 1e-8 * float64(n) * (1 + maxAbs(want))
+
+	pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			dst := make([]complex128, n)
+			for it := 0; it < 10; it++ {
+				if _, err := pl.Transform(dst, src); err != nil {
+					errc <- err
+					return
+				}
+				if d := maxAbsDiff(dst, want); d > tol {
+					errc <- errTooFar(d)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errTooFar float64
+
+func (e errTooFar) Error() string { return "concurrent transform diverged" }

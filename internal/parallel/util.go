@@ -14,5 +14,3 @@ func omegaN(n, k int) complex128 {
 	s, c := math.Sincos(ang)
 	return complex(c, s)
 }
-
-func mathSqrt(x float64) float64 { return math.Sqrt(x) }

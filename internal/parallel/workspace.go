@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/mpi"
+)
+
+// rankState is one rank's reusable workspace: every buffer the six-step
+// pipeline touches, sized once at plan build time so the steady-state hot
+// path performs no allocation. A rankState is owned by exactly one rank
+// goroutine for the duration of a Transform.
+type rankState struct {
+	comm  *mpi.Comm
+	fft2  *core.InPlaceTransformer // q-point protected FFT2, rank-tagged
+	sched []int                    // all-to-all peer visit order
+
+	local []complex128 // q: the rank's working vector
+	recv  []complex128 // q: transpose landing zone (swapped with local)
+
+	rb1, rb2 []complex128 // b: pipelined-transpose double buffers
+	blockBuf []complex128 // b: blocking-transpose receive buffer
+
+	pairs  []checksum.Pair // b: FFT1 dual-use input checksum pairs (CMCG)
+	bufOut []complex128    // p: FFT1 sub-FFT output staging
+	chunk  []complex128    // min(q,1024): DMR twiddle staging
+}
+
+// execCtx bundles everything one Transform invocation needs that cannot be
+// shared between concurrent invocations: the mpi.World (channel matrix and
+// in-flight payload pool), the per-rank workspaces and transformers, and the
+// per-rank result slots. Contexts are pooled on the Plan, so back-to-back
+// Transforms reuse one context and concurrent Transforms each get their own.
+type execCtx struct {
+	world *mpi.World
+	ranks []*rankState
+
+	seq *core.InPlaceTransformer // p == 1 fallback transformer
+
+	reports []core.Report
+	errs    []error
+}
+
+// coreConfig derives the FFT2 / sequential-fallback configuration from the
+// plan's protection settings.
+func (pl *Plan) coreConfig() core.Config {
+	if !pl.cfg.Protected {
+		return core.Config{Scheme: core.Plain}
+	}
+	return core.Config{
+		Scheme: core.Online, Variant: core.Optimized, MemoryFT: true,
+		Injector: pl.cfg.Injector, EtaScale: pl.cfg.EtaScale, MaxRetries: pl.cfg.MaxRetries,
+	}
+}
+
+// newCtx builds a complete execution context: world, endpoints, per-rank
+// transformers and workspaces. All construction-time work lives here.
+func (pl *Plan) newCtx() (*execCtx, error) {
+	ec := &execCtx{}
+	if pl.p == 1 {
+		tr, err := core.NewInPlace(pl.n, pl.coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		ec.seq = tr
+		return ec, nil
+	}
+	ec.world = mpi.NewWorld(pl.p, pl.cfg.Injector)
+	ec.ranks = make([]*rankState, pl.p)
+	ec.reports = make([]core.Report, pl.p)
+	ec.errs = make([]error, pl.p)
+	for r := 0; r < pl.p; r++ {
+		fft2, err := core.NewInPlace(pl.q, pl.coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		fft2.SetRank(r)
+		ec.ranks[r] = &rankState{
+			comm:     ec.world.Endpoint(r),
+			fft2:     fft2,
+			sched:    mpi.TransposeSchedule(r, pl.p),
+			local:    make([]complex128, pl.q),
+			recv:     make([]complex128, pl.q),
+			rb1:      make([]complex128, pl.b),
+			rb2:      make([]complex128, pl.b),
+			blockBuf: make([]complex128, pl.b),
+			pairs:    make([]checksum.Pair, pl.b),
+			bufOut:   make([]complex128, pl.p),
+			chunk:    make([]complex128, min(pl.q, 1024)),
+		}
+	}
+	return ec, nil
+}
+
+// maxPooledCtx bounds how many idle execution contexts a plan retains; it
+// caps steady-state memory at maxPooledCtx concurrent-Transform footprints.
+const maxPooledCtx = 4
+
+// getCtx pops a pooled context or builds a fresh one. An explicit freelist
+// (not a sync.Pool) is used so the steady-state single-caller path is
+// deterministically allocation-free across garbage collections.
+func (pl *Plan) getCtx() (*execCtx, error) {
+	pl.mu.Lock()
+	if k := len(pl.free); k > 0 {
+		ec := pl.free[k-1]
+		pl.free[k-1] = nil
+		pl.free = pl.free[:k-1]
+		pl.mu.Unlock()
+		return ec, nil
+	}
+	pl.mu.Unlock()
+	return pl.newCtx()
+}
+
+// putCtx returns a cleanly finished context to the pool. Contexts that saw
+// an error are dropped instead (their world may hold undelivered messages).
+func (pl *Plan) putCtx(ec *execCtx) {
+	pl.mu.Lock()
+	if len(pl.free) < maxPooledCtx {
+		pl.free = append(pl.free, ec)
+	}
+	pl.mu.Unlock()
+}
