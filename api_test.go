@@ -1,0 +1,174 @@
+package ftfft_test
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.txt from the current public surface")
+
+var spaces = regexp.MustCompile(`\s+`)
+
+// TestPublicAPIGolden pins the package's exported surface to
+// testdata/api.txt, so public-API changes are deliberate: any drift fails
+// this test until the golden file is regenerated with
+//
+//	go test -run TestPublicAPIGolden -update-api .
+//
+// and the diff reviewed like any other API change (a lightweight stand-in
+// for apidiff).
+func TestPublicAPIGolden(t *testing.T) {
+	got := strings.Join(publicSurface(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden API file (regenerate with -update-api): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface drifted from %s.\nRegenerate with -update-api and review the diff.\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// publicSurface parses the root package and renders one normalized line per
+// exported declaration (functions, methods on exported types, and full
+// type/const/var specs).
+func publicSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ftfft"]
+	if !ok {
+		t.Fatal("package ftfft not found")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+					continue
+				}
+				lines = append(lines, render(t, fset, &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, render(t, fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}}))
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								entry := d.Tok.String() + " " + name.Name
+								if s.Type != nil {
+									entry += " " + render(t, fset, s.Type)
+								}
+								lines = append(lines, entry)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// exportedRecv reports whether a method's receiver names an exported type
+// (nil receivers — plain functions — count as exported).
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil {
+		return true
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// render prints a stripped AST node as one whitespace-normalized line.
+func render(t *testing.T, fset *token.FileSet, node ast.Node) string {
+	t.Helper()
+	stripComments(node)
+	stripUnexportedFields(node)
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return spaces.ReplaceAllString(buf.String(), " ")
+}
+
+// stripUnexportedFields drops unexported struct fields: they are not part
+// of the public surface and would churn the golden file on internal
+// refactors.
+func stripUnexportedFields(node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		kept := st.Fields.List[:0]
+		for _, f := range st.Fields.List {
+			names := f.Names[:0]
+			for _, name := range f.Names {
+				if name.IsExported() {
+					names = append(names, name)
+				}
+			}
+			if len(f.Names) == 0 || len(names) > 0 {
+				f.Names = names
+				kept = append(kept, f)
+			}
+		}
+		st.Fields.List = kept
+		return true
+	})
+}
+
+// stripComments removes doc comments so the golden file tracks signatures,
+// not prose.
+func stripComments(node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field:
+			n.Doc, n.Comment = nil, nil
+		case *ast.TypeSpec:
+			n.Doc, n.Comment = nil, nil
+		case *ast.ValueSpec:
+			n.Doc, n.Comment = nil, nil
+		case *ast.GenDecl:
+			n.Doc = nil
+		case *ast.FuncDecl:
+			n.Doc = nil
+		}
+		return true
+	})
+}

@@ -5,6 +5,7 @@
 # Usage:
 #   ./bench.sh                 # full benchmark suite
 #   ./bench.sh 'Fig8a'         # one family
+#   ./bench.sh 'Batch'         # steady-state ForwardBatch vs unbatched loop
 #   BENCHTIME=5s ./bench.sh    # longer per-benchmark budget
 set -euo pipefail
 cd "$(dirname "$0")"

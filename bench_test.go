@@ -8,6 +8,7 @@
 package ftfft_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -300,6 +301,68 @@ func BenchmarkTable6_BitFlipRecovery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ------------------------------------------------------------ Batch steady state
+// ForwardBatch amortizes pooled execution contexts across many transforms;
+// compare ns per transform against the equivalent loop of Forward calls.
+
+func benchBatch(b *testing.B, items int, opts ...ftfft.Option) {
+	b.Helper()
+	const n = 1 << 12
+	tr, err := ftfft.New(n, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([][]complex128, items)
+	dst := make([][]complex128, items)
+	for i := range src {
+		src[i] = workload.Uniform(int64(i+1), n)
+		dst[i] = make([]complex128, n)
+	}
+	ctx := context.Background()
+	b.SetBytes(int64(16 * n * items))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ForwardBatch(ctx, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUnbatched(b *testing.B, items int, opts ...ftfft.Option) {
+	b.Helper()
+	const n = 1 << 12
+	tr, err := ftfft.New(n, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([][]complex128, items)
+	dst := make([][]complex128, items)
+	for i := range src {
+		src[i] = workload.Uniform(int64(i+1), n)
+		dst[i] = make([]complex128, n)
+	}
+	ctx := context.Background()
+	b.SetBytes(int64(16 * n * items))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range src {
+			if _, err := tr.Forward(ctx, dst[j], src[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatch_Seq_OnlineMemory_x32(b *testing.B) {
+	benchBatch(b, 32, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+}
+func BenchmarkBatch_Seq_OnlineMemory_x32_Unbatched(b *testing.B) {
+	benchUnbatched(b, 32, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+}
+func BenchmarkBatch_Parallel4_OnlineMemory_x16(b *testing.B) {
+	benchBatch(b, 16, ftfft.WithRanks(4), ftfft.WithProtection(ftfft.OnlineABFTMemory))
 }
 
 // ------------------------------------------------------- Substrate microbench

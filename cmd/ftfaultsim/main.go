@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -41,10 +42,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx := context.Background()
 	n := 1 << *logN
 	x := workload.Uniform(*seed, n)
-	ref, _, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{Protection: ftfft.None})
+	refT, err := ftfft.New(n)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftfaultsim:", err)
+		os.Exit(1)
+	}
+	ref := make([]complex128, n)
+	if _, err := refT.Forward(ctx, ref, append([]complex128(nil), x...)); err != nil {
 		fmt.Fprintln(os.Stderr, "ftfaultsim:", err)
 		os.Exit(1)
 	}
@@ -96,9 +103,13 @@ func main() {
 		}
 
 		sched := ftfft.NewFaultSchedule(int64(run)^*seed, f)
-		got, rep, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{
-			Protection: p, Injector: sched,
-		})
+		tr, err := ftfft.New(n, ftfft.WithProtection(p), ftfft.WithInjector(sched))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftfaultsim:", err)
+			os.Exit(1)
+		}
+		got := make([]complex128, n)
+		rep, err := tr.Forward(ctx, got, append([]complex128(nil), x...))
 		if !sched.AllFired() {
 			// Site not visited by this scheme (e.g. twiddle in offline);
 			// count as silent-no-effect.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 	prot := flag.String("protection", "online-memory", "protection level: none, offline[-naive], online[-naive], online-memory[-naive]")
 	inject := flag.String("inject", "", "fault mix, e.g. 1c, 1m, 2m+2c (m = memory, c = computational)")
 	parallelRanks := flag.Int("parallel", 0, "run the parallel in-place scheme on this many ranks (0 = sequential)")
+	timeout := flag.Duration("timeout", 0, "cancel the transform after this long (0 = no deadline)")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
 
@@ -55,38 +57,39 @@ func main() {
 		sched = ftfft.NewFaultSchedule(*seed, faults...)
 	}
 
-	var (
-		rep   ftfft.Report
-		err   error
-		took  time.Duration
-		label string
-	)
-	dst := make([]complex128, n)
-	if *parallelRanks > 0 {
-		pp, perr := ftfft.NewParallelPlan(n, *parallelRanks, ftfft.ParallelOptions{
-			Protected: true, Optimized: true, Injector: sched,
-		})
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-		label = fmt.Sprintf("parallel opt-FT-FFTW, %d ranks", *parallelRanks)
-		start := time.Now()
-		rep, err = pp.Forward(dst, x)
-		took = time.Since(start)
-	} else {
-		p, ok := protections[*prot]
-		if !ok {
-			fatalf("unknown protection %q", *prot)
-		}
-		plan, perr := ftfft.NewPlan(n, ftfft.Options{Protection: p, Injector: sched})
-		if perr != nil {
-			fatalf("%v", perr)
-		}
-		label = "sequential " + p.String()
-		start := time.Now()
-		rep, err = plan.Forward(dst, x)
-		took = time.Since(start)
+	// One constructor for every strategy: protection × parallelism compose
+	// as options on the same planner.
+	p, ok := protections[*prot]
+	if !ok {
+		fatalf("unknown protection %q", *prot)
 	}
+	opts := []ftfft.Option{ftfft.WithProtection(p)}
+	if sched != nil {
+		opts = append(opts, ftfft.WithInjector(sched))
+	}
+	label := "sequential " + p.String()
+	if *parallelRanks > 0 {
+		// New itself rejects compositions without a parallel formulation
+		// (the offline levels) with a descriptive error.
+		opts = append(opts, ftfft.WithRanks(*parallelRanks))
+		label = fmt.Sprintf("parallel %s, %d ranks", p, *parallelRanks)
+	}
+	tr, err := ftfft.New(n, opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	dst := make([]complex128, n)
+	start := time.Now()
+	rep, err := tr.Forward(ctx, dst, x)
+	took := time.Since(start)
 
 	fmt.Printf("transform : N = 2^%d (%d points), %s\n", *logN, n, label)
 	fmt.Printf("time      : %v\n", took)

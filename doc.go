@@ -8,37 +8,68 @@
 // detecting — and transparently correcting — soft errors that strike either
 // the arithmetic (logic-unit faults) or data at rest (memory bit flips),
 // at a few-percent overhead instead of the ≥100% of double/triple modular
-// redundancy:
+// redundancy.
 //
-//	plan, _ := ftfft.NewPlan(1<<20, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
-//	report, err := plan.Forward(dst, src)   // verified output, or err
+// # One planner, one executor
 //
-// Protection levels range from None (a plain planned FFT, the library's
-// FFTW stand-in) through the paper's offline scheme (verify once at the
-// end, restart on error) to the online two-layer scheme (verify every
+// New is the single constructor: protection, geometry and parallelism
+// compose as functional options, and every composition yields the same
+// Transform interface —
+//
+//	tr, _ := ftfft.New(1<<20, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+//	report, err := tr.Forward(ctx, dst, src)    // verified output, or err
+//
+//	par, _ := ftfft.New(1<<18, ftfft.WithRanks(8),
+//	    ftfft.WithProtection(ftfft.OnlineABFTMemory))  // §5 six-step, opt-FT-FFTW
+//	img, _ := ftfft.New(rows*cols, ftfft.WithShape(rows, cols),
+//	    ftfft.WithRanks(4))                            // 2-D over a 4-worker pool
+//
+// Forward, Inverse and ForwardBatch run under the same protection: the
+// inverse path uses the conjugation identity IDFT(x) = conj(DFT(conj(x)))/N
+// so the entire ABFT machinery guards it too, and batches reuse the plan's
+// pooled execution contexts with bit-identical results. The deprecated
+// NewPlan / NewParallelPlan / NewPlan2D constructors remain as thin shims
+// over the same executors.
+//
+// # Protection levels
+//
+// Protection ranges from None (a plain planned FFT, the library's FFTW
+// stand-in) through the paper's offline scheme (verify once at the end,
+// restart on error) to the online two-layer scheme (verify every
 // sub-transform as it completes, recover in O(√N·log√N)), each in a naive
 // and an optimized variant, with or without memory-fault protection.
-// ParallelPlan runs the six-step in-place distributed algorithm of §5 on a
+// WithRanks runs the six-step in-place distributed algorithm of §5 on a
 // simulated multi-rank communicator with checksummed transposes.
 //
-// Fault injection is a first-class citizen (the Injector option), so the
+// Fault injection is a first-class citizen (WithInjector), so the
 // resilience claims are testable rather than aspirational; see the examples
 // and the experiments harness (cmd/ftexperiments), which regenerates every
 // table and figure of the paper's evaluation.
+//
+// # Cancellation
+//
+// Every executor method takes a context.Context. Sequential transforms
+// observe cancellation at sub-FFT boundaries; parallel transforms
+// additionally poison the in-flight communicator, so ranks parked in a
+// transpose receive unwind immediately. The same poison-pill broadcast
+// fires when a rank exhausts its retry budget: a persistent fault on one
+// rank surfaces as ErrUncorrectable instead of deadlocking its peers. A
+// canceled call returns ctx.Err() with dst in an unspecified state; the
+// plan itself remains usable.
 //
 // # Plan once, execute many
 //
 // Like FFTW, plans front-load all derived state: FFT sub-plans, twiddle
 // tables, checksum weight vectors, the message-passing world and every
-// per-rank workspace buffer are built at NewPlan/NewParallelPlan time and
-// reused by every transform. Steady-state sequential transforms perform
-// zero allocations; parallel transforms allocate only the O(ranks) cost of
-// spawning rank goroutines.
+// per-rank workspace buffer are built at New time and reused by every
+// transform. Steady-state sequential transforms perform zero allocations;
+// parallel transforms allocate only the O(ranks) cost of spawning rank
+// goroutines.
 //
-// Plans are safe for concurrent use by multiple goroutines. Workspaces are
-// per-goroutine: a parallel plan keeps a pool of execution contexts (one
-// mpi world plus one workspace per rank), and each in-flight Transform
-// draws its own, so concurrent calls on one plan never share mutable state.
-// A context is returned to the pool only after a clean transform; contexts
-// that observed an uncorrectable fault are discarded rather than reused.
+// Transforms are safe for concurrent use by multiple goroutines.
+// Workspaces are per-call: every executor keeps a pool of execution
+// contexts, and each in-flight call draws its own, so concurrent calls on
+// one plan never share mutable state. A parallel context is returned to
+// the pool only after a clean transform; contexts that observed an
+// uncorrectable fault or an abort are discarded rather than reused.
 package ftfft

@@ -27,15 +27,21 @@ func main() {
 	normalizeL1(kernel)
 
 	// Protected convolution with an arithmetic fault injected into one of
-	// the sub-FFTs of the pipeline.
+	// the sub-FFTs of the pipeline. The plan-level Convolve reuses the plan
+	// and its scratch spectra, so a filtering loop pays planning once.
 	sched := ftfft.NewFaultSchedule(5, ftfft.Fault{
 		Site: ftfft.SiteSubFFT2, Rank: ftfft.AnyRank, Occurrence: 17, Index: -1,
 		Mode: ftfft.AddConstant, Value: 3,
 	})
-	smoothed, rep, err := ftfft.Convolve(signal, kernel, ftfft.Options{
+	plan, err := ftfft.NewPlan(n, ftfft.Options{
 		Protection: ftfft.OnlineABFTMemory,
 		Injector:   sched,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	smoothed := make([]complex128, n)
+	rep, err := plan.Convolve(smoothed, signal, kernel)
 	if err != nil {
 		log.Fatal(err)
 	}

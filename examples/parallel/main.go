@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -22,13 +23,15 @@ func main() {
 	)
 	x := workload.Uniform(13, n)
 
+	ctx := context.Background()
+
 	// Fault-free reference via the plain parallel path.
-	plain, err := ftfft.NewParallelPlan(n, ranks, ftfft.ParallelOptions{})
+	plain, err := ftfft.New(n, ftfft.WithRanks(ranks))
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref := make([]complex128, n)
-	if _, err := plain.Forward(ref, append([]complex128(nil), x...)); err != nil {
+	if _, err := plain.Forward(ctx, ref, append([]complex128(nil), x...)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -40,15 +43,17 @@ func main() {
 		ftfft.Fault{Site: ftfft.SiteParallelFFT1, Rank: 2, Occurrence: 4, Index: -1, Mode: ftfft.AddConstant, Value: 2},
 		ftfft.Fault{Site: ftfft.SiteParallelFFT2, Rank: 7, Occurrence: 8, Index: -1, Mode: ftfft.AddConstant, Value: 5},
 	)
-	prot, err := ftfft.NewParallelPlan(n, ranks, ftfft.ParallelOptions{
-		Protected: true, Optimized: true, Injector: sched,
-	})
+	prot, err := ftfft.New(n,
+		ftfft.WithRanks(ranks),
+		ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithInjector(sched),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	dst := make([]complex128, n)
 	start := time.Now()
-	rep, err := prot.Forward(dst, append([]complex128(nil), x...))
+	rep, err := prot.Forward(ctx, dst, append([]complex128(nil), x...))
 	took := time.Since(start)
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -25,13 +26,14 @@ func main() {
 	// Plan once, transform many times. OnlineABFTMemory is the paper's
 	// flagship scheme: every sub-transform is verified as it completes, and
 	// both arithmetic and memory soft errors are corrected on the fly.
-	plan, err := ftfft.NewPlan(n, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	plan, err := ftfft.New(n, ftfft.WithProtection(ftfft.OnlineABFTMemory))
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	X := make([]complex128, n)
-	report, err := plan.Forward(X, x)
+	report, err := plan.Forward(ctx, X, x)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 
 	// Round-trip through the protected inverse.
 	y := make([]complex128, n)
-	if _, err := plan.Inverse(y, X); err != nil {
+	if _, err := plan.Inverse(ctx, y, X); err != nil {
 		log.Fatal(err)
 	}
 	var maxDiff float64

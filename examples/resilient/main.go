@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -17,11 +18,16 @@ import (
 const n = 1 << 16
 
 func main() {
+	ctx := context.Background()
 	x := workload.Uniform(7, n)
 
 	// Reference spectrum from a fault-free run.
-	ref, _, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{})
+	refT, err := ftfft.New(n)
 	if err != nil {
+		log.Fatal(err)
+	}
+	ref := make([]complex128, n)
+	if _, err := refT.Forward(ctx, ref, append([]complex128(nil), x...)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -38,10 +44,12 @@ func main() {
 		ftfft.None, ftfft.OfflineABFT, ftfft.OnlineABFTMemory,
 	} {
 		sched := ftfft.NewFaultSchedule(42, faults...)
-		got, rep, err := ftfft.Forward(append([]complex128(nil), x...), ftfft.Options{
-			Protection: prot,
-			Injector:   sched,
-		})
+		tr, err := ftfft.New(n, ftfft.WithProtection(prot), ftfft.WithInjector(sched))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := make([]complex128, n)
+		rep, err := tr.Forward(ctx, got, append([]complex128(nil), x...))
 		fmt.Printf("--- protection: %s ---\n", prot)
 		fmt.Printf("faults fired : %d/%d\n", len(sched.Records()), len(faults))
 		if err != nil {

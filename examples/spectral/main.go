@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -24,7 +25,8 @@ const (
 )
 
 func main() {
-	plan, err := ftfft.NewPlan(frameLen, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	ctx := context.Background()
+	plan, err := ftfft.New(frameLen, ftfft.WithProtection(ftfft.OnlineABFTMemory))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,15 +47,14 @@ func main() {
 		if rng.Float64() < faultRate {
 			faultyFrames++
 			sched := ftfft.NewFaultSchedule(int64(frame), randomFault(rng))
-			faulty, ferr := ftfft.NewPlan(frameLen, ftfft.Options{
-				Protection: ftfft.OnlineABFTMemory, Injector: sched,
-			})
+			faulty, ferr := ftfft.New(frameLen,
+				ftfft.WithProtection(ftfft.OnlineABFTMemory), ftfft.WithInjector(sched))
 			if ferr != nil {
 				log.Fatal(ferr)
 			}
-			rep, err = faulty.Forward(X, x)
+			rep, err = faulty.Forward(ctx, X, x)
 		} else {
-			rep, err = plan.Forward(X, x)
+			rep, err = plan.Forward(ctx, X, x)
 		}
 		if err != nil {
 			log.Fatalf("frame %d: %v", frame, err)

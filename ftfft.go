@@ -1,6 +1,7 @@
 package ftfft
 
 import (
+	"context"
 	"fmt"
 
 	"ftfft/internal/core"
@@ -90,6 +91,9 @@ type Report = core.Report
 var ErrUncorrectable = core.ErrUncorrectable
 
 // Options configures a Plan.
+//
+// Deprecated: use New's functional options (WithProtection, WithInjector,
+// WithEtaScale, WithMaxRetries).
 type Options struct {
 	// Protection selects the fault-tolerance scheme. Default None.
 	Protection Protection
@@ -104,68 +108,85 @@ type Options struct {
 	MaxRetries int
 }
 
-// Plan computes protected DFTs of one fixed size. A Plan owns scratch
-// buffers and is not safe for concurrent use; create one Plan per goroutine
-// (plans are cheap relative to the transforms they run).
+// Plan computes protected DFTs of one fixed size.
+//
+// Deprecated: use New, which returns the unified cancellable Transform.
+// A Plan is now a thin shim over the same executor and is safe for
+// concurrent use (Convolve excepted: it owns plan-level scratch).
 type Plan struct {
-	n       int
-	tr      *core.Transformer
-	scratch []complex128
+	t      *seqTransform
+	fa, fb []complex128 // Convolve spectra scratch, lazily sized
 }
 
 // NewPlan creates a plan for n-point transforms. Online protection levels
 // require a composite n (the paper's two-layer decomposition); powers of two
 // are ideal.
+//
+// Deprecated: use New(n, WithProtection(...), ...).
 func NewPlan(n int, opts Options) (*Plan, error) {
-	cfg, err := opts.Protection.coreConfig()
+	t, err := newSeqTransform(n, config{
+		protection: opts.Protection,
+		injector:   opts.Injector,
+		etaScale:   opts.EtaScale,
+		maxRetries: opts.MaxRetries,
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg.Injector = opts.Injector
-	cfg.EtaScale = opts.EtaScale
-	cfg.MaxRetries = opts.MaxRetries
-	tr, err := core.New(n, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Plan{n: n, tr: tr, scratch: make([]complex128, n)}, nil
+	return &Plan{t: t}, nil
 }
 
 // N returns the transform size.
-func (p *Plan) N() int { return p.n }
+func (p *Plan) N() int { return p.t.Len() }
 
 // Forward computes X_j = Σ_t x_t·exp(-2πi·jt/N) from src into dst, both of
 // length N and non-overlapping. When memory protection is active and an
 // input memory fault is detected, src is repaired in place.
 func (p *Plan) Forward(dst, src []complex128) (Report, error) {
-	return p.tr.Transform(dst, src)
+	return p.t.Forward(context.Background(), dst, src)
 }
 
 // Inverse computes the inverse DFT (with 1/N normalization) under the same
 // protection, via the conjugation identity IDFT(x) = conj(DFT(conj(x)))/N —
 // so the entire ABFT machinery guards the inverse path too.
 func (p *Plan) Inverse(dst, src []complex128) (Report, error) {
-	if len(dst) < p.n || len(src) < p.n {
-		return Report{}, fmt.Errorf("ftfft: buffers too short for size %d", p.n)
-	}
-	for i := 0; i < p.n; i++ {
-		p.scratch[i] = conj(src[i])
-	}
-	rep, err := p.tr.Transform(dst[:p.n], p.scratch)
-	if err != nil {
-		return rep, err
-	}
-	inv := complex(1/float64(p.n), 0)
-	for i := 0; i < p.n; i++ {
-		dst[i] = conj(dst[i]) * inv
-	}
-	return rep, nil
+	return p.t.Inverse(context.Background(), dst, src)
 }
 
-func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+// Convolve computes the circular convolution of a and b (each length N)
+// into dst via three protected transforms, reusing the plan and its scratch
+// spectra — the steady-state path for convolution-heavy workloads that the
+// package-level Convolve helper routes through. dst may alias a or b.
+func (p *Plan) Convolve(dst, a, b []complex128) (Report, error) {
+	n := p.t.Len()
+	if len(dst) < n || len(a) < n || len(b) < n {
+		return Report{}, fmt.Errorf("ftfft: convolution buffers too short: dst=%d a=%d b=%d, need %d", len(dst), len(a), len(b), n)
+	}
+	if p.fa == nil {
+		p.fa = make([]complex128, n)
+		p.fb = make([]complex128, n)
+	}
+	var total Report
+	rep, err := p.t.Forward(context.Background(), p.fa, a)
+	total.Add(rep)
+	if err != nil {
+		return total, err
+	}
+	rep, err = p.t.Forward(context.Background(), p.fb, b)
+	total.Add(rep)
+	if err != nil {
+		return total, err
+	}
+	for i := 0; i < n; i++ {
+		p.fa[i] *= p.fb[i]
+	}
+	rep, err = p.t.Inverse(context.Background(), dst, p.fa)
+	total.Add(rep)
+	return total, err
+}
 
 // Forward is a one-shot convenience: it plans, transforms, and returns a
-// fresh output slice.
+// fresh output slice. Transform-many workloads should plan once with New.
 func Forward(x []complex128, opts Options) ([]complex128, Report, error) {
 	p, err := NewPlan(len(x), opts)
 	if err != nil {
@@ -188,35 +209,18 @@ func Inverse(x []complex128, opts Options) ([]complex128, Report, error) {
 }
 
 // Convolve returns the circular convolution of a and b (equal lengths) via
-// three protected transforms — a realistic "application" of the library
-// exercised by the examples.
+// three protected transforms. It routes through a plan-level Convolve;
+// convolution-heavy workloads should hold a Plan and call its Convolve to
+// amortize planning and scratch.
 func Convolve(a, b []complex128, opts Options) ([]complex128, Report, error) {
 	if len(a) != len(b) {
 		return nil, Report{}, fmt.Errorf("ftfft: convolution operands differ in length: %d vs %d", len(a), len(b))
 	}
-	n := len(a)
-	p, err := NewPlan(n, opts)
+	p, err := NewPlan(len(a), opts)
 	if err != nil {
 		return nil, Report{}, err
 	}
-	var total Report
-	fa := make([]complex128, n)
-	rep, err := p.Forward(fa, a)
-	total.Add(rep)
-	if err != nil {
-		return nil, total, err
-	}
-	fb := make([]complex128, n)
-	rep, err = p.Forward(fb, b)
-	total.Add(rep)
-	if err != nil {
-		return nil, total, err
-	}
-	for i := range fa {
-		fa[i] *= fb[i]
-	}
-	out := make([]complex128, n)
-	rep, err = p.Inverse(out, fa)
-	total.Add(rep)
-	return out, total, err
+	out := make([]complex128, len(a))
+	rep, err := p.Convolve(out, a, b)
+	return out, rep, err
 }

@@ -8,6 +8,14 @@ import "ftfft/internal/fault"
 // models.
 type Injector = fault.Injector
 
+// Site identifies a point in a protected algorithm where faults can strike
+// (the Site* constants below).
+type Site = fault.Site
+
+// Mode selects how an injected fault corrupts an element (the AddConstant /
+// SetConstant / BitFlip constants below).
+type Mode = fault.Mode
+
 // Fault describes one scheduled soft error: what kind, where, when, and how
 // the element is corrupted. The zero Rank matters in parallel plans; use
 // AnyRank for sequential ones.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -128,6 +129,13 @@ func (t *InPlaceTransformer) Shape() (k, r int) { return t.k, t.r }
 // Transform computes the forward DFT of buf in place. The input is
 // destroyed even when an error is returned.
 func (t *InPlaceTransformer) Transform(buf []complex128) (Report, error) {
+	return t.TransformContext(context.Background(), buf)
+}
+
+// TransformContext is Transform with cancellation, checked at every layer-A
+// sub-FFT and layer-B block boundary. A canceled transform returns ctx.Err()
+// with buf in an unspecified (already overwritten) state.
+func (t *InPlaceTransformer) TransformContext(ctx context.Context, buf []complex128) (Report, error) {
 	var rep Report
 	if len(buf) < t.n {
 		return rep, fmt.Errorf("core: buffer too short: %d < %d", len(buf), t.n)
@@ -145,6 +153,9 @@ func (t *InPlaceTransformer) Transform(buf []complex128) (Report, error) {
 		t.blockPairs[i] = checksum.Pair{}
 	}
 	for i1 := 0; i1 < n1; i1++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		sub := buf[i1:]
 		gather(t.bufA, sub, k, n1) // bufA doubles as the Fig. 4 input backup
 		var cx complex128
@@ -197,6 +208,9 @@ func (t *InPlaceTransformer) Transform(buf []complex128) (Report, error) {
 
 	// ---- Layer B: per contiguous n1-block ----
 	for j2 := 0; j2 < k; j2++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		block := buf[j2*n1 : (j2+1)*n1]
 		if protect {
 			// CMCV of the block against the accumulated pair.

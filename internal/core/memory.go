@@ -37,6 +37,9 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 
 	// ---- Stage 1 ----
 	for i := 0; i < k; i++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		// MCV before use; repair single memory errors in place.
 		if !t.verifyClassicStrided(src[i:], m, k, &t.inPairs[i], &rep) {
 			rep.Uncorrectable = true
@@ -81,6 +84,9 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 	// ---- Stage 2 ----
 	ck := t.dmrCheckVector(k, &rep)
 	for j := 0; j < m; j++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		if !t.verifyClassicStrided(t.work[j:], k, m, &t.colPairs[j], &rep) {
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
@@ -160,6 +166,9 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 
 	// ---- Stage 1 with postponed MCV ----
 	for i := 0; i < k; i++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		gather(t.bufA[:m], src[i:], m, k)
 		cx := t.inPairs[i].D1
 		row := t.work[i*m : (i+1)*m]
@@ -200,6 +209,9 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 
 	// ---- Stage 2: CMCV & TM & CCG fused per column ----
 	for j := 0; j < m; j++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		gather(t.bufA[:k], t.work[j:], k, m)
 		// CMCV against the incrementally accumulated pair; repairs single
 		// corrupted intermediate elements.

@@ -65,7 +65,9 @@ func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, err
 	}
 
 	for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
-		t.plain(dst, src)
+		if err := t.plain(dst, src); err != nil {
+			return rep, err
+		}
 		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
 		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
 

@@ -35,6 +35,9 @@ func (t *Transformer) onlineComp(dst, src []complex128, th Thresholds) (Report, 
 		cm = t.dmrCheckVector(m, &rep)
 	}
 	for i := 0; i < k; i++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		row := t.work[i*m : (i+1)*m]
 		var cx complex128
 		if naive {
@@ -82,6 +85,9 @@ func (t *Transformer) onlineComp(dst, src []complex128, th Thresholds) (Report, 
 	}
 
 	for j := 0; j < m; j++ {
+		if err := t.canceled(); err != nil {
+			return rep, err
+		}
 		var cx2 complex128
 		var in []complex128 // the verified post-twiddle sub-input
 		if naive {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,6 +43,20 @@ type Transformer struct {
 	rowPairs []checksum.Pair // k entries (intermediate rows, Fig. 2)
 	colPairs []checksum.Pair // m entries (intermediate columns)
 	outPairs []checksum.Pair // m entries (output column groups, Fig. 2)
+
+	// ctx is the in-flight TransformContext's cancellation context, checked
+	// at sub-FFT boundaries; nil between calls.
+	ctx context.Context
+}
+
+// canceled reports the in-flight context's cancellation cause, if any. It is
+// checked once per sub-FFT (O(√N) work between checks), so cancellation
+// latency stays far below any per-transform deadline.
+func (t *Transformer) canceled() error {
+	if t.ctx == nil {
+		return nil
+	}
+	return t.ctx.Err()
 }
 
 // New builds a Transformer for n-point forward transforms under cfg.
@@ -96,18 +111,29 @@ func (t *Transformer) Layout() (m, k int) { return t.m, t.k }
 // detected, src is repaired in place (that is the scheme's defining
 // behaviour). The returned Report is valid even when an error is returned.
 func (t *Transformer) Transform(dst, src []complex128) (Report, error) {
+	return t.TransformContext(context.Background(), dst, src)
+}
+
+// TransformContext is Transform with cancellation: ctx is checked at every
+// sub-FFT boundary, and a canceled transform returns ctx.Err() with dst in
+// an unspecified state.
+func (t *Transformer) TransformContext(ctx context.Context, dst, src []complex128) (Report, error) {
 	if len(dst) < t.n || len(src) < t.n {
 		return Report{}, fmt.Errorf("core: buffers too short: dst=%d src=%d need %d", len(dst), len(src), t.n)
 	}
 	dst = dst[:t.n]
 	src = src[:t.n]
+	t.ctx = ctx
+	defer func() { t.ctx = nil }()
 	switch t.cfg.Scheme {
 	case Plain:
 		// Memory fault sites are visited even unprotected — faults are
 		// physical events that strike whether or not anyone checks. This
 		// is what the Table 6 "NoCorrection" row measures.
 		fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, 1)
-		t.plain(dst, src)
+		if err := t.plain(dst, src); err != nil {
+			return Report{}, err
+		}
 		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
 		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
 		return Report{}, nil
@@ -169,19 +195,26 @@ func maxWeight(n int) float64 {
 // plain is the unprotected two-layer baseline ("FFTW" in the figures). The
 // twiddle multiplication is fused into the column gather exactly as in the
 // optimized protected path, so scheme comparisons isolate checksum cost.
-func (t *Transformer) plain(dst, src []complex128) {
+func (t *Transformer) plain(dst, src []complex128) error {
 	m, k := t.m, t.k
 	for i := 0; i < k; i++ {
+		if err := t.canceled(); err != nil {
+			return err
+		}
 		gather(t.bufA[:m], src[i:], m, k)
 		t.planM.Execute(t.work[i*m:(i+1)*m], t.bufA[:m])
 	}
 	for j := 0; j < m; j++ {
+		if err := t.canceled(); err != nil {
+			return err
+		}
 		for i := 0; i < k; i++ {
 			t.bufB[i] = t.work[i*m+j] * t.twiddle[i*m+j]
 		}
 		t.planK.Execute(t.bufC[:k], t.bufB[:k])
 		scatter(dst[j:], t.bufC[:k], k, m)
 	}
+	return nil
 }
 
 // gather copies the strided elements src[0], src[stride], … into dst[0..n-1].

@@ -8,7 +8,12 @@
 //   - messages carry the two per-block checksums of §5 so receivers can
 //     detect and repair single corrupted elements without retransmission;
 //   - an optional fault.Injector corrupts payloads in transit
-//     (fault.SiteMessage), emulating link soft errors.
+//     (fault.SiteMessage), emulating link soft errors;
+//   - World.Abort is the poison-pill broadcast: a rank that fails
+//     mid-collective poisons the world so every blocked receive and barrier
+//     returns the abort cause instead of deadlocking — this is how a rank
+//     that exhausts its retry budget surfaces as an error to its peers, and
+//     how context cancellation reaches ranks parked in Recv.
 //
 // The runtime is deliberately simple but honest about data movement: every
 // send copies its payload, as a NIC would. The copy lands in a pooled buffer
@@ -22,11 +27,16 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"ftfft/internal/fault"
 )
+
+// ErrAborted is returned from receives that were unblocked by a world abort
+// when no more specific cause was recorded.
+var ErrAborted = errors.New("mpi: world aborted")
 
 // payload is a pooled message body. Boxing the slice keeps the sync.Pool
 // round-trip allocation-free (the pool stores the same *payload forever).
@@ -51,6 +61,14 @@ type World struct {
 	barrier   *barrier
 	endpoints []*Comm
 	payloads  sync.Pool // of *payload, recycled by completed receives
+
+	// Abort support: the poison-pill broadcast that turns a stuck
+	// collective into an error. abortErr is written exactly once, before
+	// done is closed, so any reader that observed the closed channel sees
+	// the recorded cause.
+	done      chan struct{}
+	abortOnce sync.Once
+	abortErr  error
 }
 
 // NewWorld creates a communicator with p ranks. inj, when non-nil, corrupts
@@ -59,7 +77,7 @@ func NewWorld(p int, inj fault.Injector) *World {
 	if p < 1 {
 		panic("mpi: world size must be ≥ 1")
 	}
-	w := &World{p: p, inj: inj, barrier: newBarrier(p)}
+	w := &World{p: p, inj: inj, barrier: newBarrier(p), done: make(chan struct{})}
 	w.payloads.New = func() any { return new(payload) }
 	w.inbox = make([][]chan message, p)
 	for dst := 0; dst < p; dst++ {
@@ -78,6 +96,47 @@ func NewWorld(p int, inj fault.Injector) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
+
+// Abort poisons the world: every blocked or future receive and barrier wait
+// returns cause (ErrAborted when cause is nil) instead of waiting forever.
+// The first cause wins; later calls are no-ops. A rank that fails
+// mid-collective calls Abort so its peers unwind instead of deadlocking —
+// the poison-pill broadcast the blocking substrate otherwise lacks.
+func (w *World) Abort(cause error) {
+	w.abortOnce.Do(func() {
+		if cause == nil {
+			cause = ErrAborted
+		}
+		w.abortErr = cause
+		close(w.done)
+		w.barrier.abort()
+	})
+}
+
+// Aborted reports whether the world has been poisoned.
+func (w *World) Aborted() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// AbortCause returns the recorded abort cause, or nil if the world has not
+// been aborted.
+func (w *World) AbortCause() error {
+	select {
+	case <-w.done:
+		return w.abortErr
+	default:
+		return nil
+	}
+}
+
+// abortError returns the recorded cause; it must only be called after
+// observing the closed done channel.
+func (w *World) abortError() error { return w.abortErr }
 
 // getPayload returns a pooled buffer holding exactly n elements.
 func (w *World) getPayload(n int) *payload {
@@ -171,7 +230,12 @@ func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRe
 		m.cs = *cs
 		m.hasCS = true
 	}
-	c.w.inbox[dst][c.rank] <- m
+	select {
+	case c.w.inbox[dst][c.rank] <- m:
+	case <-c.w.done:
+		// Aborted world: the receiver is unwinding, drop the payload.
+		c.w.payloads.Put(pb)
+	}
 	return sendDone
 }
 
@@ -204,12 +268,13 @@ func (r *RecvRequest) complete(m message) {
 }
 
 // Wait completes the receive, returning the sender's block checksums (if
-// any). It blocks until a matching message arrives. Wait must be called at
-// most once per posted receive: completion returns the request to the
-// endpoint's freelist for reuse by a later Irecv.
-func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool) {
+// any). It blocks until a matching message arrives or the world is aborted,
+// in which case the abort cause is returned and the receive buffer is left
+// untouched. Wait must be called at most once per posted receive: completion
+// returns the request to the endpoint's freelist for reuse by a later Irecv.
+func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
 	if r.done {
-		return r.cs, r.hasCS
+		return r.cs, r.hasCS, nil
 	}
 	c := r.c
 	// First scan messages already popped for other tags.
@@ -218,34 +283,52 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool) {
 		if m.tag == r.tag {
 			c.pending[r.src] = append(q[:i], q[i+1:]...)
 			r.complete(m)
-			return r.cs, r.hasCS
+			return r.cs, r.hasCS, nil
 		}
 	}
 	for {
-		m := <-c.w.inbox[c.rank][r.src]
-		if m.tag == r.tag {
-			r.complete(m)
-			return r.cs, r.hasCS
+		select {
+		case m := <-c.w.inbox[c.rank][r.src]:
+			if m.tag == r.tag {
+				r.complete(m)
+				return r.cs, r.hasCS, nil
+			}
+			c.pending[r.src] = append(c.pending[r.src], m)
+		case <-c.w.done:
+			// Drain-then-abort would race the sender; the abort cause
+			// already carries the root failure, so just unwind. The
+			// request is recycled like a completed one.
+			err := c.w.abortError()
+			r.done = true
+			c.freeReqs = append(c.freeReqs, r)
+			return cs, false, err
 		}
-		c.pending[r.src] = append(c.pending[r.src], m)
 	}
 }
 
-// Recv is a blocking receive.
-func (c *Comm) Recv(src, tag int, buf []complex128) (cs [2]complex128, hasCS bool) {
+// Recv is a blocking receive. It returns the abort cause if the world is
+// poisoned while waiting.
+func (c *Comm) Recv(src, tag int, buf []complex128) (cs [2]complex128, hasCS bool, err error) {
 	return c.Irecv(src, tag, buf).Wait()
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.w.barrier.await() }
+// Barrier blocks until every rank has entered it (or the world is aborted,
+// in which case the abort cause is returned).
+func (c *Comm) Barrier() error {
+	if c.w.barrier.await() {
+		return nil
+	}
+	return c.w.abortError()
+}
 
 // barrier is a reusable p-party barrier.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	p     int
-	count int
-	phase int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	phase   int
+	aborted bool
 }
 
 func newBarrier(p int) *barrier {
@@ -254,20 +337,33 @@ func newBarrier(p int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+// await returns true on a normal barrier release, false on abort.
+func (b *barrier) await() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		return false
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.p {
 		b.count = 0
 		b.phase++
 		b.cond.Broadcast()
-		return
+		return true
 	}
-	for phase == b.phase {
+	for phase == b.phase && !b.aborted {
 		b.cond.Wait()
 	}
+	return !b.aborted
+}
+
+// abort releases every waiter with failure.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 // TransposeSchedule returns the order in which rank visits its peers during

@@ -57,7 +57,10 @@ func TestChecksumsTravelWithMessage(t *testing.T) {
 			return nil
 		}
 		buf := make([]complex128, 1)
-		cs, has := c.Recv(0, 0, buf)
+		cs, has, err := c.Recv(0, 0, buf)
+		if err != nil {
+			return err
+		}
 		if !has || cs[0] != 5 || cs[1] != 6 {
 			return errors.New("checksums lost in transit")
 		}
@@ -195,6 +198,66 @@ func TestRunPropagatesError(t *testing.T) {
 	})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	sentinel := errors.New("rank 1 failed")
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Fail without ever sending: rank 0 would block forever
+			// without the poison pill.
+			c.w.Abort(sentinel)
+			return sentinel
+		}
+		buf := make([]complex128, 1)
+		_, _, err := c.Recv(1, 0, buf)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel abort cause, got %v", err)
+	}
+}
+
+func TestAbortUnblocksBarrier(t *testing.T) {
+	sentinel := errors.New("abort mid-barrier")
+	err := Run(3, nil, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.w.Abort(sentinel)
+			return sentinel
+		}
+		return c.Barrier()
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel abort cause, got %v", err)
+	}
+}
+
+func TestAbortNilCauseAndIdempotence(t *testing.T) {
+	w := NewWorld(2, nil)
+	w.Abort(nil)
+	w.Abort(errors.New("second cause must lose"))
+	if !w.Aborted() {
+		t.Fatal("world not marked aborted")
+	}
+	_, _, err := w.Endpoint(0).Recv(1, 0, make([]complex128, 1))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	// Sends into an aborted world must not block or leak.
+	w.Endpoint(1).Send(0, 0, make([]complex128, 1), nil)
+}
+
+func TestAbortedRecvDeliversPendingMatches(t *testing.T) {
+	w := NewWorld(2, nil)
+	w.Endpoint(0).Send(1, 5, []complex128{42}, nil)
+	w.Abort(errors.New("late abort"))
+	// The message was already queued; a racing Recv may return either the
+	// payload or the abort error, but must never hang.
+	buf := make([]complex128, 1)
+	_, _, err := w.Endpoint(1).Recv(0, 5, buf)
+	if err == nil && buf[0] != 42 {
+		t.Fatalf("clean receive with wrong payload %v", buf[0])
 	}
 }
 

@@ -1,10 +1,14 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"math/cmplx"
 	"math/rand"
 	"testing"
+	"time"
 
+	"ftfft/internal/core"
 	"ftfft/internal/dft"
 	"ftfft/internal/fault"
 )
@@ -250,5 +254,88 @@ func TestUnprotectedSilentlyCorrupts(t *testing.T) {
 	}
 	if maxAbsDiff(dst, want) < 1 {
 		t.Fatal("unprotected run should have been corrupted")
+	}
+}
+
+// stuckRank corrupts every FFT1 visit on one rank, guaranteeing the retry
+// budget is exhausted there while the other ranks run clean.
+type stuckRank struct{ rank int }
+
+func (f *stuckRank) Visit(site fault.Site, rank int, data []complex128, n, stride int) bool {
+	if site != fault.SiteParallelFFT1 || rank != f.rank || n == 0 {
+		return false
+	}
+	data[0] += 1e6
+	return true
+}
+
+// TestRankAbortPropagates: when one rank exhausts MaxRetries, the whole
+// Transform must return its ErrUncorrectable (poison-pill broadcast) with
+// every peer unwound — no goroutine left blocked in Recv.
+func TestRankAbortPropagates(t *testing.T) {
+	n, p := 4096, 8
+	pl, err := NewPlan(n, p, Config{
+		Protected: true, Optimized: true,
+		Injector: &stuckRank{rank: 5}, MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	src := randomVec(rng, n)
+	dst := make([]complex128, n)
+	done := make(chan error, 1)
+	go func() {
+		_, err := pl.Transform(dst, src)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, core.ErrUncorrectable) {
+			t.Fatalf("want ErrUncorrectable, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Transform deadlocked after rank failure")
+	}
+	// The plan must still work once the persistent fault stops firing.
+	clean, err := NewPlan(n, p, Config{Protected: true, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Transform(dst, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransformContextCancel: a pre-canceled context fails fast; a cancel
+// racing a clean run either cancels or completes, and never poisons the
+// plan for later transforms.
+func TestTransformContextCancel(t *testing.T) {
+	n, p := 1024, 4
+	pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	src := randomVec(rng, n)
+	dst := make([]complex128, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pl.TransformContext(ctx, dst, src); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		go cancel2()
+		if _, err := pl.TransformContext(ctx2, dst, src); err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("want nil or Canceled, got %v", err)
+		}
+	}
+	if _, err := pl.Transform(dst, src); err != nil {
+		t.Fatalf("plan unusable after cancellations: %v", err)
+	}
+	want := dft.Transform(src)
+	if d := maxAbsDiff(dst, want); d > 1e-8*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("post-cancel transform wrong: %g", d)
 	}
 }

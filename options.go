@@ -1,0 +1,55 @@
+package ftfft
+
+// Option configures New. Options compose: protection × geometry ×
+// parallelism are independent axes, and every supported combination is
+// reachable through one constructor.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	protection Protection
+	ranks      int
+	rows, cols int
+	injector   Injector
+	etaScale   float64
+	maxRetries int
+}
+
+// WithProtection selects the fault-tolerance scheme (default None).
+func WithProtection(p Protection) Option {
+	return func(c *config) { c.protection = p }
+}
+
+// WithRanks runs the transform over p simulated ranks. For a 1-D transform
+// this is the paper's §5 six-step in-place parallel algorithm (p² must
+// divide N); combined with WithShape it sizes the worker pool the row and
+// column passes are dispatched over. p ≤ 1 means sequential execution.
+func WithRanks(p int) Option {
+	return func(c *config) { c.ranks = p }
+}
+
+// WithShape makes the transform 2-D over row-major rows×cols data
+// (row-column decomposition; every 1-D pass runs under the configured
+// protection). The planned size n must equal rows·cols.
+func WithShape(rows, cols int) Option {
+	return func(c *config) { c.rows, c.cols = rows, cols }
+}
+
+// WithInjector installs a fault injector, consulted at every fault site the
+// protected transform visits. It must be safe for concurrent use when
+// combined with WithRanks or ForwardBatch (Schedule is).
+func WithInjector(inj Injector) Option {
+	return func(c *config) { c.injector = inj }
+}
+
+// WithEtaScale scales the §8 round-off detection thresholds; 0 means 1.
+// Raising it trades fault coverage for fewer false alarms.
+func WithEtaScale(s float64) Option {
+	return func(c *config) { c.etaScale = s }
+}
+
+// WithMaxRetries caps recomputation attempts per protected unit before the
+// transform is declared uncorrectable; 0 means 3.
+func WithMaxRetries(n int) Option {
+	return func(c *config) { c.maxRetries = n }
+}

@@ -1,10 +1,121 @@
 package ftfft
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
 	"ftfft/internal/parallel"
 )
 
+// parTransform is the parallel 1-D executor: the paper's §5 six-step
+// in-place algorithm over simulated ranks, behind the unified contract.
+// Forward delegates to the parallel plan; Inverse composes the conjugation
+// identity around it, so the missing ParallelPlan.Inverse capability exists
+// here without a dedicated inverse pipeline.
+type parTransform struct {
+	n, ranks int
+	prot     Protection
+	pl       *parallel.Plan
+	scratch  sync.Pool // of *[]complex128, conjugation staging for Inverse
+}
+
+// parallelConfig maps a Protection level onto the parallel scheme's
+// (Protected, Optimized) axes. The parallel pipeline implements the online
+// memory-protected scheme, so the offline levels have no parallel
+// formulation and are rejected at plan time.
+func parallelConfig(c config) (parallel.Config, error) {
+	cfg := parallel.Config{
+		Injector:   c.injector,
+		EtaScale:   c.etaScale,
+		MaxRetries: c.maxRetries,
+	}
+	switch c.protection {
+	case None:
+		cfg.Optimized = true // opt-FFTW: the best unprotected pipeline
+	case OnlineABFT, OnlineABFTMemory:
+		cfg.Protected, cfg.Optimized = true, true
+	case OnlineABFTNaive, OnlineABFTMemoryNaive:
+		cfg.Protected = true
+	default:
+		return cfg, fmt.Errorf("ftfft: protection %v has no parallel formulation (use an online level or None)", c.protection)
+	}
+	return cfg, nil
+}
+
+func newParTransform(n int, c config) (*parTransform, error) {
+	cfg, err := parallelConfig(c)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := parallel.NewPlan(n, c.ranks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &parTransform{n: n, ranks: c.ranks, prot: c.protection, pl: pl}
+	t.scratch.New = func() any {
+		buf := make([]complex128, n)
+		return &buf
+	}
+	return t, nil
+}
+
+func (t *parTransform) Len() int                { return t.n }
+func (t *parTransform) Shape() (rows, cols int) { return 1, t.n }
+func (t *parTransform) Ranks() int              { return t.ranks }
+func (t *parTransform) Protection() Protection  { return t.prot }
+
+func (t *parTransform) Forward(ctx context.Context, dst, src []complex128) (Report, error) {
+	if err := checkArgs(t.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	return t.pl.TransformContext(ctx, dst, src)
+}
+
+func (t *parTransform) Inverse(ctx context.Context, dst, src []complex128) (Report, error) {
+	if err := checkArgs(t.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	buf := t.scratch.Get().(*[]complex128)
+	sc := *buf
+	for i := 0; i < t.n; i++ {
+		sc[i] = conj(src[i])
+	}
+	rep, err := t.pl.TransformContext(ctx, dst, sc)
+	if err == nil {
+		inv := complex(1/float64(t.n), 0)
+		for i := 0; i < t.n; i++ {
+			dst[i] = conj(dst[i]) * inv
+		}
+	}
+	t.scratch.Put(buf)
+	return rep, err
+}
+
+// maxBatchWorlds caps concurrent batch items on a parallel plan at the
+// plan's execution-context (world) pool size, so batches never construct
+// worlds the pool would immediately discard.
+const maxBatchWorlds = 4
+
+func (t *parTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
+	if err := checkBatch(t.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	// Each item already fans out over t.ranks goroutines; run just enough
+	// items concurrently to keep the remaining cores busy (the plan's
+	// execution-context pool hands each in-flight item its own world).
+	workers := min(max(1, runtime.GOMAXPROCS(0)/max(1, t.ranks)), maxBatchWorlds)
+	return runIndexed(ctx, len(dst), workers, "batch item", func(ctx context.Context, _, i int) (Report, error) {
+		return t.pl.TransformContext(ctx, dst[i], src[i])
+	})
+}
+
 // ParallelOptions configures a ParallelPlan.
+//
+// Deprecated: use New with WithRanks; Protected/Optimized map onto
+// WithProtection (None ↔ opt-FFTW, OnlineABFTMemory ↔ opt-FT-FFTW, the
+// Naive levels ↔ the unoptimized pipelines).
 type ParallelOptions struct {
 	// Protected enables the online ABFT scheme across ranks (FT-FFTW);
 	// false runs the plain six-step parallel FFT (FFTW).
@@ -23,11 +134,10 @@ type ParallelOptions struct {
 }
 
 // ParallelPlan computes protected forward DFTs with the paper's §5 six-step
-// in-place parallel algorithm. Ranks are goroutines over an in-process
-// message-passing runtime; every transposed block travels with weighted
-// checksums, FFT1 sub-transforms carry dual-use input checksums, the twiddle
-// stage is DMR-protected, and FFT2 runs the in-place two/three-layer
-// protected transform (with a DMR middle layer when N/p = r·k²).
+// in-place parallel algorithm.
+//
+// Deprecated: use New with WithRanks, which adds Inverse, ForwardBatch and
+// cancellation on the same pipeline.
 type ParallelPlan struct {
 	pl *parallel.Plan
 }
@@ -36,6 +146,8 @@ type ParallelPlan struct {
 // Geometry requirements: ranks² must divide n (so transposes exchange equal
 // blocks) and n/ranks must factor as k·r·k² with small r — powers of two
 // always qualify.
+//
+// Deprecated: use New(n, WithRanks(ranks), ...).
 func NewParallelPlan(n, ranks int, opts ParallelOptions) (*ParallelPlan, error) {
 	pl, err := parallel.NewPlan(n, ranks, parallel.Config{
 		Protected:  opts.Protected,
@@ -60,5 +172,8 @@ func (p *ParallelPlan) Ranks() int { return p.pl.P() }
 // owns the slices [j·N/p, (j+1)·N/p) of both arrays, mirroring the
 // distributed layout.
 func (p *ParallelPlan) Forward(dst, src []complex128) (Report, error) {
+	if err := checkArgs(p.pl.N(), dst, src); err != nil {
+		return Report{}, err
+	}
 	return p.pl.Transform(dst, src)
 }

@@ -100,6 +100,42 @@ func Test2DFaultRecovery(t *testing.T) {
 	}
 }
 
+// Test2DInverseFaultRecovery drives scheduled faults through the 2-D
+// inverse path: detection must be reported and the repaired output must
+// match a clean reference within round-off tolerance.
+func Test2DInverseFaultRecovery(t *testing.T) {
+	rows, cols := 32, 32
+	x := workload.Uniform(9, rows*cols)
+	clean, err := ftfft.NewPlan2D(rows, cols, ftfft.Options{Protection: ftfft.OnlineABFTMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, rows*cols)
+	if _, err := clean.Inverse(want, append([]complex128(nil), x...)); err != nil {
+		t.Fatal(err)
+	}
+	sched := ftfft.NewFaultSchedule(10,
+		ftfft.Fault{Site: ftfft.SiteSubFFT1, Rank: ftfft.AnyRank, Occurrence: 5, Index: -1, Mode: ftfft.AddConstant, Value: 4},
+		ftfft.Fault{Site: ftfft.SiteInputMemory, Rank: ftfft.AnyRank, Occurrence: 2, Index: -1, Mode: ftfft.SetConstant, Value: 11},
+	)
+	p, err := ftfft.NewPlan2D(rows, cols, ftfft.Options{Protection: ftfft.OnlineABFTMemory, Injector: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, rows*cols)
+	rep, err := p.Inverse(got, append([]complex128(nil), x...))
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if !sched.AllFired() || rep.Clean() {
+		t.Fatalf("fired=%v rep=%+v", sched.AllFired(), rep)
+	}
+	n := float64(rows * cols)
+	if d := maxAbsDiff(got, want); d > 1e-7*n*(1+maxAbs(want)) {
+		t.Fatalf("2-D inverse recovery diff %g (%+v)", d, rep)
+	}
+}
+
 func Test2DValidation(t *testing.T) {
 	if _, err := ftfft.NewPlan2D(0, 8, ftfft.Options{}); err == nil {
 		t.Fatal("zero rows accepted")

@@ -1,0 +1,311 @@
+package ftfft
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftfft/internal/core"
+)
+
+// Transform is the unified executor every planner composition produces: one
+// protected FFT with many execution strategies, behind one cancellable
+// contract. Forward and Inverse compute out-of-place DFTs of exactly Len()
+// points; ForwardBatch amortizes plan state across many transforms. All
+// methods are safe for concurrent use — concurrent calls draw separate
+// execution contexts from an internal pool.
+//
+// Cancellation: ctx is observed at sub-transform boundaries (and, for
+// parallel transforms, unblocks ranks parked in a transpose receive via a
+// communicator abort). A canceled call returns ctx.Err() with dst in an
+// unspecified state. The returned Report is valid even alongside an error.
+type Transform interface {
+	// Forward computes X_j = Σ_t x_t·exp(-2πi·jt/N) from src into dst (2-D
+	// shapes transform rows then columns). dst and src must each hold Len()
+	// elements and must not alias. When memory protection is active and an
+	// input memory fault is detected, src is repaired in place.
+	Forward(ctx context.Context, dst, src []complex128) (Report, error)
+	// Inverse computes the inverse DFT (1/N normalization) under the same
+	// protection, via the conjugation identity IDFT(x) = conj(DFT(conj(x)))/N
+	// — the entire ABFT machinery guards the inverse path too.
+	Inverse(ctx context.Context, dst, src []complex128) (Report, error)
+	// ForwardBatch runs Forward for every (dst[i], src[i]) pair, reusing the
+	// plan's pooled execution contexts across items (and running items
+	// concurrently when cores are idle). Outputs are bit-identical to the
+	// equivalent sequence of Forward calls; with a stateful Injector
+	// installed, which item a scheduled fault strikes may differ between
+	// batched and unbatched runs, because concurrent items race for the
+	// injector's occurrence counters. The aggregate Report sums all items;
+	// the first failing item stops the batch.
+	ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error)
+	// Len returns the total number of points per transform.
+	Len() int
+	// Shape returns the 2-D geometry (rows, cols); 1-D transforms report
+	// (1, Len()).
+	Shape() (rows, cols int)
+	// Ranks returns the parallelism degree: simulated ranks for a parallel
+	// 1-D transform, worker-pool size for a 2-D transform, 1 otherwise.
+	Ranks() int
+	// Protection returns the configured fault-tolerance scheme.
+	Protection() Protection
+}
+
+// New plans an n-point protected transform. The zero option set is a plain
+// sequential 1-D FFT; options compose protection (WithProtection), geometry
+// (WithShape) and parallelism (WithRanks):
+//
+//	ftfft.New(1<<20, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+//	ftfft.New(1<<20, ftfft.WithRanks(8), ftfft.WithProtection(ftfft.OnlineABFTMemory))
+//	ftfft.New(rows*cols, ftfft.WithShape(rows, cols), ftfft.WithRanks(4))
+//
+// Like FFTW, plans front-load all derived state — FFT sub-plans, twiddle
+// tables, checksum weight vectors, communicators and workspaces — so
+// executing a Transform allocates nothing in steady state.
+func New(n int, opts ...Option) (Transform, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("ftfft: invalid transform size %d", n)
+	}
+	if c.ranks < 0 {
+		return nil, fmt.Errorf("ftfft: invalid rank count %d", c.ranks)
+	}
+	if c.rows != 0 || c.cols != 0 {
+		if c.rows < 1 || c.cols < 1 {
+			return nil, fmt.Errorf("ftfft: invalid 2-D shape %d×%d", c.rows, c.cols)
+		}
+		if n != c.rows*c.cols {
+			return nil, fmt.Errorf("ftfft: size %d does not match shape %d×%d", n, c.rows, c.cols)
+		}
+		return newGrid2D(c)
+	}
+	if c.ranks > 1 {
+		return newParTransform(n, c)
+	}
+	return newSeqTransform(n, c)
+}
+
+// checkArgs is the uniform API-boundary validation every executor applies:
+// both buffers must hold n elements and must not alias (all transforms are
+// out-of-place).
+func checkArgs(n int, dst, src []complex128) error {
+	if len(dst) < n || len(src) < n {
+		return fmt.Errorf("ftfft: buffers too short: dst=%d src=%d, need %d", len(dst), len(src), n)
+	}
+	if &dst[0] == &src[0] {
+		return fmt.Errorf("ftfft: dst and src alias the same memory; transforms are out-of-place")
+	}
+	return nil
+}
+
+// checkBatch validates a batch: matching item counts, and every pair passes
+// checkArgs.
+func checkBatch(n int, dst, src [][]complex128) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("ftfft: batch size mismatch: %d dst vs %d src", len(dst), len(src))
+	}
+	for i := range dst {
+		if err := checkArgs(n, dst[i], src[i]); err != nil {
+			return fmt.Errorf("ftfft: batch item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runIndexed drives items through fn with at most workers concurrent
+// calls, accumulating the per-item Reports. fn receives its worker index
+// (0 ≤ w < workers) so callers can hand each worker a private scratch
+// slot. The first failing item (lowest index) determines the returned
+// error, wrapped as "<label> <index>"; later items may have been skipped.
+func runIndexed(ctx context.Context, items, workers int, label string, fn func(ctx context.Context, worker, item int) (Report, error)) (Report, error) {
+	var total Report
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+			rep, err := fn(ctx, 0, i)
+			total.Add(rep)
+			if err != nil {
+				return total, fmt.Errorf("ftfft: %s %d: %w", label, i, err)
+			}
+		}
+		return total, nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		reps    = make([]Report, workers)
+		errs    = make([]error, workers)
+		errItem = make([]int, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				rep, err := fn(ctx, w, i)
+				reps[w].Add(rep)
+				if err != nil {
+					errs[w], errItem[w] = err, i
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	firstItem, firstErr := items, error(nil)
+	for w := 0; w < workers; w++ {
+		total.Add(reps[w])
+		if errs[w] != nil && errItem[w] < firstItem {
+			firstItem, firstErr = errItem[w], errs[w]
+		}
+	}
+	if firstErr != nil {
+		return total, fmt.Errorf("ftfft: %s %d: %w", label, firstItem, firstErr)
+	}
+	return total, ctx.Err()
+}
+
+// seqTransform is the sequential 1-D executor: a pool of core transformers
+// (one drawn per in-flight call) behind the unified contract.
+type seqTransform struct {
+	n    int
+	prot Protection
+	cfg  core.Config
+
+	mu   sync.Mutex
+	free []*seqCtx
+}
+
+// seqCtx is one in-flight call's state: the transformer and the conjugation
+// staging buffer the inverse path writes conj(src) into.
+type seqCtx struct {
+	tr      *core.Transformer
+	scratch []complex128
+}
+
+// maxPooledSeq bounds how many idle sequential contexts a plan retains.
+const maxPooledSeq = 16
+
+func newSeqTransform(n int, c config) (*seqTransform, error) {
+	cfg, err := c.protection.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Injector = c.injector
+	cfg.EtaScale = c.etaScale
+	cfg.MaxRetries = c.maxRetries
+	s := &seqTransform{n: n, prot: c.protection, cfg: cfg}
+	// Build the first context eagerly: it validates n against the scheme
+	// and pre-warms the pool.
+	ec, err := s.newCtx()
+	if err != nil {
+		return nil, err
+	}
+	s.free = append(s.free, ec)
+	return s, nil
+}
+
+func (s *seqTransform) newCtx() (*seqCtx, error) {
+	tr, err := core.New(s.n, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &seqCtx{tr: tr, scratch: make([]complex128, s.n)}, nil
+}
+
+func (s *seqTransform) getCtx() (*seqCtx, error) {
+	s.mu.Lock()
+	if k := len(s.free); k > 0 {
+		ec := s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+		s.mu.Unlock()
+		return ec, nil
+	}
+	s.mu.Unlock()
+	return s.newCtx()
+}
+
+// putCtx returns a context to the pool. Unlike the parallel worlds, a core
+// transformer rewrites all working state per call, so contexts are reusable
+// even after a failed transform.
+func (s *seqTransform) putCtx(ec *seqCtx) {
+	s.mu.Lock()
+	if len(s.free) < maxPooledSeq {
+		s.free = append(s.free, ec)
+	}
+	s.mu.Unlock()
+}
+
+func (s *seqTransform) Len() int                { return s.n }
+func (s *seqTransform) Shape() (rows, cols int) { return 1, s.n }
+func (s *seqTransform) Ranks() int              { return 1 }
+func (s *seqTransform) Protection() Protection  { return s.prot }
+
+func (s *seqTransform) Forward(ctx context.Context, dst, src []complex128) (Report, error) {
+	if err := checkArgs(s.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	ec, err := s.getCtx()
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := ec.tr.TransformContext(ctx, dst[:s.n], src[:s.n])
+	s.putCtx(ec)
+	return rep, err
+}
+
+func (s *seqTransform) Inverse(ctx context.Context, dst, src []complex128) (Report, error) {
+	if err := checkArgs(s.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	ec, err := s.getCtx()
+	if err != nil {
+		return Report{}, err
+	}
+	for i := 0; i < s.n; i++ {
+		ec.scratch[i] = conj(src[i])
+	}
+	rep, err := ec.tr.TransformContext(ctx, dst[:s.n], ec.scratch)
+	if err == nil {
+		inv := complex(1/float64(s.n), 0)
+		for i := 0; i < s.n; i++ {
+			dst[i] = conj(dst[i]) * inv
+		}
+	}
+	s.putCtx(ec)
+	return rep, err
+}
+
+func (s *seqTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
+	if err := checkBatch(s.n, dst, src); err != nil {
+		return Report{}, err
+	}
+	// Worker count is capped at the context-pool size, so the steady state
+	// never constructs transformers beyond what the pool retains.
+	workers := min(runtime.GOMAXPROCS(0), maxPooledSeq)
+	return runIndexed(ctx, len(dst), workers, "batch item", func(ctx context.Context, _, i int) (Report, error) {
+		return s.Forward(ctx, dst[i], src[i])
+	})
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
