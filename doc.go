@@ -57,14 +57,33 @@
 // canceled call returns ctx.Err() with dst in an unspecified state; the
 // plan itself remains usable.
 //
+// # One bounded execution runtime
+//
+// Every concurrency mechanism in the library — simulated-MPI rank fan-out,
+// 2-D row/column pass dispatch, ForwardBatch item scheduling — runs on one
+// shared bounded executor with a fixed worker budget (by default one
+// process-wide pool sized to GOMAXPROCS; WithWorkers or WithExecutor select
+// a private or shared budget per plan). Worker goroutines are spawned
+// lazily, parked when idle, and reused across calls; communicating rank
+// groups are admitted atomically in FIFO order, and independent task groups
+// always make progress on the calling goroutine. The result is the
+// goroutine-bound guarantee: M concurrent callers queue for admission
+// instead of spawning M·ranks goroutines, so dispatch adds at most the
+// worker budget plus a small constant to the process — provided WithRanks
+// stays within the budget (an oversized rank gang runs its surplus on
+// transient goroutines, since co-scheduling is a correctness requirement).
+// Every task runs with panic containment and receives the caller's context.
+// Executor choice never changes arithmetic: outputs are bit-identical
+// across budgets.
+//
 // # Plan once, execute many
 //
 // Like FFTW, plans front-load all derived state: FFT sub-plans, twiddle
 // tables, checksum weight vectors, the message-passing world and every
 // per-rank workspace buffer are built at New time and reused by every
 // transform. Steady-state sequential transforms perform zero allocations;
-// parallel transforms allocate only the O(ranks) cost of spawning rank
-// goroutines.
+// parallel transforms allocate only the O(ranks) dispatch cost of one rank
+// task group on pooled workers.
 //
 // Transforms are safe for concurrent use by multiple goroutines.
 // Workspaces are per-call: every executor keeps a pool of execution

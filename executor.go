@@ -1,0 +1,70 @@
+package ftfft
+
+import (
+	"fmt"
+
+	"ftfft/internal/exec"
+)
+
+// Executor is the bounded execution runtime a Transform dispatches its
+// parallel work on: simulated-MPI rank fan-out, 2-D row/column passes and
+// ForwardBatch items all draw from its fixed budget of pooled worker
+// goroutines. Worker goroutines are spawned lazily, parked when idle, and
+// reused across calls for the executor's lifetime, so the goroutine count
+// attributable to an Executor never exceeds its budget — no matter how many
+// concurrent callers share the Transforms built on it. Callers beyond the
+// budget queue in arrival order instead of thundering the scheduler.
+//
+// By default every Transform shares one process-wide executor sized to
+// runtime.GOMAXPROCS(0). WithWorkers gives one Transform a private budget;
+// WithExecutor shares a private budget between several Transforms.
+//
+// One caveat: a parallel 1-D transform's p ranks communicate, so they are
+// co-scheduled as an atomic group. If p exceeds the budget the surplus ranks
+// run on transient goroutines for the call's duration — keep WithRanks ≤ the
+// executor budget to preserve the strict goroutine bound.
+type Executor struct {
+	pool *exec.Pool
+}
+
+// NewExecutor creates an executor with a fixed budget of workers pooled
+// goroutines. workers must be ≥ 1. The executor can back any number of
+// Transforms (WithExecutor) and is safe for concurrent use.
+func NewExecutor(workers int) (*Executor, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("ftfft: invalid executor worker count %d", workers)
+	}
+	return &Executor{pool: exec.New(workers)}, nil
+}
+
+// Workers returns the executor's worker budget.
+func (e *Executor) Workers() int { return e.pool.Workers() }
+
+// Close releases the executor's parked worker goroutines. It is idempotent
+// and non-blocking, and the executor (and any Transform built on it) remains
+// usable afterwards — dispatch simply reverts to spawn-per-task, trading
+// worker reuse for reclaimability. Call it when the Transforms sharing this
+// executor are retired; private WithWorkers pools are closed automatically
+// when their Transform is garbage collected.
+func (e *Executor) Close() { e.pool.Close() }
+
+// WithWorkers gives the Transform a private executor with a fixed budget of
+// n pooled worker goroutines (n ≥ 1), instead of the process-wide default.
+// Use it to ring-fence a latency-critical plan from the rest of the process,
+// or to cap the dispatch concurrency of a background one. Mutually exclusive
+// with WithExecutor.
+//
+// Tuning: the budget is a dispatch bound, not a speed-up knob — n beyond
+// GOMAXPROCS buys nothing for compute-bound transforms. For a parallel plan
+// choose n = WithRanks·k to let k transforms run concurrently; for 2-D and
+// batch work any n ≥ 1 is safe (dispatch degrades to the caller's goroutine
+// at saturation).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithExecutor dispatches the Transform on a shared Executor, so several
+// plans draw from one worker budget. Mutually exclusive with WithWorkers.
+func WithExecutor(e *Executor) Option {
+	return func(c *config) { c.executor, c.executorSet = e, true }
+}

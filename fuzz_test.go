@@ -1,0 +1,76 @@
+package ftfft_test
+
+import (
+	"testing"
+
+	"ftfft"
+	"ftfft/internal/dft"
+)
+
+// fuzzSizes are composite transform sizes (the online two-layer scheme needs
+// a composite n), spanning power-of-two, mixed-radix, and Bluestein-adjacent
+// geometries while staying small enough for the O(n²) reference DFT.
+var fuzzSizes = []int{8, 16, 60, 64, 100, 128, 240, 256}
+
+// fuzzProtections covers every protection level.
+var fuzzProtections = []ftfft.Protection{
+	ftfft.None,
+	ftfft.OfflineABFT,
+	ftfft.OfflineABFTNaive,
+	ftfft.OnlineABFT,
+	ftfft.OnlineABFTNaive,
+	ftfft.OnlineABFTMemory,
+	ftfft.OnlineABFTMemoryNaive,
+}
+
+// FuzzForwardInverse cross-checks the planned, protected transform against
+// the O(n²) reference DFT (internal/dft) and the Forward∘Inverse round trip
+// against the input, across sizes and protection levels, on fuzzer-chosen
+// data. Any divergence means the planner, a protection scheme, or the
+// executor dispatch corrupted the arithmetic.
+func FuzzForwardInverse(f *testing.F) {
+	f.Add(uint8(1), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(3), uint8(5), []byte{0xff, 0x80, 0x01, 0x7f, 0x00, 0x10})
+	f.Add(uint8(7), uint8(3), []byte{9, 9, 9, 9})
+	f.Add(uint8(4), uint8(6), []byte{})
+	f.Fuzz(func(t *testing.T, sizeSel, protSel uint8, raw []byte) {
+		n := fuzzSizes[int(sizeSel)%len(fuzzSizes)]
+		prot := fuzzProtections[int(protSel)%len(fuzzProtections)]
+		src := make([]complex128, n)
+		for i := range src {
+			var re, im int8
+			if 2*i < len(raw) {
+				re = int8(raw[2*i])
+			}
+			if 2*i+1 < len(raw) {
+				im = int8(raw[2*i+1])
+			}
+			src[i] = complex(float64(re)/8, float64(im)/8)
+		}
+		tr, err := ftfft.New(n, ftfft.WithProtection(prot))
+		if err != nil {
+			t.Skipf("size %d rejected under %v: %v", n, prot, err)
+		}
+		want := dft.Transform(src)
+		got := make([]complex128, n)
+		rep, err := tr.Forward(bg, got, append([]complex128(nil), src...))
+		if err != nil {
+			t.Fatalf("n=%d prot=%v: Forward: %v (%+v)", n, prot, err, rep)
+		}
+		if !rep.Clean() {
+			t.Fatalf("n=%d prot=%v: fault activity on a fault-free run: %+v", n, prot, rep)
+		}
+		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Fatalf("n=%d prot=%v: forward diverged from reference DFT by %g (tol %g)", n, prot, d, tol)
+		}
+		back := make([]complex128, n)
+		if _, err := tr.Inverse(bg, back, got); err != nil {
+			t.Fatalf("n=%d prot=%v: Inverse: %v", n, prot, err)
+		}
+		tol = 1e-9 * float64(n) * (1 + maxAbs(src))
+		if d := maxAbsDiff(back, src); d > tol {
+			t.Fatalf("n=%d prot=%v: round trip diverged by %g (tol %g)", n, prot, d, tol)
+		}
+	})
+}

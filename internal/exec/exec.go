@@ -1,0 +1,428 @@
+// Package exec is the shared, bounded execution runtime beneath every
+// concurrency mechanism in the library: simulated-MPI rank fan-out
+// (internal/mpi, internal/parallel), 2-D row/column pass dispatch, and
+// ForwardBatch item scheduling all draw their goroutines from one Pool
+// instead of spawning their own.
+//
+// The design goal is the serving scenario: M simultaneous callers sharing
+// plans must not multiply into M·p runnable goroutines. A Pool holds a fixed
+// budget of worker permits; worker goroutines are spawned lazily, parked
+// when idle, and reused across tasks, so the process-wide goroutine count
+// attributable to a pool stays within its budget regardless of caller count.
+// Callers that arrive when the budget is exhausted queue in admission order
+// instead of thundering the scheduler.
+//
+// Two submission shapes cover every use in the library:
+//
+//   - Run executes n independent items with bounded width. The calling
+//     goroutine always participates, so Run makes progress even at
+//     saturation and nested Runs degrade to inline execution instead of
+//     deadlocking.
+//   - Gang atomically admits n co-scheduled tasks that may block on each
+//     other (communicating ranks). Atomic admission prevents the partial-
+//     gang deadlock where two fan-outs each hold half their workers.
+//
+// Every task runs with panic containment (a panicking task surfaces as a
+// *PanicError instead of killing the process) and receives the submitter's
+// context for cancellation.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded work-queue executor. The zero value is not usable; use
+// New or Default. A Pool is safe for concurrent use and never shrinks: idle
+// workers stay parked (budget-bounded) so steady-state dispatch reuses warm
+// goroutines instead of spawning.
+type Pool struct {
+	workers int
+
+	mu      sync.Mutex
+	avail   int           // free worker permits
+	idle    []chan func() // parked worker mailboxes
+	spawned int           // live worker goroutines (running + parked)
+	waiters []*waiter     // FIFO admission queue (gang acquisitions)
+	closed  bool          // Close called: workers exit instead of parking
+}
+
+// waiter is one queued admission request for need permits.
+type waiter struct {
+	need  int
+	ready chan struct{}
+}
+
+// New creates a pool with a fixed budget of workers goroutines (values < 1
+// are clamped to 1). Workers are spawned lazily on first use and retained
+// parked for the pool's lifetime.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, avail: workers}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide pool, sized to runtime.GOMAXPROCS(0) at
+// first use. Every plan that is not given a private pool dispatches here, so
+// the whole process shares one worker budget.
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = New(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}
+
+// Workers returns the pool's worker budget.
+func (p *Pool) Workers() int { return p.workers }
+
+// PanicError is a contained task panic: the recovered value and the stack of
+// the panicking task, surfaced as an ordinary error by Run or Gang.Wait.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// protect invokes fn with panic containment.
+func protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// ---------------------------------------------------------------- admission
+
+// acquire blocks until need permits are free (FIFO among acquirers) or ctx
+// is canceled. need is clamped by callers to ≤ workers.
+func (p *Pool) acquire(ctx context.Context, need int) error {
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.avail >= need {
+		p.avail -= need
+		p.mu.Unlock()
+		return nil
+	}
+	w := &waiter{need: need, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		granted := true
+		for i, q := range p.waiters {
+			if q == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		if granted {
+			// The grant raced the cancellation: hand the permits straight
+			// back so the queue keeps moving.
+			p.avail += need
+			p.grantLocked()
+		}
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// tryAcquire takes one permit without queueing. It fails when the pool is
+// exhausted or when gangs are waiting (best-effort helpers must not starve
+// queued admissions).
+func (p *Pool) tryAcquire() bool {
+	p.mu.Lock()
+	ok := len(p.waiters) == 0 && p.avail > 0
+	if ok {
+		p.avail--
+	}
+	p.mu.Unlock()
+	return ok
+}
+
+// grantLocked admits queued waiters in FIFO order while permits suffice.
+// Head-of-line blocking is deliberate: it guarantees large gangs are not
+// starved by a stream of small acquisitions.
+func (p *Pool) grantLocked() {
+	for len(p.waiters) > 0 && p.avail >= p.waiters[0].need {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.avail -= w.need
+		close(w.ready)
+	}
+}
+
+// release returns n permits and wakes admissible waiters.
+func (p *Pool) release(n int) {
+	p.mu.Lock()
+	p.avail += n
+	p.grantLocked()
+	p.mu.Unlock()
+}
+
+// ---------------------------------------------------------------- dispatch
+
+// dispatch hands fn to a parked worker, spawning one only when none is
+// parked. The caller must hold one permit; the worker releases it when fn
+// returns and then parks for reuse.
+func (p *Pool) dispatch(fn func()) {
+	p.mu.Lock()
+	if k := len(p.idle); k > 0 {
+		ch := p.idle[k-1]
+		p.idle[k-1] = nil
+		p.idle = p.idle[:k-1]
+		p.mu.Unlock()
+		ch <- fn
+		return
+	}
+	p.spawned++
+	p.mu.Unlock()
+	ch := make(chan func(), 1)
+	ch <- fn
+	go p.worker(ch)
+}
+
+// worker is one pooled goroutine: run a task, release its permit, park —
+// or exit instead of parking once the pool is closed.
+func (p *Pool) worker(ch chan func()) {
+	for fn := range ch {
+		fn()
+		p.mu.Lock()
+		if p.closed {
+			p.spawned--
+			p.avail++
+			p.grantLocked()
+			p.mu.Unlock()
+			return
+		}
+		p.idle = append(p.idle, ch)
+		p.avail++
+		p.grantLocked()
+		p.mu.Unlock()
+	}
+}
+
+// Close releases the pool's parked worker goroutines and stops future
+// parking: workers finishing in-flight tasks exit instead of idling, so a
+// discarded private pool reclaims its goroutines. Close is idempotent and
+// non-blocking; the pool stays usable afterwards (dispatch reverts to
+// spawn-per-task, trading reuse for reclaimability), so callers racing a
+// Close remain correct.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.spawned -= len(idle)
+	p.mu.Unlock()
+	for _, ch := range idle {
+		close(ch)
+	}
+}
+
+// Spawned reports how many worker goroutines the pool has ever started
+// (running + parked) — by construction never more than Workers().
+func (p *Pool) Spawned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawned
+}
+
+// --------------------------------------------------------------- task groups
+
+// groupRun is the shared state of one Run call.
+type groupRun struct {
+	ctx     context.Context
+	fn      func(ctx context.Context, slot, item int) error
+	items   int
+	next    atomic.Int64
+	failed  atomic.Bool
+	errs    []error
+	errItem []int
+}
+
+// loop drains items on one slot until exhaustion, failure, or cancellation.
+func (r *groupRun) loop(slot int) {
+	for {
+		if r.failed.Load() || r.ctx.Err() != nil {
+			return
+		}
+		i := int(r.next.Add(1)) - 1
+		if i >= r.items {
+			return
+		}
+		if err := protect(func() error { return r.fn(r.ctx, slot, i) }); err != nil {
+			r.errs[slot], r.errItem[slot] = err, i
+			r.failed.Store(true)
+			return
+		}
+	}
+}
+
+// Run executes items 0..n-1 through fn with at most width concurrent
+// executions, each holding an exclusive slot in [0, width) — callers hand
+// each slot private scratch. The calling goroutine always participates
+// (slot 0), so Run completes even when the pool is saturated and nested
+// Runs degrade to inline execution instead of deadlocking; slots 1..width-1
+// are staffed by idle pool workers on a best-effort basis.
+//
+// The first failing item (lowest index) determines the returned error;
+// contained panics surface as *PanicError. Later items may be skipped after
+// a failure. ctx is observed before each item and passed through to fn; a
+// cancellation with no item failure returns ctx.Err().
+func (p *Pool) Run(ctx context.Context, n, width int, fn func(ctx context.Context, slot, item int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if width > n {
+		width = n
+	}
+	if width < 1 {
+		width = 1
+	}
+	r := &groupRun{ctx: ctx, fn: fn, items: n, errs: make([]error, width), errItem: make([]int, width)}
+	var wg sync.WaitGroup
+	for s := 1; s < width; s++ {
+		if !p.tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		slot := s
+		p.dispatch(func() {
+			defer wg.Done()
+			r.loop(slot)
+		})
+	}
+	r.loop(0)
+	wg.Wait()
+	firstItem, firstErr := n, error(nil)
+	for s := range r.errs {
+		if r.errs[s] != nil && r.errItem[s] < firstItem {
+			firstItem, firstErr = r.errItem[s], r.errs[s]
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// --------------------------------------------------------------------- gangs
+
+// Gang is one admitted co-scheduled task group; Wait joins it.
+type Gang struct {
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+	firstIdx int
+}
+
+// record keeps the lowest-index task error.
+func (g *Gang) record(i int, err error) {
+	if err == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.firstErr == nil || i < g.firstIdx {
+		g.firstErr, g.firstIdx = err, i
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until every gang task has returned and reports the first
+// (lowest-index) task error; contained panics surface as *PanicError.
+func (g *Gang) Wait() error {
+	g.wg.Wait()
+	return g.firstErr
+}
+
+// Reservation is an admitted-but-not-yet-started gang: its permits are
+// held, so Launch cannot block. Reserving before building per-call state
+// (worlds, workspaces) keeps expensive resources out of the admission queue
+// — a caller waiting for permits holds nothing.
+type Reservation struct {
+	p    *Pool
+	n    int // gang size
+	cost int // permits held = min(n, budget)
+	used bool
+}
+
+// Reserve atomically admits a gang of n co-scheduled tasks without starting
+// it. Admission blocks, FIFO among gangs, until min(n, Workers()) permits
+// are free; an error is returned only when ctx is canceled while waiting.
+// The reservation must be consumed by exactly one Launch or Cancel.
+//
+// When n exceeds the pool budget the surplus tasks will run on transient
+// goroutines for the gang's duration — co-scheduling is a correctness
+// requirement, so an oversized gang trades the strict budget for progress.
+// The goroutine bound therefore holds whenever gang sizes stay ≤ Workers().
+//
+// Reserve must not be called from inside a pool task: a worker blocking in
+// gang admission while holding its own permit can deadlock the pool.
+// Admission is caller-side only in this library (plan Forward/ForwardBatch
+// entry points).
+func (p *Pool) Reserve(ctx context.Context, n int) (*Reservation, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exec: invalid gang size %d", n)
+	}
+	cost := min(n, p.workers)
+	if err := p.acquire(ctx, cost); err != nil {
+		return nil, err
+	}
+	return &Reservation{p: p, n: n, cost: cost}, nil
+}
+
+// Cancel releases an unused reservation's permits.
+func (r *Reservation) Cancel() {
+	if r.used {
+		return
+	}
+	r.used = true
+	r.p.release(r.cost)
+}
+
+// Launch consumes the reservation and starts fn(ctx, 0..n-1) — tasks that
+// may block on one another, all running concurrently — returning the handle
+// to join. It never blocks: the permits are already held.
+func (r *Reservation) Launch(ctx context.Context, fn func(ctx context.Context, i int) error) *Gang {
+	if r.used {
+		panic("exec: reservation already consumed")
+	}
+	r.used = true
+	g := &Gang{}
+	g.wg.Add(r.n)
+	for i := 0; i < r.n; i++ {
+		i := i
+		body := func() {
+			defer g.wg.Done()
+			g.record(i, protect(func() error { return fn(ctx, i) }))
+		}
+		if i < r.cost {
+			r.p.dispatch(body)
+		} else {
+			go body()
+		}
+	}
+	return g
+}

@@ -24,13 +24,24 @@
 // rounds (the plan-once/execute-many contract): endpoints are created at
 // construction and Endpoint returns the same *Comm for a given rank every
 // time. A Comm must only ever be used by one goroutine at a time.
+//
+// Rank bodies are launched as co-scheduled task groups on the shared bounded
+// executor (internal/exec) via World.Launch, not as raw goroutines, so M
+// concurrent transforms draw from one worker budget instead of spawning M·p
+// goroutines. The wire itself sits behind the Transport interface: the
+// default stays the in-process channel matrix, but the seam admits future
+// multi-process transports (sockets, shared memory) without touching the
+// tag-matching, checksum, or abort machinery above it.
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"ftfft/internal/exec"
 	"ftfft/internal/fault"
 )
 
@@ -44,19 +55,76 @@ type payload struct {
 	data []complex128
 }
 
-// message is one tagged payload in flight.
-type message struct {
-	tag   int
-	buf   *payload
-	cs    [2]complex128 // per-block checksums (D1, D2); zero when unused
-	hasCS bool
+// Message is one tagged payload in flight between two ranks. Data aliases a
+// pooled buffer when the message originated in this process; transports must
+// treat it as read-only and deliver messages from one source in send order.
+type Message struct {
+	Tag   int
+	Data  []complex128
+	CS    [2]complex128 // per-block checksums (D1, D2); zero when unused
+	HasCS bool
+
+	// pb is the pooled backing buffer, recycled when the matching receive
+	// completes; nil for messages materialized by an external transport.
+	pb *payload
 }
 
-// World owns the mailboxes of a p-rank communicator.
+// Transport moves tagged messages between ranks — the wire beneath the
+// World. The in-process default is the buffered channel matrix
+// (chanTransport); the interface is the seam a future multi-process
+// transport plugs into. Implementations must be safe for concurrent use by
+// all ranks and must unblock any blocked operation when abort fires.
+type Transport interface {
+	// Send delivers m from src to dst, reporting false when the world
+	// aborted before the message could be accepted.
+	Send(dst, src int, m Message, abort <-chan struct{}) bool
+	// Recv blocks until the next message from src to dst arrives, reporting
+	// ok = false when abort fires first. Messages from one src must be
+	// delivered in send order; tag matching happens above the transport.
+	Recv(dst, src int, abort <-chan struct{}) (m Message, ok bool)
+}
+
+// chanTransport is the default in-process wire: a p×p matrix of deeply
+// buffered channels, so sends never block in this model.
+type chanTransport struct {
+	inbox [][]chan Message // inbox[dst][src]
+}
+
+func newChanTransport(p int) *chanTransport {
+	t := &chanTransport{inbox: make([][]chan Message, p)}
+	for dst := 0; dst < p; dst++ {
+		t.inbox[dst] = make([]chan Message, p)
+		for src := 0; src < p; src++ {
+			t.inbox[dst][src] = make(chan Message, 64)
+		}
+	}
+	return t
+}
+
+func (t *chanTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool {
+	select {
+	case t.inbox[dst][src] <- m:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+func (t *chanTransport) Recv(dst, src int, abort <-chan struct{}) (Message, bool) {
+	select {
+	case m := <-t.inbox[dst][src]:
+		return m, true
+	case <-abort:
+		return Message{}, false
+	}
+}
+
+// World owns the endpoints of a p-rank communicator and the abort state
+// layered over its Transport.
 type World struct {
-	p     int
-	inbox [][]chan message // inbox[dst][src]
-	inj   fault.Injector
+	p   int
+	tr  Transport
+	inj fault.Injector
 
 	barrier   *barrier
 	endpoints []*Comm
@@ -71,25 +139,26 @@ type World struct {
 	abortErr  error
 }
 
-// NewWorld creates a communicator with p ranks. inj, when non-nil, corrupts
-// message payloads in transit.
+// NewWorld creates a communicator with p ranks over the default in-process
+// channel transport. inj, when non-nil, corrupts message payloads in transit.
 func NewWorld(p int, inj fault.Injector) *World {
+	return NewWorldTransport(p, inj, nil)
+}
+
+// NewWorldTransport creates a communicator over an explicit transport; a nil
+// tr selects the in-process channel matrix.
+func NewWorldTransport(p int, inj fault.Injector, tr Transport) *World {
 	if p < 1 {
 		panic("mpi: world size must be ≥ 1")
 	}
-	w := &World{p: p, inj: inj, barrier: newBarrier(p), done: make(chan struct{})}
-	w.payloads.New = func() any { return new(payload) }
-	w.inbox = make([][]chan message, p)
-	for dst := 0; dst < p; dst++ {
-		w.inbox[dst] = make([]chan message, p)
-		for src := 0; src < p; src++ {
-			// Deep buffering: sends never block in this in-process model.
-			w.inbox[dst][src] = make(chan message, 64)
-		}
+	if tr == nil {
+		tr = newChanTransport(p)
 	}
+	w := &World{p: p, tr: tr, inj: inj, barrier: newBarrier(p), done: make(chan struct{})}
+	w.payloads.New = func() any { return new(payload) }
 	w.endpoints = make([]*Comm, p)
 	for r := 0; r < p; r++ {
-		w.endpoints[r] = &Comm{w: w, rank: r, pending: make([][]message, p)}
+		w.endpoints[r] = &Comm{w: w, rank: r, pending: make([][]Message, p)}
 	}
 	return w
 }
@@ -153,7 +222,7 @@ type Comm struct {
 	w    *World
 	rank int
 	// pending holds messages popped while searching for a tag match.
-	pending [][]message
+	pending [][]Message
 	// freeReqs recycles completed RecvRequests (single-goroutine freelist).
 	freeReqs []*RecvRequest
 }
@@ -164,27 +233,103 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.w.p }
 
-// Run spawns body on p ranks of a fresh world and waits for all of them; the
-// first non-nil error is returned. Callers that transform repeatedly should
-// instead hold a World and drive its persistent Endpoints directly.
+// Run launches body on p ranks of a fresh world as one executor task group
+// and waits for all of them; the first error (lowest rank) is returned.
+// Callers that transform repeatedly should instead hold a World and drive
+// its persistent Endpoints through Launch.
 func Run(p int, inj fault.Injector, body func(c *Comm) error) error {
 	w := NewWorld(p, inj)
-	errs := make([]error, p)
-	var wg sync.WaitGroup
-	for r := 0; r < p; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			errs[rank] = body(w.Endpoint(rank))
-		}(r)
+	l, err := w.Launch(context.Background(), nil, body)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return l.Wait()
+}
+
+// Launch is one in-flight rank fan-out: the executor gang running the rank
+// bodies plus the context watcher that converts a cancellation into the
+// world's poison-pill abort.
+type Launch struct {
+	g           *exec.Gang
+	stop        chan struct{}
+	watcherDone chan struct{}
+}
+
+// Launch runs body on every rank of the world as one co-scheduled task group
+// on ex (nil means the process-wide exec.Default()). The ranks are admitted
+// atomically — never partially — so co-blocking rank bodies cannot deadlock
+// against another caller's partial fan-out, and the pool's budget bounds the
+// process-wide rank-goroutine count no matter how many callers contend.
+//
+// A rank body that returns an error poisons the world (the poison-pill
+// broadcast), so its peers unwind out of blocked receives and barriers; ctx
+// cancellation fires the same abort. Launch returns once the group is
+// admitted and started; join it with Wait. The only error returned here is a
+// ctx cancellation during admission, with the world left untouched.
+func (w *World) Launch(ctx context.Context, ex *exec.Pool, body func(c *Comm) error) (*Launch, error) {
+	if ex == nil {
+		ex = exec.Default()
+	}
+	res, err := ex.Reserve(ctx, w.p)
+	if err != nil {
+		return nil, err
+	}
+	return w.LaunchReserved(ctx, res, body), nil
+}
+
+// LaunchReserved is Launch on a pre-admitted executor reservation (which
+// must have been made for exactly this world's size). It never blocks:
+// callers reserve first, then build or draw per-call state, then launch —
+// so expensive state is never held while queueing for admission.
+func (w *World) LaunchReserved(ctx context.Context, res *exec.Reservation, body func(c *Comm) error) *Launch {
+	g := res.Launch(ctx, func(_ context.Context, rank int) error {
+		err := runRankBody(body, w.endpoints[rank])
 		if err != nil {
-			return err
+			w.Abort(err)
 		}
+		return err
+	})
+	l := &Launch{g: g}
+	if done := ctx.Done(); done != nil {
+		l.stop = make(chan struct{})
+		l.watcherDone = make(chan struct{})
+		go func() {
+			defer close(l.watcherDone)
+			select {
+			case <-done:
+				w.Abort(ctx.Err())
+			case <-l.stop:
+			}
+		}()
 	}
-	return nil
+	return l
+}
+
+// runRankBody invokes body with panic containment INSIDE the abort wrapper:
+// a panicking rank must poison the world like any failing rank, or its peers
+// would block in Recv forever while the executor's own containment (which
+// sits outside this wrapper) quietly records the panic.
+func runRankBody(body func(c *Comm) error, c *Comm) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mpi: rank %d: %w", c.Rank(),
+				&exec.PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	return body(c)
+}
+
+// Wait joins the rank group and stops the cancellation watcher (joining it
+// too, so a late cancel cannot poison a world after its reuse). It returns
+// the lowest-rank error; the world's AbortCause usually carries the root
+// failure when peers report abort echoes.
+func (l *Launch) Wait() error {
+	err := l.g.Wait()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.watcherDone
+	}
+	return err
 }
 
 // Endpoint returns rank r's Comm. Repeated calls return the same endpoint;
@@ -218,21 +363,19 @@ type RecvRequest struct {
 
 // Isend sends len(data) elements of data to dst under tag, copying the
 // payload into a pooled buffer (and letting the world's injector corrupt the
-// copy in transit). It never blocks in this in-process model. cs carries the
+// copy in transit) before handing it to the transport. cs carries the
 // optional block checksums.
 func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRequest {
 	pb := c.w.getPayload(len(data))
 	copy(pb.data, data)
 	// The wire is where transit faults strike.
 	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
-	m := message{tag: tag, buf: pb}
+	m := Message{Tag: tag, Data: pb.data, pb: pb}
 	if cs != nil {
-		m.cs = *cs
-		m.hasCS = true
+		m.CS = *cs
+		m.HasCS = true
 	}
-	select {
-	case c.w.inbox[dst][c.rank] <- m:
-	case <-c.w.done:
+	if !c.w.tr.Send(dst, c.rank, m, c.w.done) {
 		// Aborted world: the receiver is unwinding, drop the payload.
 		c.w.payloads.Put(pb)
 	}
@@ -259,11 +402,13 @@ func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
 }
 
 // complete copies the matched message into the receive buffer, recycles the
-// payload and the request, and records the carried checksums.
-func (r *RecvRequest) complete(m message) {
-	copy(r.buf, m.buf.data)
-	r.c.w.payloads.Put(m.buf)
-	r.cs, r.hasCS, r.done = m.cs, m.hasCS, true
+// pooled payload (if any) and the request, and records the carried checksums.
+func (r *RecvRequest) complete(m Message) {
+	copy(r.buf, m.Data)
+	if m.pb != nil {
+		r.c.w.payloads.Put(m.pb)
+	}
+	r.cs, r.hasCS, r.done = m.CS, m.HasCS, true
 	r.c.freeReqs = append(r.c.freeReqs, r)
 }
 
@@ -280,21 +425,15 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
 	// First scan messages already popped for other tags.
 	q := c.pending[r.src]
 	for i, m := range q {
-		if m.tag == r.tag {
+		if m.Tag == r.tag {
 			c.pending[r.src] = append(q[:i], q[i+1:]...)
 			r.complete(m)
 			return r.cs, r.hasCS, nil
 		}
 	}
 	for {
-		select {
-		case m := <-c.w.inbox[c.rank][r.src]:
-			if m.tag == r.tag {
-				r.complete(m)
-				return r.cs, r.hasCS, nil
-			}
-			c.pending[r.src] = append(c.pending[r.src], m)
-		case <-c.w.done:
+		m, ok := c.w.tr.Recv(c.rank, r.src, c.w.done)
+		if !ok {
 			// Drain-then-abort would race the sender; the abort cause
 			// already carries the root failure, so just unwind. The
 			// request is recycled like a completed one.
@@ -303,6 +442,11 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
 			c.freeReqs = append(c.freeReqs, r)
 			return cs, false, err
 		}
+		if m.Tag == r.tag {
+			r.complete(m)
+			return r.cs, r.hasCS, nil
+		}
+		c.pending[r.src] = append(c.pending[r.src], m)
 	}
 }
 

@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"ftfft/internal/fault"
 )
@@ -230,6 +232,31 @@ func TestAbortUnblocksBarrier(t *testing.T) {
 	})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("want sentinel abort cause, got %v", err)
+	}
+}
+
+// TestRankPanicAbortsPeers: a panicking rank body must poison the world like
+// any failing rank — its peers unwind out of blocked receives with the
+// contained panic as the cause instead of deadlocking forever.
+func TestRankPanicAbortsPeers(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(2, nil, func(c *Comm) error {
+			if c.Rank() == 1 {
+				panic("rank body bug")
+			}
+			buf := make([]complex128, 1)
+			_, _, err := c.Recv(1, 0, buf) // blocks forever without the abort
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("want contained panic as abort cause, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("panicking rank deadlocked its peer")
 	}
 }
 

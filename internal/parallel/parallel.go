@@ -25,9 +25,11 @@
 //
 // Plans follow the plan-once/execute-many contract: NewPlan precomputes the
 // FFT sub-plans, twiddle tables, checksum weight vectors, the message-passing
-// world and every per-rank buffer; Transform itself allocates nothing beyond
-// the p rank goroutines. Plans are safe for concurrent use — concurrent
-// Transforms draw separate execution contexts from an internal pool.
+// world and every per-rank buffer; Transform itself submits one co-scheduled
+// rank group to the bounded executor (internal/exec) and allocates nothing
+// else. Plans are safe for concurrent use — concurrent Transforms draw
+// separate execution contexts from an internal pool and queue for executor
+// admission instead of multiplying goroutines.
 package parallel
 
 import (
@@ -39,6 +41,7 @@ import (
 
 	"ftfft/internal/checksum"
 	"ftfft/internal/core"
+	"ftfft/internal/exec"
 	"ftfft/internal/fault"
 	"ftfft/internal/fft"
 	"ftfft/internal/mpi"
@@ -61,6 +64,9 @@ type Config struct {
 	EtaScale float64
 	// MaxRetries caps per-unit recomputations; 0 means 3.
 	MaxRetries int
+	// Executor is the bounded pool the rank fan-out is dispatched on; nil
+	// means the process-wide exec.Default().
+	Executor *exec.Pool
 }
 
 // Plan executes protected parallel forward FFTs of a fixed size on a fixed
@@ -70,6 +76,7 @@ type Config struct {
 type Plan struct {
 	n, p, q, b int
 	cfg        Config
+	ex         *exec.Pool // rank fan-out executor (never nil)
 
 	fftP     *fft.Plan    // p-point FFT1 sub-plan (nil when p == 1)
 	weightsB []complex128 // checksum.Weights(b): transpose block weights
@@ -95,7 +102,10 @@ func NewPlan(n, p int, cfg Config) (*Plan, error) {
 	if q%p != 0 {
 		return nil, fmt.Errorf("parallel: local size %d not divisible by %d (need p² | n)", q, p)
 	}
-	pl := &Plan{n: n, p: p, q: q, b: q / p, cfg: cfg}
+	pl := &Plan{n: n, p: p, q: q, b: q / p, cfg: cfg, ex: cfg.Executor}
+	if pl.ex == nil {
+		pl.ex = exec.Default()
+	}
 	if p > 1 {
 		var err error
 		if pl.fftP, err = fft.NewPlan(p, fft.Forward); err != nil {
@@ -139,6 +149,9 @@ func twiddleTable(n, p, q int) []complex128 {
 	return tab
 }
 
+// Workers returns the worker budget of the executor the plan dispatches on.
+func (pl *Plan) Workers() int { return pl.ex.Workers() }
+
 // N returns the global transform size; P the number of ranks.
 func (pl *Plan) N() int { return pl.n }
 
@@ -163,71 +176,110 @@ func (pl *Plan) Transform(dst, src []complex128) (core.Report, error) {
 // fails (e.g. exhausts its retry budget): its peers return the failing
 // rank's error instead of deadlocking in Recv.
 func (pl *Plan) TransformContext(ctx context.Context, dst, src []complex128) (core.Report, error) {
-	if len(dst) < pl.n || len(src) < pl.n {
-		return core.Report{}, fmt.Errorf("parallel: buffers too short for size %d", pl.n)
+	if pl.p == 1 {
+		// Direct path keeps the sequential steady state allocation-free.
+		if len(dst) < pl.n || len(src) < pl.n {
+			return core.Report{}, fmt.Errorf("parallel: buffers too short for size %d", pl.n)
+		}
+		if err := ctx.Err(); err != nil {
+			return core.Report{}, err
+		}
+		return pl.runSeq(ctx, dst, src)
 	}
-	if err := ctx.Err(); err != nil {
+	inv, err := pl.Begin(ctx, dst, src)
+	if err != nil {
 		return core.Report{}, err
 	}
+	return inv.Wait()
+}
+
+// runSeq is the single-rank fallback: one in-place protected transform on a
+// pooled context, no communicator, no executor round-trip.
+func (pl *Plan) runSeq(ctx context.Context, dst, src []complex128) (core.Report, error) {
 	ec, err := pl.getCtx()
 	if err != nil {
 		return core.Report{}, err
 	}
+	copy(dst[:pl.n], src[:pl.n])
+	rep, err := ec.seq.TransformContext(ctx, dst[:pl.n])
+	if err == nil {
+		pl.putCtx(ec)
+	}
+	return rep, err
+}
+
+// Invocation is one in-flight parallel transform: the execution context it
+// drew and the rank task group launched on the executor. Begin/Wait exist so
+// batch drivers can pipeline several invocations — the executor's admission
+// queue, not per-item goroutines, provides the concurrency.
+type Invocation struct {
+	pl *Plan
+	ec *execCtx
+	l  *mpi.Launch
+
+	// p == 1 fast path: the transform completed synchronously in Begin.
+	done bool
+	rep  core.Report
+	err  error
+}
+
+// Begin validates the call, reserves executor admission for the rank group,
+// draws an execution context, and launches the fan-out. It blocks while the
+// executor is saturated (admission is FIFO, so callers drain in arrival
+// order) and returns once the ranks are running; join with Wait.
+//
+// Order matters: admission is reserved before the execution context is
+// drawn, so a caller queueing at a saturated executor holds no world — the
+// plan's context pool serves the gangs actually running, not the line
+// waiting to run. An admission-time cancellation returns ctx.Err() with no
+// context consumed.
+func (pl *Plan) Begin(ctx context.Context, dst, src []complex128) (*Invocation, error) {
+	if len(dst) < pl.n || len(src) < pl.n {
+		return nil, fmt.Errorf("parallel: buffers too short for size %d", pl.n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if pl.p == 1 {
-		copy(dst[:pl.n], src[:pl.n])
-		rep, err := ec.seq.TransformContext(ctx, dst[:pl.n])
-		if err == nil {
-			pl.putCtx(ec)
-		}
-		return rep, err
+		inv := &Invocation{pl: pl, done: true}
+		inv.rep, inv.err = pl.runSeq(ctx, dst, src)
+		return inv, nil
 	}
+	res, err := pl.ex.Reserve(ctx, pl.p)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := pl.getCtx()
+	if err != nil {
+		res.Cancel()
+		return nil, err
+	}
+	inv := &Invocation{pl: pl, ec: ec}
+	inv.l = ec.world.LaunchReserved(ctx, res, func(c *mpi.Comm) error {
+		rank := c.Rank()
+		rep, err := pl.rankBody(ctx, ec.ranks[rank], dst, src)
+		ec.reports[rank] = rep
+		// A non-nil return is the poison-pill broadcast (LaunchReserved
+		// aborts the world), so peers blocked on this rank's blocks return
+		// the root cause instead of hanging.
+		return err
+	})
+	return inv, nil
+}
 
-	// Cancellation watcher: a canceled context poisons this invocation's
-	// world so blocked receives unwind. The watcher is joined before the
-	// context can be pooled again, closing the race between a late cancel
-	// and context reuse.
-	var watcherDone, stop chan struct{}
-	if done := ctx.Done(); done != nil {
-		stop = make(chan struct{})
-		watcherDone = make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-done:
-				ec.world.Abort(ctx.Err())
-			case <-stop:
-			}
-		}()
+// Wait joins the rank group and aggregates the per-rank reports. A cleanly
+// finished context returns to the plan's pool; one that aborted (rank
+// failure or cancellation) is discarded, since its world may hold
+// undelivered messages.
+func (inv *Invocation) Wait() (core.Report, error) {
+	if inv.done {
+		return inv.rep, inv.err
 	}
-
-	var wg sync.WaitGroup
-	wg.Add(pl.p)
-	for r := 0; r < pl.p; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			rep, err := pl.rankBody(ctx, ec.ranks[rank], dst, src)
-			if err != nil {
-				// Poison-pill broadcast: peers blocked on this rank's
-				// blocks return the root cause instead of hanging.
-				ec.world.Abort(err)
-			}
-			ec.reports[rank], ec.errs[rank] = rep, err
-		}(r)
-	}
-	wg.Wait()
-	if stop != nil {
-		close(stop)
-		<-watcherDone
-	}
-
+	pl, ec := inv.pl, inv.ec
+	firstErr := inv.l.Wait()
 	var total core.Report
-	var firstErr error
 	for r := 0; r < pl.p; r++ {
 		total.Add(ec.reports[r])
-		if firstErr == nil && ec.errs[r] != nil {
-			firstErr = ec.errs[r]
-		}
-		ec.errs[r] = nil
 	}
 	if firstErr == nil {
 		if aborted := ec.world.Aborted(); !aborted {

@@ -27,9 +27,9 @@ type rankState struct {
 }
 
 // execCtx bundles everything one Transform invocation needs that cannot be
-// shared between concurrent invocations: the mpi.World (channel matrix and
+// shared between concurrent invocations: the mpi.World (transport and
 // in-flight payload pool), the per-rank workspaces and transformers, and the
-// per-rank result slots. Contexts are pooled on the Plan, so back-to-back
+// per-rank report slots. Contexts are pooled on the Plan, so back-to-back
 // Transforms reuse one context and concurrent Transforms each get their own.
 type execCtx struct {
 	world *mpi.World
@@ -38,7 +38,6 @@ type execCtx struct {
 	seq *core.InPlaceTransformer // p == 1 fallback transformer
 
 	reports []core.Report
-	errs    []error
 }
 
 // coreConfig derives the FFT2 / sequential-fallback configuration from the
@@ -68,7 +67,6 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 	ec.world = mpi.NewWorld(pl.p, pl.cfg.Injector)
 	ec.ranks = make([]*rankState, pl.p)
 	ec.reports = make([]core.Report, pl.p)
-	ec.errs = make([]error, pl.p)
 	for r := 0; r < pl.p; r++ {
 		fft2, err := core.NewInPlace(pl.q, pl.coreConfig())
 		if err != nil {

@@ -1,5 +1,7 @@
 package ftfft
 
+import "ftfft/internal/exec"
+
 // Option configures New. Options compose: protection × geometry ×
 // parallelism are independent axes, and every supported combination is
 // reachable through one constructor.
@@ -7,12 +9,19 @@ type Option func(*config)
 
 // config is the resolved option set.
 type config struct {
-	protection Protection
-	ranks      int
-	rows, cols int
-	injector   Injector
-	etaScale   float64
-	maxRetries int
+	protection  Protection
+	ranks       int
+	rows, cols  int
+	injector    Injector
+	etaScale    float64
+	maxRetries  int
+	workers     int       // WithWorkers; 0 means unset
+	executor    *Executor // WithExecutor
+	executorSet bool
+
+	// pool is the resolved executor every layer dispatches on, filled in by
+	// New; nil (the deprecated-shim path) falls back to exec.Default().
+	pool *exec.Pool
 }
 
 // WithProtection selects the fault-tolerance scheme (default None).

@@ -3,7 +3,6 @@ package ftfft
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"ftfft/internal/parallel"
@@ -30,6 +29,7 @@ func parallelConfig(c config) (parallel.Config, error) {
 		Injector:   c.injector,
 		EtaScale:   c.etaScale,
 		MaxRetries: c.maxRetries,
+		Executor:   c.pool,
 	}
 	switch c.protection {
 	case None:
@@ -93,22 +93,73 @@ func (t *parTransform) Inverse(ctx context.Context, dst, src []complex128) (Repo
 	return rep, err
 }
 
-// maxBatchWorlds caps concurrent batch items on a parallel plan at the
+// maxBatchWorlds caps in-flight batch items on a parallel plan at the
 // plan's execution-context (world) pool size, so batches never construct
 // worlds the pool would immediately discard.
 const maxBatchWorlds = 4
 
+// ForwardBatch pipelines items through the executor: the caller's goroutine
+// submits each item's rank group (parallel.Begin) and reaps completions in
+// order through a small in-flight window. No per-item goroutines exist —
+// concurrency comes from the executor admitting as many rank groups as its
+// budget allows, and admission back-pressure paces the submission loop when
+// it is saturated. The window is sized to the rank groups the executor can
+// actually run at once (budget / ranks, within the world-pool cap), so a
+// saturated batch holds no more worlds than it is using.
 func (t *parTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
 	if err := checkBatch(t.n, dst, src); err != nil {
 		return Report{}, err
 	}
-	// Each item already fans out over t.ranks goroutines; run just enough
-	// items concurrently to keep the remaining cores busy (the plan's
-	// execution-context pool hands each in-flight item its own world).
-	workers := min(max(1, runtime.GOMAXPROCS(0)/max(1, t.ranks)), maxBatchWorlds)
-	return runIndexed(ctx, len(dst), workers, "batch item", func(ctx context.Context, _, i int) (Report, error) {
-		return t.pl.TransformContext(ctx, dst[i], src[i])
-	})
+	window := min(maxBatchWorlds, max(1, t.pl.Workers()/t.ranks))
+	type pending struct {
+		inv  *parallel.Invocation
+		item int
+	}
+	var (
+		total    Report
+		firstErr error
+		inflight []pending
+	)
+	reap := func(p pending) {
+		rep, err := p.inv.Wait()
+		total.Add(rep)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ftfft: batch item %d: %w", p.item, err)
+		}
+	}
+	for i := range dst {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		inv, err := t.pl.Begin(ctx, dst[i], src[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ftfft: batch item %d: %w", i, err)
+			}
+			break
+		}
+		inflight = append(inflight, pending{inv, i})
+		if len(inflight) >= window {
+			head := inflight[0]
+			inflight = inflight[1:]
+			reap(head)
+			if firstErr != nil {
+				break
+			}
+		}
+	}
+	// Drain whatever is still in flight; in-order reaping means firstErr is
+	// the lowest-index failure, matching the unbatched error contract.
+	for _, p := range inflight {
+		reap(p)
+	}
+	if firstErr != nil {
+		return total, firstErr
+	}
+	return total, ctx.Err()
 }
 
 // ParallelOptions configures a ParallelPlan.

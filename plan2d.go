@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"ftfft/internal/exec"
 )
 
 // grid2D is the 2-D executor: row-column decomposition where every 1-D pass
@@ -12,21 +14,22 @@ import (
 // timely-detection property extends to the 2-D case — an error in any row
 // or column transform is caught and repaired before the next pass consumes
 // it. With WithRanks the independent row (then column) transforms are
-// dispatched over a pool of workers instead of the serial gather/scatter
-// loop; each worker draws its own pooled 1-D execution context, so the
-// outputs are bit-identical to the serial schedule.
+// dispatched as bounded-executor task groups of that width instead of the
+// serial gather/scatter loop; each slot draws its own pooled 1-D execution
+// context, so the outputs are bit-identical to the serial schedule.
 type grid2D struct {
 	rows, cols, workers int
 	prot                Protection
+	ex                  *exec.Pool
 	rowT                *seqTransform // cols-point transforms (pass 1)
 	colT                *seqTransform // rows-point transforms (pass 2)
 
 	mu   sync.Mutex
-	free []*gridCtx // pooled per-call worker slots
+	free []*gridCtx // pooled per-call slot workspaces
 }
 
 // gridCtx is one in-flight call's workspace: a column gather/scatter buffer
-// pair per worker.
+// pair per dispatch slot.
 type gridCtx struct {
 	slots []gridSlot
 }
@@ -51,7 +54,11 @@ func newGrid2D(c config) (*grid2D, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ftfft: column plan: %w", err)
 	}
-	g := &grid2D{rows: c.rows, cols: c.cols, workers: workers, prot: c.protection, rowT: rowT, colT: colT}
+	ex := c.pool
+	if ex == nil {
+		ex = exec.Default()
+	}
+	g := &grid2D{rows: c.rows, cols: c.cols, workers: workers, prot: c.protection, ex: ex, rowT: rowT, colT: colT}
 	g.free = append(g.free, g.newCtx())
 	return g, nil
 }
@@ -103,14 +110,14 @@ func (g *grid2D) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Rep
 	if err := checkBatch(g.Len(), dst, src); err != nil {
 		return Report{}, err
 	}
-	// A plan with a worker pool (WithRanks) fans each item's row/column
+	// A plan with dispatch width (WithRanks) fans each item's row/column
 	// passes out already, so items run serially; a serial grid instead
 	// batches across items, bounded by the grid-context pool.
-	itemWorkers := 1
+	itemWidth := 1
 	if g.workers == 1 {
-		itemWorkers = min(runtime.GOMAXPROCS(0), maxPooledGrid)
+		itemWidth = min(runtime.GOMAXPROCS(0), maxPooledGrid)
 	}
-	return runIndexed(ctx, len(dst), itemWorkers, "batch item", func(ctx context.Context, _, i int) (Report, error) {
+	return runIndexed(ctx, g.ex, len(dst), itemWidth, "batch item", func(ctx context.Context, _, i int) (Report, error) {
 		return g.Forward(ctx, dst[i], src[i])
 	})
 }
@@ -122,15 +129,15 @@ func (g *grid2D) apply(ctx context.Context, dst, src []complex128, op applyFn) (
 		return Report{}, err
 	}
 	gc := g.getCtx()
-	// Pass 1: transform every row src → dst, dispatched over the workers.
-	total, err := runIndexed(ctx, g.rows, g.workers, "row", func(ctx context.Context, _, r int) (Report, error) {
+	// Pass 1: transform every row src → dst, one executor task group.
+	total, err := runIndexed(ctx, g.ex, g.rows, g.workers, "row", func(ctx context.Context, _, r int) (Report, error) {
 		return op(g.rowT, ctx, dst[r*g.cols:(r+1)*g.cols], src[r*g.cols:(r+1)*g.cols])
 	})
 	if err == nil {
 		// Pass 2: transform every column of dst in place (gather/scatter
-		// through each worker's private slot buffers).
+		// through each slot's private buffers).
 		var rep Report
-		rep, err = runIndexed(ctx, g.cols, g.workers, "column", func(ctx context.Context, w, c int) (Report, error) {
+		rep, err = runIndexed(ctx, g.ex, g.cols, g.workers, "column", func(ctx context.Context, w, c int) (Report, error) {
 			slot := &gc.slots[w]
 			for r := 0; r < g.rows; r++ {
 				slot.col[r] = dst[r*g.cols+c]

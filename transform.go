@@ -3,11 +3,12 @@ package ftfft
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ftfft/internal/core"
+	"ftfft/internal/exec"
 )
 
 // Transform is the unified executor every planner composition produces: one
@@ -62,31 +63,91 @@ type Transform interface {
 //
 // Like FFTW, plans front-load all derived state — FFT sub-plans, twiddle
 // tables, checksum weight vectors, communicators and workspaces — so
-// executing a Transform allocates nothing in steady state.
+// executing a Transform allocates nothing in steady state. All dispatch
+// (rank fan-out, 2-D passes, batch items) runs on one bounded executor: the
+// process-wide default, or a private one via WithWorkers / WithExecutor.
 func New(n int, opts ...Option) (Transform, error) {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
+	if err := c.validate(n); err != nil {
+		return nil, err
+	}
+	private := false
+	switch {
+	case c.executorSet:
+		c.pool = c.executor.pool
+	case c.workers > 0:
+		c.pool = exec.New(c.workers)
+		private = true
+	default:
+		c.pool = exec.Default()
+	}
+	var t Transform
+	var err error
+	switch {
+	case c.rows != 0 || c.cols != 0:
+		t, err = newGrid2D(c)
+	case c.ranks > 1:
+		t, err = newParTransform(n, c)
+	default:
+		t, err = newSeqTransform(n, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if private {
+		// A WithWorkers pool lives and dies with its Transform: reclaim the
+		// parked worker goroutines once the plan is unreachable. AddCleanup
+		// needs the concrete pointer, not the interface.
+		closePool := func(p *exec.Pool) { p.Close() }
+		switch tt := t.(type) {
+		case *seqTransform:
+			runtime.AddCleanup(tt, closePool, c.pool)
+		case *parTransform:
+			runtime.AddCleanup(tt, closePool, c.pool)
+		case *grid2D:
+			runtime.AddCleanup(tt, closePool, c.pool)
+		}
+	}
+	return t, nil
+}
+
+// validate is the uniform construction-time audit: every option's invalid
+// range is rejected here, with one error shape, before any plan state is
+// built. The zero value of every option is valid (and means "default").
+func (c *config) validate(n int) error {
 	if n < 1 {
-		return nil, fmt.Errorf("ftfft: invalid transform size %d", n)
+		return fmt.Errorf("ftfft: invalid transform size %d", n)
 	}
 	if c.ranks < 0 {
-		return nil, fmt.Errorf("ftfft: invalid rank count %d", c.ranks)
+		return fmt.Errorf("ftfft: invalid rank count %d", c.ranks)
+	}
+	if c.etaScale < 0 || math.IsNaN(c.etaScale) {
+		return fmt.Errorf("ftfft: invalid eta scale %v", c.etaScale)
+	}
+	if c.maxRetries < 0 {
+		return fmt.Errorf("ftfft: invalid retry limit %d", c.maxRetries)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("ftfft: invalid worker count %d", c.workers)
+	}
+	if c.workers > 0 && c.executorSet {
+		return fmt.Errorf("ftfft: invalid executor options: WithWorkers and WithExecutor are mutually exclusive")
+	}
+	if c.executorSet && c.executor == nil {
+		return fmt.Errorf("ftfft: invalid executor: WithExecutor requires a non-nil Executor")
 	}
 	if c.rows != 0 || c.cols != 0 {
 		if c.rows < 1 || c.cols < 1 {
-			return nil, fmt.Errorf("ftfft: invalid 2-D shape %d×%d", c.rows, c.cols)
+			return fmt.Errorf("ftfft: invalid 2-D shape %d×%d", c.rows, c.cols)
 		}
 		if n != c.rows*c.cols {
-			return nil, fmt.Errorf("ftfft: size %d does not match shape %d×%d", n, c.rows, c.cols)
+			return fmt.Errorf("ftfft: invalid 2-D shape %d×%d for size %d", c.rows, c.cols, n)
 		}
-		return newGrid2D(c)
 	}
-	if c.ranks > 1 {
-		return newParTransform(n, c)
-	}
-	return newSeqTransform(n, c)
+	return nil
 }
 
 // checkArgs is the uniform API-boundary validation every executor applies:
@@ -116,17 +177,21 @@ func checkBatch(n int, dst, src [][]complex128) error {
 	return nil
 }
 
-// runIndexed drives items through fn with at most workers concurrent
-// calls, accumulating the per-item Reports. fn receives its worker index
-// (0 ≤ w < workers) so callers can hand each worker a private scratch
-// slot. The first failing item (lowest index) determines the returned
+// runIndexed drives items through fn as an executor task group with at most
+// width concurrent executions, accumulating the per-slot Reports. fn
+// receives its slot index (0 ≤ slot < width) so callers can hand each slot
+// private scratch. The calling goroutine always participates (the executor's
+// caller-runs contract), so the group completes even when the pool is
+// saturated. The first failing item (lowest index) determines the returned
 // error, wrapped as "<label> <index>"; later items may have been skipped.
-func runIndexed(ctx context.Context, items, workers int, label string, fn func(ctx context.Context, worker, item int) (Report, error)) (Report, error) {
-	var total Report
-	if workers > items {
-		workers = items
+func runIndexed(ctx context.Context, ex *exec.Pool, items, width int, label string, fn func(ctx context.Context, slot, item int) (Report, error)) (Report, error) {
+	if width > items {
+		width = items
 	}
-	if workers <= 1 {
+	if width <= 1 {
+		// Inline serial path: no dispatch, no allocation — the steady state
+		// of serial 2-D passes and single-item batches.
+		var total Report
 		for i := 0; i < items; i++ {
 			if err := ctx.Err(); err != nil {
 				return total, err
@@ -139,57 +204,31 @@ func runIndexed(ctx context.Context, items, workers int, label string, fn func(c
 		}
 		return total, nil
 	}
-
-	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		wg      sync.WaitGroup
-		reps    = make([]Report, workers)
-		errs    = make([]error, workers)
-		errItem = make([]int, workers)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if failed.Load() || ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= items {
-					return
-				}
-				rep, err := fn(ctx, w, i)
-				reps[w].Add(rep)
-				if err != nil {
-					errs[w], errItem[w] = err, i
-					failed.Store(true)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	firstItem, firstErr := items, error(nil)
-	for w := 0; w < workers; w++ {
-		total.Add(reps[w])
-		if errs[w] != nil && errItem[w] < firstItem {
-			firstItem, firstErr = errItem[w], errs[w]
+	reps := make([]Report, width)
+	err := ex.Run(ctx, items, width, func(ctx context.Context, slot, item int) error {
+		rep, err := fn(ctx, slot, item)
+		reps[slot].Add(rep)
+		if err != nil {
+			return fmt.Errorf("ftfft: %s %d: %w", label, item, err)
 		}
+		return nil
+	})
+	var total Report
+	for i := range reps {
+		total.Add(reps[i])
 	}
-	if firstErr != nil {
-		return total, fmt.Errorf("ftfft: %s %d: %w", label, firstItem, firstErr)
-	}
-	return total, ctx.Err()
+	return total, err
 }
 
 // seqTransform is the sequential 1-D executor: a pool of core transformers
-// (one drawn per in-flight call) behind the unified contract.
+// (one drawn per in-flight call) behind the unified contract. Forward and
+// Inverse run on the calling goroutine; only ForwardBatch dispatches, as an
+// executor task group.
 type seqTransform struct {
 	n    int
 	prot Protection
 	cfg  core.Config
+	ex   *exec.Pool
 
 	mu   sync.Mutex
 	free []*seqCtx
@@ -213,7 +252,11 @@ func newSeqTransform(n int, c config) (*seqTransform, error) {
 	cfg.Injector = c.injector
 	cfg.EtaScale = c.etaScale
 	cfg.MaxRetries = c.maxRetries
-	s := &seqTransform{n: n, prot: c.protection, cfg: cfg}
+	ex := c.pool
+	if ex == nil {
+		ex = exec.Default()
+	}
+	s := &seqTransform{n: n, prot: c.protection, cfg: cfg, ex: ex}
 	// Build the first context eagerly: it validates n against the scheme
 	// and pre-warms the pool.
 	ec, err := s.newCtx()
@@ -300,10 +343,10 @@ func (s *seqTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128
 	if err := checkBatch(s.n, dst, src); err != nil {
 		return Report{}, err
 	}
-	// Worker count is capped at the context-pool size, so the steady state
-	// never constructs transformers beyond what the pool retains.
-	workers := min(runtime.GOMAXPROCS(0), maxPooledSeq)
-	return runIndexed(ctx, len(dst), workers, "batch item", func(ctx context.Context, _, i int) (Report, error) {
+	// Width is capped at the context-pool size, so the steady state never
+	// constructs transformers beyond what the pool retains.
+	width := min(runtime.GOMAXPROCS(0), maxPooledSeq)
+	return runIndexed(ctx, s.ex, len(dst), width, "batch item", func(ctx context.Context, _, i int) (Report, error) {
 		return s.Forward(ctx, dst[i], src[i])
 	})
 }
