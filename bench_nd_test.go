@@ -1,0 +1,141 @@
+package ftfft_test
+
+import (
+	"context"
+	"testing"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+// gatherScatter2D builds the pre-engine 2-D baseline: a contiguous row pass,
+// then a column pass that gathers every column into a contiguous buffer,
+// transforms it, and scatters the result back — the copy round-trip the
+// tiled strided passes remove. Protection and pass order match the engine
+// exactly, so the benchmark isolates the memory-access pattern.
+func gatherScatter2D(b *testing.B, rows, cols int, prot ftfft.Protection) func(dst, src []complex128) {
+	b.Helper()
+	ctx := context.Background()
+	rowT, err := ftfft.New(cols, ftfft.WithProtection(prot))
+	if err != nil {
+		b.Fatal(err)
+	}
+	colT, err := ftfft.New(rows, ftfft.WithProtection(prot))
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := make([]complex128, rows)
+	out := make([]complex128, rows)
+	return func(dst, src []complex128) {
+		for r := 0; r < rows; r++ {
+			if _, err := rowT.Forward(ctx, dst[r*cols:(r+1)*cols], src[r*cols:(r+1)*cols]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for c := 0; c < cols; c++ {
+			for r := 0; r < rows; r++ {
+				col[r] = dst[r*cols+c]
+			}
+			if _, err := colT.Forward(ctx, out, col); err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < rows; r++ {
+				dst[r*cols+c] = out[r]
+			}
+		}
+	}
+}
+
+func benchND(b *testing.B, dims []int, prot ftfft.Protection) {
+	b.Helper()
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	tr, err := ftfft.New(n, ftfft.WithDims(dims...), ftfft.WithProtection(prot))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	src := workload.Uniform(int64(n), n)
+	dst := make([]complex128, n)
+	b.SetBytes(int64(16 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Forward(ctx, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkND is the N-D engine family: the 2-D tiled strided column pass
+// against its gather/scatter baseline (the BENCH_PR4.json before/after
+// pairs), and the canonical 64³ HPC volume, serial so the comparison
+// isolates the memory behaviour rather than dispatch. The square grid is
+// the balanced case; the short-column grid (64×16384) is where the
+// per-column copy round-trip costs the baseline most relative to the
+// 64-point column FFTs.
+func BenchmarkND(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		prot ftfft.Protection
+	}{
+		{"FFTW", ftfft.None},
+		{"OnlineMemory", ftfft.OnlineABFTMemory},
+	} {
+		for _, shape := range []struct {
+			name       string
+			rows, cols int
+		}{
+			{"2D_512x512", 512, 512},
+			{"2D_64x16384", 64, 16384},
+		} {
+			b.Run(shape.name+"/GatherScatter/"+bc.name, func(b *testing.B) {
+				apply := gatherScatter2D(b, shape.rows, shape.cols, bc.prot)
+				n := shape.rows * shape.cols
+				src := workload.Uniform(int64(n), n)
+				dst := make([]complex128, n)
+				b.SetBytes(int64(16 * n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					apply(dst, src)
+				}
+			})
+			b.Run(shape.name+"/Tiled/"+bc.name, func(b *testing.B) {
+				benchND(b, []int{shape.rows, shape.cols}, bc.prot)
+			})
+		}
+		b.Run("3D_64x64x64/"+bc.name, func(b *testing.B) {
+			benchND(b, []int{64, 64, 64}, bc.prot)
+		})
+	}
+}
+
+// BenchmarkND_Dispatch measures the 64³ volume with pass tiles fanned out
+// over the bounded executor (WithRanks), the N-D scaling story.
+func BenchmarkND_Dispatch(b *testing.B) {
+	n := 64 * 64 * 64
+	for _, ranks := range []int{2, 4} {
+		b.Run(benchRankName(ranks), func(b *testing.B) {
+			tr, err := ftfft.New(n, ftfft.WithDims(64, 64, 64), ftfft.WithRanks(ranks),
+				ftfft.WithProtection(ftfft.OnlineABFTMemory))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			src := workload.Uniform(int64(n), n)
+			dst := make([]complex128, n)
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Forward(ctx, dst, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchRankName(p int) string {
+	return "p" + string(rune('0'+p))
+}

@@ -8,15 +8,18 @@
 //	ftfft -n 18 -protection online-memory -inject 1m+2c
 //	ftfft -n 18 -protection offline -inject 1m
 //	ftfft -n 20 -parallel 8 -inject 2m+2c
+//	ftfft -dims 64x64x64 -inject 1m+1c
 //
 // -inject takes a mix like "2m+1c": m = memory faults, c = computational
-// faults.
+// faults. -dims runs the N-dimensional axis-pass engine over the given
+// row-major shape (with -parallel as the per-pass dispatch width).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -38,27 +41,53 @@ var protections = map[string]ftfft.Protection{
 
 func main() {
 	logN := flag.Int("n", 18, "log2 of the transform size")
+	dimsFlag := flag.String("dims", "", "N-D shape d0xd1x…, e.g. 64x64x64 (overrides -n; runs the axis-pass engine)")
 	prot := flag.String("protection", "online-memory", "protection level: none, offline[-naive], online[-naive], online-memory[-naive]")
 	inject := flag.String("inject", "", "fault mix, e.g. 1c, 1m, 2m+2c (m = memory, c = computational)")
-	parallelRanks := flag.Int("parallel", 0, "run the parallel in-place scheme on this many ranks (0 = sequential)")
+	parallelRanks := flag.Int("parallel", 0, "parallel ranks for 1-D, or axis-pass dispatch width with -dims (0 = sequential)")
 	timeout := flag.Duration("timeout", 0, "cancel the transform after this long (0 = no deadline)")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
 
 	n := 1 << *logN
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if dims != nil {
+		n = 1
+		for _, d := range dims {
+			if n > math.MaxInt/d {
+				fatalf("-dims %s: shape product overflows", *dimsFlag)
+			}
+			n *= d
+		}
+	}
 	x := workload.Uniform(*seed, n)
+
+	// A single-axis -dims is a 1-D transform: New routes it to the
+	// sequential or six-step parallel engine, so the fault sites and label
+	// must follow that dispatch rule, not the flag that selected the size.
+	isND := len(dims) >= 2
 
 	var sched *ftfft.Schedule
 	if *inject != "" {
-		faults, err := parseMix(*inject, *parallelRanks)
+		mixRanks := *parallelRanks
+		if isND {
+			// N-D axis passes visit the sequential sites regardless of the
+			// dispatch width; the parallel sites (message, parallel-fft)
+			// exist only in the 1-D six-step scheme.
+			mixRanks = 0
+		}
+		faults, err := parseMix(*inject, mixRanks)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sched = ftfft.NewFaultSchedule(*seed, faults...)
 	}
 
-	// One constructor for every strategy: protection × parallelism compose
-	// as options on the same planner.
+	// One constructor for every strategy: protection × geometry ×
+	// parallelism compose as options on the same planner.
 	p, ok := protections[*prot]
 	if !ok {
 		fatalf("unknown protection %q", *prot)
@@ -68,11 +97,21 @@ func main() {
 		opts = append(opts, ftfft.WithInjector(sched))
 	}
 	label := "sequential " + p.String()
+	if dims != nil {
+		opts = append(opts, ftfft.WithDims(dims...))
+		if isND {
+			label = fmt.Sprintf("%d-D axis-pass %s", len(dims), p)
+		}
+	}
 	if *parallelRanks > 0 {
 		// New itself rejects compositions without a parallel formulation
 		// (the offline levels) with a descriptive error.
 		opts = append(opts, ftfft.WithRanks(*parallelRanks))
-		label = fmt.Sprintf("parallel %s, %d ranks", p, *parallelRanks)
+		if isND {
+			label += fmt.Sprintf(", %d-wide dispatch", *parallelRanks)
+		} else {
+			label = fmt.Sprintf("parallel %s, %d ranks", p, *parallelRanks)
+		}
 	}
 	tr, err := ftfft.New(n, opts...)
 	if err != nil {
@@ -91,7 +130,11 @@ func main() {
 	rep, err := tr.Forward(ctx, dst, x)
 	took := time.Since(start)
 
-	fmt.Printf("transform : N = 2^%d (%d points), %s\n", *logN, n, label)
+	sizeDesc := fmt.Sprintf("N = 2^%d", *logN)
+	if dims != nil {
+		sizeDesc = *dimsFlag
+	}
+	fmt.Printf("transform : %s (%d points), %s\n", sizeDesc, n, label)
 	fmt.Printf("time      : %v\n", took)
 	if sched != nil {
 		fmt.Printf("injected  : %d fault(s)\n", len(sched.Records()))
@@ -109,13 +152,26 @@ func main() {
 	fmt.Printf("result    : verified output (DC bin X[0] = %v)\n", dst[0])
 }
 
+// parseDims turns "64x64x64" into a shape, or nil when unset.
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad -dims component %q (want d0xd1x…)", p)
+		}
+		dims = append(dims, d)
+	}
+	return dims, nil
+}
+
 // parseMix turns "2m+1c" into a fault list spread over distinct sites.
 func parseMix(mix string, ranks int) ([]ftfft.Fault, error) {
 	var out []ftfft.Fault
-	memSites := []struct {
-		site interface{ String() string }
-	}{}
-	_ = memSites
 	memIdx, compIdx := 0, 0
 	for _, part := range strings.Split(mix, "+") {
 		part = strings.TrimSpace(part)

@@ -23,6 +23,8 @@
 //	    ftfft.WithProtection(ftfft.OnlineABFTMemory))  // §5 six-step, opt-FT-FFTW
 //	img, _ := ftfft.New(rows*cols, ftfft.WithShape(rows, cols),
 //	    ftfft.WithRanks(4))                            // 2-D over a 4-worker pool
+//	vol, _ := ftfft.New(64*64*64, ftfft.WithDims(64, 64, 64),
+//	    ftfft.WithProtection(ftfft.OnlineABFTMemory))  // protected 3-D volume
 //
 // Forward, Inverse and ForwardBatch run under the same protection: the
 // inverse path uses the conjugation identity IDFT(x) = conj(DFT(conj(x)))/N
@@ -46,6 +48,29 @@
 // and the experiments harness (cmd/ftexperiments), which regenerates every
 // table and figure of the paper's evaluation.
 //
+// # N-dimensional transforms
+//
+// WithDims plans an N-D transform as a sequence of protected 1-D axis
+// passes — the direct generalization of the paper's row-column
+// decomposition, over one geometry engine for every rank k ≥ 1. Passes run
+// innermost (contiguous) axis first; because every line of every pass runs
+// under the configured protection, the online scheme's timely-detection
+// property — an error is caught and repaired before the next pass consumes
+// it — holds between axis passes exactly as it holds between the two ABFT
+// layers inside each 1-D transform. Length-1 axes are identity passes and
+// are skipped.
+//
+// Non-contiguous passes execute the protected schemes directly on strided
+// lines (no per-line gather/scatter round trip), bit-identical to the
+// gathered equivalent, and group memory-adjacent lines into cache-sized
+// tiles; each tile is one bounded-executor task, so WithRanks(p) fans a
+// pass out p wide without splitting adjacent lines across workers. Tiling,
+// worker count and executor choice are pure scheduling: outputs are
+// bit-identical across all of them, and bit-identical to the nested
+// axis-wise reference. Inverse applies the conjugation identity per line,
+// keeping every pass protected. Shape() remains as the 2-D compatibility
+// view of Dims().
+//
 // # Cancellation
 //
 // Every executor method takes a context.Context. Sequential transforms
@@ -60,7 +85,7 @@
 // # One bounded execution runtime
 //
 // Every concurrency mechanism in the library — simulated-MPI rank fan-out,
-// 2-D row/column pass dispatch, ForwardBatch item scheduling — runs on one
+// N-D axis-pass tile dispatch, ForwardBatch item scheduling — runs on one
 // shared bounded executor with a fixed worker budget (by default one
 // process-wide pool sized to GOMAXPROCS; WithWorkers or WithExecutor select
 // a private or shared budget per plan). Worker goroutines are spawned

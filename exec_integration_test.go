@@ -112,6 +112,7 @@ func TestExecutorDispatchBitIdentity(t *testing.T) {
 	}{
 		{"parallel", 1024, []ftfft.Option{ftfft.WithRanks(4), ftfft.WithProtection(ftfft.OnlineABFTMemory)}},
 		{"grid", 32 * 64, []ftfft.Option{ftfft.WithShape(32, 64), ftfft.WithRanks(4), ftfft.WithProtection(ftfft.OnlineABFT)}},
+		{"nd3", 16 * 8 * 12, []ftfft.Option{ftfft.WithDims(16, 8, 12), ftfft.WithRanks(4), ftfft.WithProtection(ftfft.OnlineABFTMemory)}},
 		{"seq", 512, []ftfft.Option{ftfft.WithProtection(ftfft.OnlineABFTMemory)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

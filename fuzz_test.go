@@ -23,19 +23,51 @@ var fuzzProtections = []ftfft.Protection{
 	ftfft.OnlineABFTMemoryNaive,
 }
 
+// fuzzDims derives a deterministic shape split of n from the fuzzer's
+// selector: nil (stay 1-D), a 2-D divisor split, or a 3-D split when the
+// remainder factors again. Every returned shape satisfies product == n, so
+// the fuzzer explores the geometry axis of the option space freely.
+func fuzzDims(n int, dimSel uint8) []int {
+	if dimSel&3 == 0 {
+		return nil // 1-D
+	}
+	var divs []int
+	for d := 2; d <= n/2; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	if len(divs) == 0 {
+		return nil
+	}
+	d := divs[int(dimSel/4)%len(divs)]
+	rest := n / d
+	if dimSel&2 != 0 {
+		for e := 2; e <= rest/2; e++ {
+			if rest%e == 0 {
+				return []int{d, e, rest / e}
+			}
+		}
+	}
+	return []int{d, rest}
+}
+
 // FuzzForwardInverse cross-checks the planned, protected transform against
-// the O(n²) reference DFT (internal/dft) and the Forward∘Inverse round trip
-// against the input, across sizes and protection levels, on fuzzer-chosen
-// data. Any divergence means the planner, a protection scheme, or the
-// executor dispatch corrupted the arithmetic.
+// the O(n²) reference DFT (internal/dft, applied axis-wise for N-D shapes)
+// and the Forward∘Inverse round trip against the input, across sizes, shape
+// splits and protection levels, on fuzzer-chosen data. Any divergence means
+// the planner, a protection scheme, the N-D pass schedule, or the executor
+// dispatch corrupted the arithmetic.
 func FuzzForwardInverse(f *testing.F) {
-	f.Add(uint8(1), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
-	f.Add(uint8(3), uint8(5), []byte{0xff, 0x80, 0x01, 0x7f, 0x00, 0x10})
-	f.Add(uint8(7), uint8(3), []byte{9, 9, 9, 9})
-	f.Add(uint8(4), uint8(6), []byte{})
-	f.Fuzz(func(t *testing.T, sizeSel, protSel uint8, raw []byte) {
+	f.Add(uint8(1), uint8(0), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(3), uint8(5), uint8(1), []byte{0xff, 0x80, 0x01, 0x7f, 0x00, 0x10})
+	f.Add(uint8(7), uint8(3), uint8(7), []byte{9, 9, 9, 9})
+	f.Add(uint8(4), uint8(6), uint8(14), []byte{})
+	f.Add(uint8(5), uint8(5), uint8(23), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, sizeSel, protSel, dimSel uint8, raw []byte) {
 		n := fuzzSizes[int(sizeSel)%len(fuzzSizes)]
 		prot := fuzzProtections[int(protSel)%len(fuzzProtections)]
+		dims := fuzzDims(n, dimSel)
 		src := make([]complex128, n)
 		for i := range src {
 			var re, im int8
@@ -47,30 +79,39 @@ func FuzzForwardInverse(f *testing.F) {
 			}
 			src[i] = complex(float64(re)/8, float64(im)/8)
 		}
-		tr, err := ftfft.New(n, ftfft.WithProtection(prot))
-		if err != nil {
-			t.Skipf("size %d rejected under %v: %v", n, prot, err)
+		opts := []ftfft.Option{ftfft.WithProtection(prot)}
+		if dims != nil {
+			opts = append(opts, ftfft.WithDims(dims...))
 		}
-		want := dft.Transform(src)
+		tr, err := ftfft.New(n, opts...)
+		if err != nil {
+			t.Skipf("n=%d dims=%v rejected under %v: %v", n, dims, prot, err)
+		}
+		var want []complex128
+		if dims == nil {
+			want = dft.Transform(src)
+		} else {
+			want = ndReferenceDFT(src, dims)
+		}
 		got := make([]complex128, n)
 		rep, err := tr.Forward(bg, got, append([]complex128(nil), src...))
 		if err != nil {
-			t.Fatalf("n=%d prot=%v: Forward: %v (%+v)", n, prot, err, rep)
+			t.Fatalf("n=%d dims=%v prot=%v: Forward: %v (%+v)", n, dims, prot, err, rep)
 		}
 		if !rep.Clean() {
-			t.Fatalf("n=%d prot=%v: fault activity on a fault-free run: %+v", n, prot, rep)
+			t.Fatalf("n=%d dims=%v prot=%v: fault activity on a fault-free run: %+v", n, dims, prot, rep)
 		}
 		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
 		if d := maxAbsDiff(got, want); d > tol {
-			t.Fatalf("n=%d prot=%v: forward diverged from reference DFT by %g (tol %g)", n, prot, d, tol)
+			t.Fatalf("n=%d dims=%v prot=%v: forward diverged from reference DFT by %g (tol %g)", n, dims, prot, d, tol)
 		}
 		back := make([]complex128, n)
 		if _, err := tr.Inverse(bg, back, got); err != nil {
-			t.Fatalf("n=%d prot=%v: Inverse: %v", n, prot, err)
+			t.Fatalf("n=%d dims=%v prot=%v: Inverse: %v", n, dims, prot, err)
 		}
 		tol = 1e-9 * float64(n) * (1 + maxAbs(src))
 		if d := maxAbsDiff(back, src); d > tol {
-			t.Fatalf("n=%d prot=%v: round trip diverged by %g (tol %g)", n, prot, d, tol)
+			t.Fatalf("n=%d dims=%v prot=%v: round trip diverged by %g (tol %g)", n, dims, prot, d, tol)
 		}
 	})
 }

@@ -24,6 +24,7 @@ import (
 func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Report, error) {
 	var rep Report
 	m, k := t.m, t.k
+	ds, ss := t.ds, t.ss
 	inj := t.cfg.Injector
 
 	cm := t.dmrCheckVector(m, &rep)
@@ -31,9 +32,9 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 	// MCG for every stage-1 sub-input: classic checksums, two strided
 	// passes each.
 	for i := 0; i < k; i++ {
-		t.inPairs[i] = classicPairStridedTwoPass(src[i:], m, k)
+		t.inPairs[i] = classicPairStridedTwoPass(src[i*ss:], m, k*ss)
 	}
-	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, 1)
+	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, ss)
 
 	// ---- Stage 1 ----
 	for i := 0; i < k; i++ {
@@ -41,11 +42,11 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 			return rep, err
 		}
 		// MCV before use; repair single memory errors in place.
-		if !t.verifyClassicStrided(src[i:], m, k, &t.inPairs[i], &rep) {
+		if !t.verifyClassicStrided(src[i*ss:], m, k*ss, &t.inPairs[i], &rep) {
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
 		}
-		gather(t.bufA[:m], src[i:], m, k)
+		gather(t.bufA[:m], src[i*ss:], m, k*ss)
 		cx := checksum.Dot(cm, t.bufA[:m])
 		row := t.work[i*m : (i+1)*m]
 		ok := false
@@ -109,15 +110,15 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
 		}
-		scatter(dst[j:], t.bufC[:k], k, m)
+		scatter(dst[j*ds:], t.bufC[:k], k, m*ds)
 		t.outPairs[j] = classicPairTwoPass(t.bufC[:k])
 	}
 
-	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, 1)
+	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, ds)
 
 	// ---- Final MCV over the output column groups ----
 	for j := 0; j < m; j++ {
-		if !t.verifyClassicStrided(dst[j:], k, m, &t.outPairs[j], &rep) {
+		if !t.verifyClassicStrided(dst[j*ds:], k, m*ds, &t.outPairs[j], &rep) {
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
 		}
@@ -143,23 +144,25 @@ func (t *Transformer) onlineMemNaive(dst, src []complex128, th Thresholds) (Repo
 func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report, error) {
 	var rep Report
 	m, k := t.m, t.k
+	ds, ss := t.ds, t.ss
 	inj := t.cfg.Injector
 
 	cm := t.dmrCheckVector(m, &rep)
 	ck := t.dmrCheckVector(k, &rep)
 
-	// ---- CMCG: one contiguous sweep over the input ----
+	// ---- CMCG: one sweep over the input in logical order ----
 	for i := range t.inPairs[:k] {
 		t.inPairs[i] = checksum.Pair{}
 	}
-	for idx, v := range src {
+	for idx := 0; idx < t.n; idx++ {
+		v := src[idx*ss]
 		i := idx % k // owning sub-FFT
 		j := idx / k // position within it
 		w := cm[j] * v
 		t.inPairs[i].D1 += w
 		t.inPairs[i].D2 += complex(float64(j), 0) * w
 	}
-	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, 1)
+	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, ss)
 
 	acc := checksum.NewAccumulator(ck, m)
 	var outPair checksum.Pair
@@ -169,7 +172,7 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 		if err := t.canceled(); err != nil {
 			return rep, err
 		}
-		gather(t.bufA[:m], src[i:], m, k)
+		gather(t.bufA[:m], src[i*ss:], m, k*ss)
 		cx := t.inPairs[i].D1
 		row := t.work[i*m : (i+1)*m]
 		ok := false
@@ -189,7 +192,7 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 				// buffer and the resident input, and recompute.
 				if jj, located := checksum.Locate(d, m); located {
 					t.bufA[jj] += d.D1 / cm[jj]
-					src[i+jj*k] = t.bufA[jj]
+					src[(i+jj*k)*ss] = t.bufA[jj]
 					rep.MemCorrections++
 					continue
 				}
@@ -252,11 +255,12 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
 		}
-		// Scatter and fold into the whole-output pair.
+		// Scatter and fold into the whole-output pair. Checksum weights use
+		// the logical index, so strided outputs stay bit-identical.
 		idxOut := j
 		for j1 := 0; j1 < k; j1++ {
 			v := t.bufC[j1]
-			dst[idxOut] = v
+			dst[idxOut*ds] = v
 			w := checksum.Omega3(idxOut) * v
 			outPair.D1 += w
 			outPair.D2 += complex(float64(idxOut), 0) * w
@@ -264,13 +268,13 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 		}
 	}
 
-	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, 1)
+	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, ds)
 
 	// ---- Final CMCV over the whole output ----
 	for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
 		var cur checksum.Pair
-		for g, v := range dst {
-			w := checksum.Omega3(g) * v
+		for g := 0; g < t.n; g++ {
+			w := checksum.Omega3(g) * dst[g*ds]
 			cur.D1 += w
 			cur.D2 += complex(float64(g), 0) * w
 		}
@@ -280,7 +284,7 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 		}
 		rep.Detections++
 		if g, located := checksum.Locate(d, t.n); located {
-			dst[g] += d.D1 / checksum.Omega3(g)
+			dst[g*ds] += d.D1 / checksum.Omega3(g)
 			rep.MemCorrections++
 			continue
 		}
@@ -303,6 +307,7 @@ func (t *Transformer) onlineMemOpt(dst, src []complex128, th Thresholds) (Report
 // element.
 func (t *Transformer) recomputeStage2(dst []complex128, ck []complex128, outPair *checksum.Pair, th Thresholds, rep *Report) bool {
 	m, k := t.m, t.k
+	ds := t.ds
 	*outPair = checksum.Pair{}
 	for j := 0; j < m; j++ {
 		gather(t.bufA[:k], t.work[j:], k, m)
@@ -324,7 +329,7 @@ func (t *Transformer) recomputeStage2(dst []complex128, ck []complex128, outPair
 		idxOut := j
 		for j1 := 0; j1 < k; j1++ {
 			v := t.bufC[j1]
-			dst[idxOut] = v
+			dst[idxOut*ds] = v
 			w := checksum.Omega3(idxOut) * v
 			outPair.D1 += w
 			outPair.D2 += complex(float64(idxOut), 0) * w

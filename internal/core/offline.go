@@ -25,6 +25,7 @@ import (
 func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, error) {
 	var rep Report
 	naive := t.cfg.Variant == Naive
+	ds, ss := t.ds, t.ss
 
 	// Input checksum vector generation.
 	var ra []complex128
@@ -40,23 +41,23 @@ func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, err
 	var inPair checksum.Pair
 	var naiveOnes, naiveIdx complex128 // classic memory checksums (naive)
 	if t.cfg.MemoryFT && !naive {
-		inPair = checksum.GeneratePair(ra, src)
+		inPair = checksum.GeneratePairStrided(ra, src, t.n, ss)
 		cx = inPair.D1 // dual use (§4.1)
 	} else {
-		cx = checksum.Dot(ra, src)
+		cx = checksum.DotStrided(ra, src, t.n, ss)
 		if t.cfg.MemoryFT {
 			// Classic checksums, deliberately in two extra passes.
-			for _, v := range src {
-				naiveOnes += v
+			for j := 0; j < t.n; j++ {
+				naiveOnes += src[j*ss]
 			}
-			for j, v := range src {
-				naiveIdx += complex(float64(j), 0) * v
+			for j := 0; j < t.n; j++ {
+				naiveIdx += complex(float64(j), 0) * src[j*ss]
 			}
 		}
 	}
 
 	// The input now rests in memory until the computation reads it.
-	fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, 1)
+	fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, ss)
 
 	// Naive CCV materializes the weight vector; optimized uses DotOmega3.
 	var rWeights []complex128
@@ -68,14 +69,14 @@ func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, err
 		if err := t.plain(dst, src); err != nil {
 			return rep, err
 		}
-		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
-		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
+		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, ds)
+		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, ds)
 
 		var rX complex128
 		if naive {
-			rX = checksum.Dot(rWeights, dst)
+			rX = checksum.DotStrided(rWeights, dst, t.n, ds)
 		} else {
-			rX = checksum.DotOmega3(dst)
+			rX = checksum.DotOmega3Strided(dst, t.n, ds)
 		}
 		if ccvPass(rX, cx, th.EtaOffline, t.n) {
 			return rep, nil
@@ -87,28 +88,28 @@ func (t *Transformer) offline(dst, src []complex128, th Thresholds) (Report, err
 			// memory fault, then restart from clean data.
 			if naive {
 				var curOnes, curIdx complex128
-				for _, v := range src {
-					curOnes += v
+				for j := 0; j < t.n; j++ {
+					curOnes += src[j*ss]
 				}
-				for j, v := range src {
-					curIdx += complex(float64(j), 0) * v
+				for j := 0; j < t.n; j++ {
+					curIdx += complex(float64(j), 0) * src[j*ss]
 				}
 				d := checksum.Pair{D1: naiveOnes - curOnes, D2: naiveIdx - curIdx}
 				if cmplx.Abs(d.D1) > 0 {
 					if j, ok := checksum.Locate(d, t.n); ok {
-						src[j] += d.D1
+						src[j*ss] += d.D1
 						rep.MemCorrections++
-						cx = checksum.Dot(ra, src)
+						cx = checksum.DotStrided(ra, src, t.n, ss)
 					}
 				}
 			} else {
-				cur := checksum.GeneratePair(ra, src)
+				cur := checksum.GeneratePairStrided(ra, src, t.n, ss)
 				d := inPair.Sub(cur)
 				if cmplx.Abs(d.D1) > th.EtaMemOut {
 					if j, ok := checksum.Locate(d, t.n); ok {
-						src[j] += d.D1 / ra[j]
+						src[j*ss] += d.D1 / ra[j]
 						rep.MemCorrections++
-						cur = checksum.GeneratePair(ra, src)
+						cur = checksum.GeneratePairStrided(ra, src, t.n, ss)
 						inPair = cur
 						cx = cur.D1
 					}

@@ -23,11 +23,12 @@ func (t *Transformer) onlineComp(dst, src []complex128, th Thresholds) (Report, 
 	var rep Report
 	naive := t.cfg.Variant == Naive
 	m, k := t.m, t.k
+	ds, ss := t.ds, t.ss
 	inj := t.cfg.Injector
 
 	// Memory sites are visited even though this scheme does not check them
 	// (§3.1 protects computation only; §3.2 adds the memory checks).
-	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, 1)
+	fault.Visit(inj, fault.SiteInputMemory, 0, src, t.n, ss)
 
 	// ---- Stage 1: k m-point sub-FFTs over stride-k sub-vectors ----
 	var cm []complex128
@@ -43,15 +44,15 @@ func (t *Transformer) onlineComp(dst, src []complex128, th Thresholds) (Report, 
 		if naive {
 			// Re-derived per call; strided double read of the input.
 			cm = checksum.CheckVectorTrig(m)
-			cx = checksum.DotStrided(cm, src[i:], m, k)
+			cx = checksum.DotStrided(cm, src[i*ss:], m, k*ss)
 		} else {
-			gather(t.bufA[:m], src[i:], m, k)
+			gather(t.bufA[:m], src[i*ss:], m, k*ss)
 			cx = checksum.Dot(cm, t.bufA[:m])
 		}
 		ok := false
 		for attempt := 0; attempt <= t.cfg.maxRetries(); attempt++ {
 			if naive {
-				t.planM.ExecuteStrided(row, src[i:], k)
+				t.planM.ExecuteStrided(row, src[i*ss:], k*ss)
 			} else {
 				t.planM.Execute(row, t.bufA[:m])
 			}
@@ -119,8 +120,8 @@ func (t *Transformer) onlineComp(dst, src []complex128, th Thresholds) (Report, 
 			rep.Uncorrectable = true
 			return rep, ErrUncorrectable
 		}
-		scatter(dst[j:], t.bufC[:k], k, m)
+		scatter(dst[j*ds:], t.bufC[:k], k, m*ds)
 	}
-	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, 1)
+	fault.Visit(inj, fault.SiteOutputMemory, 0, dst, t.n, ds)
 	return rep, nil
 }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// stridedConfigs enumerates every scheme × variant × memory-protection
+// combination the Transformer implements.
+var stridedConfigs = []struct {
+	name string
+	cfg  Config
+}{
+	{"plain", Config{Scheme: Plain}},
+	{"offline-naive", Config{Scheme: Offline, Variant: Naive}},
+	{"offline-opt", Config{Scheme: Offline, Variant: Optimized}},
+	{"offline-naive-mem", Config{Scheme: Offline, Variant: Naive, MemoryFT: true}},
+	{"offline-opt-mem", Config{Scheme: Offline, Variant: Optimized, MemoryFT: true}},
+	{"online-naive", Config{Scheme: Online, Variant: Naive}},
+	{"online-opt", Config{Scheme: Online, Variant: Optimized}},
+	{"online-naive-mem", Config{Scheme: Online, Variant: Naive, MemoryFT: true}},
+	{"online-opt-mem", Config{Scheme: Online, Variant: Optimized, MemoryFT: true}},
+}
+
+// embed scatters the logical vector x into a fresh array of stride s, with
+// deterministic garbage in the gaps so any accidental read of a non-line
+// element corrupts the result visibly.
+func embed(x []complex128, s int) []complex128 {
+	buf := make([]complex128, (len(x)-1)*s+1)
+	for i := range buf {
+		buf[i] = complex(1e6+float64(i), -1e6)
+	}
+	for j, v := range x {
+		buf[j*s] = v
+	}
+	return buf
+}
+
+// TestTransformStridedBitIdentical is the contract the N-D axis passes are
+// built on: for every scheme, transforming a strided line must produce
+// bit-identical results to gathering the line, transforming contiguously,
+// and scattering the output — including the derived detection thresholds.
+func TestTransformStridedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{36, 64, 100} {
+		x := randomVec(rng, n)
+		for _, tc := range stridedConfigs {
+			ref, err := New(n, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]complex128, n)
+			if rep, err := ref.Transform(want, append([]complex128(nil), x...)); err != nil || !rep.Clean() {
+				t.Fatalf("n=%d %s: contiguous: err=%v rep=%+v", n, tc.name, err, rep)
+			}
+			for _, strides := range [][2]int{{1, 1}, {3, 1}, {1, 4}, {2, 3}} {
+				ds, ss := strides[0], strides[1]
+				tr, err := New(n, tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := embed(x, ss)
+				dst := make([]complex128, (n-1)*ds+1)
+				rep, err := tr.TransformStrided(context.Background(), dst, src, ds, ss)
+				if err != nil || !rep.Clean() {
+					t.Fatalf("n=%d %s ds=%d ss=%d: err=%v rep=%+v", n, tc.name, ds, ss, err, rep)
+				}
+				for j := 0; j < n; j++ {
+					if dst[j*ds] != want[j] {
+						t.Fatalf("n=%d %s ds=%d ss=%d: element %d differs: %v vs %v",
+							n, tc.name, ds, ss, j, dst[j*ds], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransformStridedInPlaceLine covers the aliased form the in-place axis
+// passes of an N-D transform use: dst and src are the same strided line.
+// Every scheme except Offline must support it (Offline's restart re-reads
+// the input, so N-D offline passes stage aliased lines first).
+func TestTransformStridedInPlaceLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const n, s = 64, 5
+	x := randomVec(rng, n)
+	for _, tc := range stridedConfigs {
+		if tc.cfg.Scheme == Offline {
+			continue
+		}
+		ref, err := New(n, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]complex128, n)
+		if _, err := ref.Transform(want, append([]complex128(nil), x...)); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := New(n, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := embed(x, s)
+		rep, err := tr.TransformStrided(context.Background(), line, line, s, s)
+		if err != nil || !rep.Clean() {
+			t.Fatalf("%s: in-place line: err=%v rep=%+v", tc.name, err, rep)
+		}
+		for j := 0; j < n; j++ {
+			if line[j*s] != want[j] {
+				t.Fatalf("%s: in-place element %d differs: %v vs %v", tc.name, j, line[j*s], want[j])
+			}
+		}
+	}
+}
+
+// TestTransformStridedValidation pins the strided entry point's argument
+// audit.
+func TestTransformStridedValidation(t *testing.T) {
+	tr, err := New(16, Config{Scheme: Plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]complex128, 64)
+	ctx := context.Background()
+	if _, err := tr.TransformStrided(ctx, buf, buf, 0, 1); err == nil {
+		t.Error("zero dst stride accepted")
+	}
+	if _, err := tr.TransformStrided(ctx, buf, buf, 1, -2); err == nil {
+		t.Error("negative src stride accepted")
+	}
+	if _, err := tr.TransformStrided(ctx, make([]complex128, 16), buf, 4, 1); err == nil {
+		t.Error("short strided dst accepted")
+	}
+	if _, err := tr.TransformStrided(ctx, buf, make([]complex128, 16), 1, 4); err == nil {
+		t.Error("short strided src accepted")
+	}
+}

@@ -47,6 +47,12 @@ type Transformer struct {
 	// ctx is the in-flight TransformContext's cancellation context, checked
 	// at sub-FFT boundaries; nil between calls.
 	ctx context.Context
+
+	// ds/ss are the in-flight call's dst and src element strides (1 for the
+	// contiguous entry points). Like ctx they are call-scoped state: every
+	// scheme indexes the caller's arrays through them, so the same protected
+	// pipeline serves contiguous vectors and non-contiguous axis lines.
+	ds, ss int
 }
 
 // canceled reports the in-flight context's cancellation cause, if any. It is
@@ -121,21 +127,45 @@ func (t *Transformer) TransformContext(ctx context.Context, dst, src []complex12
 	if len(dst) < t.n || len(src) < t.n {
 		return Report{}, fmt.Errorf("core: buffers too short: dst=%d src=%d need %d", len(dst), len(src), t.n)
 	}
-	dst = dst[:t.n]
-	src = src[:t.n]
-	t.ctx = ctx
-	defer func() { t.ctx = nil }()
+	return t.TransformStrided(ctx, dst[:t.n], src[:t.n], 1, 1)
+}
+
+// TransformStrided computes the forward DFT of the strided logical vector
+// src[0], src[srcStride], …, src[(N-1)·srcStride] into dst[0], dst[dstStride],
+// …, under the configured protection — the entry point N-dimensional axis
+// passes use to transform non-contiguous lines without a gather/scatter
+// round trip. The arithmetic is bit-identical to gathering the line into a
+// contiguous buffer, calling TransformContext, and scattering the result:
+// only the addressing changes, never the operation order.
+//
+// dst and src may address the same strided line (the in-place axis passes of
+// an N-D transform): every scheme except Offline fully consumes the input
+// before the first output element is written. The Offline scheme's restart
+// path re-reads src after dst was written, so offline callers must stage an
+// aliased input into a private buffer first.
+func (t *Transformer) TransformStrided(ctx context.Context, dst, src []complex128, dstStride, srcStride int) (Report, error) {
+	if dstStride < 1 || srcStride < 1 {
+		return Report{}, fmt.Errorf("core: invalid strides dst=%d src=%d", dstStride, srcStride)
+	}
+	if need := (t.n-1)*dstStride + 1; len(dst) < need {
+		return Report{}, fmt.Errorf("core: dst too short for stride %d: %d < %d", dstStride, len(dst), need)
+	}
+	if need := (t.n-1)*srcStride + 1; len(src) < need {
+		return Report{}, fmt.Errorf("core: src too short for stride %d: %d < %d", srcStride, len(src), need)
+	}
+	t.ctx, t.ds, t.ss = ctx, dstStride, srcStride
+	defer func() { t.ctx, t.ds, t.ss = nil, 0, 0 }()
 	switch t.cfg.Scheme {
 	case Plain:
 		// Memory fault sites are visited even unprotected — faults are
 		// physical events that strike whether or not anyone checks. This
 		// is what the Table 6 "NoCorrection" row measures.
-		fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, 1)
+		fault.Visit(t.cfg.Injector, fault.SiteInputMemory, 0, src, t.n, t.ss)
 		if err := t.plain(dst, src); err != nil {
 			return Report{}, err
 		}
-		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, 1)
-		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, 1)
+		fault.Visit(t.cfg.Injector, fault.SiteFullFFT, 0, dst, t.n, t.ds)
+		fault.Visit(t.cfg.Injector, fault.SiteOutputMemory, 0, dst, t.n, t.ds)
 		return Report{}, nil
 	case Offline:
 		return t.offline(dst, src, t.thresholds(src))
@@ -159,13 +189,15 @@ func (t *Transformer) thresholds(src []complex128) Thresholds {
 		return *t.cfg.Thresholds
 	}
 	// Sample the input RMS (≤1024 probes) — O(N/stride) so the derivation
-	// itself adds no measurable overhead.
-	stride := len(src) / 1024
+	// itself adds no measurable overhead. Probe positions are chosen in
+	// logical coordinates, so a strided call samples the same elements (and
+	// derives bit-identical thresholds) as the contiguous equivalent.
+	stride := t.n / 1024
 	if stride < 1 {
 		stride = 1
 	}
-	probes := len(src) / stride
-	sigma0 := roundoff.RMSStrided(src, probes, stride)
+	probes := t.n / stride
+	sigma0 := roundoff.RMSStrided(src, probes, stride*t.ss)
 	if sigma0 == 0 {
 		sigma0 = 1
 	}
@@ -197,11 +229,12 @@ func maxWeight(n int) float64 {
 // optimized protected path, so scheme comparisons isolate checksum cost.
 func (t *Transformer) plain(dst, src []complex128) error {
 	m, k := t.m, t.k
+	ds, ss := t.ds, t.ss
 	for i := 0; i < k; i++ {
 		if err := t.canceled(); err != nil {
 			return err
 		}
-		gather(t.bufA[:m], src[i:], m, k)
+		gather(t.bufA[:m], src[i*ss:], m, k*ss)
 		t.planM.Execute(t.work[i*m:(i+1)*m], t.bufA[:m])
 	}
 	for j := 0; j < m; j++ {
@@ -212,7 +245,7 @@ func (t *Transformer) plain(dst, src []complex128) error {
 			t.bufB[i] = t.work[i*m+j] * t.twiddle[i*m+j]
 		}
 		t.planK.Execute(t.bufC[:k], t.bufB[:k])
-		scatter(dst[j:], t.bufC[:k], k, m)
+		scatter(dst[j*ds:], t.bufC[:k], k, m*ds)
 	}
 	return nil
 }

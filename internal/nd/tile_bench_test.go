@@ -1,0 +1,56 @@
+package nd
+
+import (
+	"testing"
+
+	"ftfft/internal/core"
+)
+
+// BenchmarkTileSize probes the column-pass tile budget on a 512×512 grid:
+// the protected schemes make several passes over each strided line, so the
+// sweet spot is where one tile's cache lines survive all of them.
+func BenchmarkTileSize(b *testing.B) {
+	const rows, cols = 512, 512
+	for _, cfg := range []struct {
+		name string
+		core core.Config
+	}{
+		{"plain", core.Config{Scheme: core.Plain}},
+		{"online-mem", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true}},
+	} {
+		for _, tile := range []int{1, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 16} {
+			b.Run(cfg.name+"/"+itoa(tile), func(b *testing.B) {
+				p, err := New([]int{rows, cols}, Config{Core: cfg.core, TileElems: tile})
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := make([]complex128, rows*cols)
+				for i := range src {
+					src[i] = complex(float64(i%17)-8, float64(i%13)-6)
+				}
+				dst := make([]complex128, rows*cols)
+				b.SetBytes(int64(16 * rows * cols))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Forward(bg, dst, src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -119,3 +119,12 @@ func (pl *Plan) putCtx(ec *execCtx) {
 	}
 	pl.mu.Unlock()
 }
+
+// PooledContexts reports how many idle execution contexts the plan retains
+// and the freelist cap; a burst of concurrent Transforms never pins more
+// than the cap once it drains. Exposed for the context-pool bound tests.
+func (pl *Plan) PooledContexts() (free, capacity int) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.free), maxPooledCtx
+}

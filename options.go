@@ -11,7 +11,9 @@ type Option func(*config)
 type config struct {
 	protection  Protection
 	ranks       int
-	rows, cols  int
+	rows, cols  int   // WithShape (kept separate from dims to detect conflicts)
+	dims        []int // resolved N-D geometry; nil means 1-D
+	dimsSet     bool  // WithDims was supplied (even with invalid arguments)
 	injector    Injector
 	etaScale    float64
 	maxRetries  int
@@ -31,15 +33,28 @@ func WithProtection(p Protection) Option {
 
 // WithRanks runs the transform over p simulated ranks. For a 1-D transform
 // this is the paper's §5 six-step in-place parallel algorithm (p² must
-// divide N); combined with WithShape it sizes the worker pool the row and
-// column passes are dispatched over. p ≤ 1 means sequential execution.
+// divide N); combined with WithDims or WithShape it sizes the worker pool
+// the axis passes are dispatched over. p ≤ 1 means sequential execution.
 func WithRanks(p int) Option {
 	return func(c *config) { c.ranks = p }
 }
 
-// WithShape makes the transform 2-D over row-major rows×cols data
-// (row-column decomposition; every 1-D pass runs under the configured
-// protection). The planned size n must equal rows·cols.
+// WithDims makes the transform N-dimensional over row-major
+// dims[0]×dims[1]×…×dims[k-1] data: the transform runs as one protected
+// 1-D axis pass per non-degenerate axis (innermost axis first), so the
+// online scheme's timely-detection property holds between passes for any
+// rank k ≥ 1. The planned size n must equal the product of the dims.
+// Length-1 axes are accepted and skipped as identity passes.
+func WithDims(dims ...int) Option {
+	return func(c *config) {
+		c.dims = append([]int(nil), dims...)
+		c.dimsSet = true
+	}
+}
+
+// WithShape makes the transform 2-D over row-major rows×cols data.
+// It is shorthand for WithDims(rows, cols) (and mutually exclusive with
+// WithDims); the planned size n must equal rows·cols.
 func WithShape(rows, cols int) Option {
 	return func(c *config) { c.rows, c.cols = rows, cols }
 }

@@ -34,6 +34,13 @@ func TestOptionValidationUniform(t *testing.T) {
 		{"zero shape row", 64, []ftfft.Option{ftfft.WithShape(0, 64)}},
 		{"shape size mismatch", 100, []ftfft.Option{ftfft.WithShape(8, 8)}},
 		{"shape mismatch with ranks", 100, []ftfft.Option{ftfft.WithShape(8, 8), ftfft.WithRanks(2)}},
+		{"empty dims", 64, []ftfft.Option{ftfft.WithDims()}},
+		{"zero dims axis", 64, []ftfft.Option{ftfft.WithDims(8, 0, 8)}},
+		{"negative dims axis", 64, []ftfft.Option{ftfft.WithDims(-8, -8)}},
+		{"dims product mismatch", 100, []ftfft.Option{ftfft.WithDims(8, 8)}},
+		{"dims product short", 64, []ftfft.Option{ftfft.WithDims(2, 2)}},
+		{"dims product overflow", 64, []ftfft.Option{ftfft.WithDims(1<<30, 1<<30, 1<<30)}},
+		{"dims and shape together", 64, []ftfft.Option{ftfft.WithDims(8, 8), ftfft.WithShape(8, 8)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tr, err := ftfft.New(tc.n, tc.opts...)
@@ -55,6 +62,9 @@ func TestOptionValidationUniform(t *testing.T) {
 		{"zero eta scale", []ftfft.Option{ftfft.WithEtaScale(0)}},
 		{"zero retries", []ftfft.Option{ftfft.WithMaxRetries(0)}},
 		{"zero workers", []ftfft.Option{ftfft.WithWorkers(0)}},
+		{"one-axis dims", []ftfft.Option{ftfft.WithDims(64)}},
+		{"multi-axis dims", []ftfft.Option{ftfft.WithDims(4, 4, 4)}},
+		{"dims with unit axes", []ftfft.Option{ftfft.WithDims(1, 64, 1)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, err := ftfft.New(64, tc.opts...); err != nil {

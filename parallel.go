@@ -62,6 +62,7 @@ func newParTransform(n int, c config) (*parTransform, error) {
 }
 
 func (t *parTransform) Len() int                { return t.n }
+func (t *parTransform) Dims() []int             { return []int{t.n} }
 func (t *parTransform) Shape() (rows, cols int) { return 1, t.n }
 func (t *parTransform) Ranks() int              { return t.ranks }
 func (t *parTransform) Protection() Protection  { return t.prot }

@@ -3,180 +3,28 @@ package ftfft
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
-
-	"ftfft/internal/exec"
 )
-
-// grid2D is the 2-D executor: row-column decomposition where every 1-D pass
-// runs under the configured protection, so the online scheme's
-// timely-detection property extends to the 2-D case — an error in any row
-// or column transform is caught and repaired before the next pass consumes
-// it. With WithRanks the independent row (then column) transforms are
-// dispatched as bounded-executor task groups of that width instead of the
-// serial gather/scatter loop; each slot draws its own pooled 1-D execution
-// context, so the outputs are bit-identical to the serial schedule.
-type grid2D struct {
-	rows, cols, workers int
-	prot                Protection
-	ex                  *exec.Pool
-	rowT                *seqTransform // cols-point transforms (pass 1)
-	colT                *seqTransform // rows-point transforms (pass 2)
-
-	mu   sync.Mutex
-	free []*gridCtx // pooled per-call slot workspaces
-}
-
-// gridCtx is one in-flight call's workspace: a column gather/scatter buffer
-// pair per dispatch slot.
-type gridCtx struct {
-	slots []gridSlot
-}
-
-type gridSlot struct {
-	col, out []complex128
-}
-
-// maxPooledGrid bounds how many idle grid contexts a plan retains.
-const maxPooledGrid = 4
-
-func newGrid2D(c config) (*grid2D, error) {
-	workers := c.ranks
-	if workers < 1 {
-		workers = 1
-	}
-	rowT, err := newSeqTransform(c.cols, c)
-	if err != nil {
-		return nil, fmt.Errorf("ftfft: row plan: %w", err)
-	}
-	colT, err := newSeqTransform(c.rows, c)
-	if err != nil {
-		return nil, fmt.Errorf("ftfft: column plan: %w", err)
-	}
-	ex := c.pool
-	if ex == nil {
-		ex = exec.Default()
-	}
-	g := &grid2D{rows: c.rows, cols: c.cols, workers: workers, prot: c.protection, ex: ex, rowT: rowT, colT: colT}
-	g.free = append(g.free, g.newCtx())
-	return g, nil
-}
-
-func (g *grid2D) newCtx() *gridCtx {
-	gc := &gridCtx{slots: make([]gridSlot, g.workers)}
-	for i := range gc.slots {
-		gc.slots[i].col = make([]complex128, g.rows)
-		gc.slots[i].out = make([]complex128, g.rows)
-	}
-	return gc
-}
-
-func (g *grid2D) getCtx() *gridCtx {
-	g.mu.Lock()
-	if k := len(g.free); k > 0 {
-		gc := g.free[k-1]
-		g.free[k-1] = nil
-		g.free = g.free[:k-1]
-		g.mu.Unlock()
-		return gc
-	}
-	g.mu.Unlock()
-	return g.newCtx()
-}
-
-func (g *grid2D) putCtx(gc *gridCtx) {
-	g.mu.Lock()
-	if len(g.free) < maxPooledGrid {
-		g.free = append(g.free, gc)
-	}
-	g.mu.Unlock()
-}
-
-func (g *grid2D) Len() int                { return g.rows * g.cols }
-func (g *grid2D) Shape() (rows, cols int) { return g.rows, g.cols }
-func (g *grid2D) Ranks() int              { return g.workers }
-func (g *grid2D) Protection() Protection  { return g.prot }
-
-func (g *grid2D) Forward(ctx context.Context, dst, src []complex128) (Report, error) {
-	return g.apply(ctx, dst, src, (*seqTransform).Forward)
-}
-
-func (g *grid2D) Inverse(ctx context.Context, dst, src []complex128) (Report, error) {
-	return g.apply(ctx, dst, src, (*seqTransform).Inverse)
-}
-
-func (g *grid2D) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
-	if err := checkBatch(g.Len(), dst, src); err != nil {
-		return Report{}, err
-	}
-	// A plan with dispatch width (WithRanks) fans each item's row/column
-	// passes out already, so items run serially; a serial grid instead
-	// batches across items, bounded by the grid-context pool.
-	itemWidth := 1
-	if g.workers == 1 {
-		itemWidth = min(runtime.GOMAXPROCS(0), maxPooledGrid)
-	}
-	return runIndexed(ctx, g.ex, len(dst), itemWidth, "batch item", func(ctx context.Context, _, i int) (Report, error) {
-		return g.Forward(ctx, dst[i], src[i])
-	})
-}
-
-type applyFn func(*seqTransform, context.Context, []complex128, []complex128) (Report, error)
-
-func (g *grid2D) apply(ctx context.Context, dst, src []complex128, op applyFn) (Report, error) {
-	if err := checkArgs(g.Len(), dst, src); err != nil {
-		return Report{}, err
-	}
-	gc := g.getCtx()
-	// Pass 1: transform every row src → dst, one executor task group.
-	total, err := runIndexed(ctx, g.ex, g.rows, g.workers, "row", func(ctx context.Context, _, r int) (Report, error) {
-		return op(g.rowT, ctx, dst[r*g.cols:(r+1)*g.cols], src[r*g.cols:(r+1)*g.cols])
-	})
-	if err == nil {
-		// Pass 2: transform every column of dst in place (gather/scatter
-		// through each slot's private buffers).
-		var rep Report
-		rep, err = runIndexed(ctx, g.ex, g.cols, g.workers, "column", func(ctx context.Context, w, c int) (Report, error) {
-			slot := &gc.slots[w]
-			for r := 0; r < g.rows; r++ {
-				slot.col[r] = dst[r*g.cols+c]
-			}
-			rep, err := op(g.colT, ctx, slot.out, slot.col)
-			if err != nil {
-				return rep, err
-			}
-			for r := 0; r < g.rows; r++ {
-				dst[r*g.cols+c] = slot.out[r]
-			}
-			return rep, nil
-		})
-		total.Add(rep)
-	}
-	g.putCtx(gc)
-	return total, err
-}
 
 // Plan2D computes protected 2-D DFTs (row-column decomposition) of a fixed
 // rows×cols shape.
 //
-// Deprecated: use New(rows*cols, WithShape(rows, cols), ...), which adds
-// cancellation, batching and worker-pool dispatch (WithRanks).
+// Deprecated: use New(rows*cols, WithDims(rows, cols), ...), which adds
+// cancellation, batching, worker-pool dispatch (WithRanks) and arbitrary
+// rank via WithDims. A Plan2D is now a thin shim over the same N-D engine.
 type Plan2D struct {
-	g *grid2D
+	t *ndTransform
 }
 
 // NewPlan2D creates a plan for rows×cols transforms (row-major data).
 //
-// Deprecated: use New(rows*cols, WithShape(rows, cols), ...).
+// Deprecated: use New(rows*cols, WithDims(rows, cols), ...).
 func NewPlan2D(rows, cols int, opts Options) (*Plan2D, error) {
 	if rows < 1 || cols < 1 {
 		return nil, fmt.Errorf("ftfft: invalid 2-D shape %d×%d", rows, cols)
 	}
-	g, err := newGrid2D(config{
+	t, err := newNDTransform(config{
 		protection: opts.Protection,
-		rows:       rows,
-		cols:       cols,
+		dims:       []int{rows, cols},
 		injector:   opts.Injector,
 		etaScale:   opts.EtaScale,
 		maxRetries: opts.MaxRetries,
@@ -184,20 +32,20 @@ func NewPlan2D(rows, cols int, opts Options) (*Plan2D, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan2D{g: g}, nil
+	return &Plan2D{t: t}, nil
 }
 
 // Shape returns (rows, cols).
-func (p *Plan2D) Shape() (rows, cols int) { return p.g.Shape() }
+func (p *Plan2D) Shape() (rows, cols int) { return p.t.Shape() }
 
 // Forward computes the 2-D forward DFT of src into dst, both row-major of
 // length rows·cols and non-overlapping. The aggregate Report sums the
 // fault-tolerance activity of all 1-D passes.
 func (p *Plan2D) Forward(dst, src []complex128) (Report, error) {
-	return p.g.Forward(context.Background(), dst, src)
+	return p.t.Forward(context.Background(), dst, src)
 }
 
 // Inverse computes the 2-D inverse DFT (1/(rows·cols) normalization).
 func (p *Plan2D) Inverse(dst, src []complex128) (Report, error) {
-	return p.g.Inverse(context.Background(), dst, src)
+	return p.t.Inverse(context.Background(), dst, src)
 }

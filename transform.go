@@ -43,11 +43,16 @@ type Transform interface {
 	ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error)
 	// Len returns the total number of points per transform.
 	Len() int
-	// Shape returns the 2-D geometry (rows, cols); 1-D transforms report
+	// Dims returns a copy of the N-D geometry: one entry per axis of the
+	// row-major shape. 1-D transforms report [Len()].
+	Dims() []int
+	// Shape is the 2-D compatibility view of Dims: (dims[0], Len()/dims[0])
+	// — exactly (rows, cols) for a 2-D transform; 1-D transforms report
 	// (1, Len()).
 	Shape() (rows, cols int)
 	// Ranks returns the parallelism degree: simulated ranks for a parallel
-	// 1-D transform, worker-pool size for a 2-D transform, 1 otherwise.
+	// 1-D transform, axis-pass dispatch width for an N-D transform,
+	// 1 otherwise.
 	Ranks() int
 	// Protection returns the configured fault-tolerance scheme.
 	Protection() Protection
@@ -55,11 +60,12 @@ type Transform interface {
 
 // New plans an n-point protected transform. The zero option set is a plain
 // sequential 1-D FFT; options compose protection (WithProtection), geometry
-// (WithShape) and parallelism (WithRanks):
+// (WithDims / WithShape) and parallelism (WithRanks):
 //
 //	ftfft.New(1<<20, ftfft.WithProtection(ftfft.OnlineABFTMemory))
 //	ftfft.New(1<<20, ftfft.WithRanks(8), ftfft.WithProtection(ftfft.OnlineABFTMemory))
 //	ftfft.New(rows*cols, ftfft.WithShape(rows, cols), ftfft.WithRanks(4))
+//	ftfft.New(64*64*64, ftfft.WithDims(64, 64, 64), ftfft.WithRanks(8))
 //
 // Like FFTW, plans front-load all derived state — FFT sub-plans, twiddle
 // tables, checksum weight vectors, communicators and workspaces — so
@@ -84,11 +90,14 @@ func New(n int, opts ...Option) (Transform, error) {
 	default:
 		c.pool = exec.Default()
 	}
+	if c.rows != 0 || c.cols != 0 {
+		c.dims = []int{c.rows, c.cols} // WithShape is WithDims(rows, cols)
+	}
 	var t Transform
 	var err error
 	switch {
-	case c.rows != 0 || c.cols != 0:
-		t, err = newGrid2D(c)
+	case len(c.dims) >= 2:
+		t, err = newNDTransform(c)
 	case c.ranks > 1:
 		t, err = newParTransform(n, c)
 	default:
@@ -107,7 +116,7 @@ func New(n int, opts ...Option) (Transform, error) {
 			runtime.AddCleanup(tt, closePool, c.pool)
 		case *parTransform:
 			runtime.AddCleanup(tt, closePool, c.pool)
-		case *grid2D:
+		case *ndTransform:
 			runtime.AddCleanup(tt, closePool, c.pool)
 		}
 	}
@@ -140,11 +149,35 @@ func (c *config) validate(n int) error {
 		return fmt.Errorf("ftfft: invalid executor: WithExecutor requires a non-nil Executor")
 	}
 	if c.rows != 0 || c.cols != 0 {
+		if c.dimsSet {
+			return fmt.Errorf("ftfft: invalid geometry options: WithDims and WithShape are mutually exclusive")
+		}
 		if c.rows < 1 || c.cols < 1 {
 			return fmt.Errorf("ftfft: invalid 2-D shape %d×%d", c.rows, c.cols)
 		}
-		if n != c.rows*c.cols {
+		// Overflow-safe form of n == rows·cols (rows·cols can wrap).
+		if n%c.rows != 0 || n/c.rows != c.cols {
 			return fmt.Errorf("ftfft: invalid 2-D shape %d×%d for size %d", c.rows, c.cols, n)
+		}
+	}
+	if c.dimsSet {
+		if len(c.dims) == 0 {
+			return fmt.Errorf("ftfft: invalid dims: WithDims needs at least one axis")
+		}
+		prod := 1
+		for _, d := range c.dims {
+			if d < 1 {
+				return fmt.Errorf("ftfft: invalid axis length %d in dims %v", d, c.dims)
+			}
+			// prod·d ≤ n ⇔ prod ≤ n/d (all positive), so the product can
+			// never overflow before the mismatch is caught.
+			if d > n || prod > n/d {
+				return fmt.Errorf("ftfft: invalid dims %v for size %d", c.dims, n)
+			}
+			prod *= d
+		}
+		if prod != n {
+			return fmt.Errorf("ftfft: invalid dims %v for size %d", c.dims, n)
 		}
 	}
 	return nil
@@ -300,6 +333,7 @@ func (s *seqTransform) putCtx(ec *seqCtx) {
 }
 
 func (s *seqTransform) Len() int                { return s.n }
+func (s *seqTransform) Dims() []int             { return []int{s.n} }
 func (s *seqTransform) Shape() (rows, cols int) { return 1, s.n }
 func (s *seqTransform) Ranks() int              { return 1 }
 func (s *seqTransform) Protection() Protection  { return s.prot }
