@@ -1,0 +1,92 @@
+// The BenchmarkWire* family prices the transport seams of the distributed
+// stack against each other on one machine:
+//
+//   - ChanShared   — the default in-process wire with the zero-copy
+//     shared-memory scatter/gather fast path (the PR 4 baseline path);
+//   - ChanMessage  — the same chan wire with the fast path masked, so the
+//     explicit root-rank scatter/gather messages are priced on their own;
+//   - UnixSocket   — the real byte-level codec over a Unix-domain socket
+//     hub, worker ranks served in-process (goroutines, private executors),
+//     so the delta over ChanMessage is serialization + kernel round trips,
+//     not process-scheduling noise.
+//
+// bench.sh records the family; BENCH_PR5.json pins the chan-vs-socket
+// trajectory point for this PR.
+package ftfft_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+const (
+	wireN = 1 << 14
+	wireP = 4
+)
+
+func benchWireForward(b *testing.B, tr ftfft.Transform) {
+	b.Helper()
+	src := workload.Uniform(int64(wireN), wireN)
+	dst := make([]complex128, wireN)
+	ctx := context.Background()
+	b.SetBytes(int64(16 * wireN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Forward(ctx, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireChanShared_Parallel4(b *testing.B) {
+	tr, err := ftfft.New(wireN, ftfft.WithRanks(wireP), ftfft.WithProtection(ftfft.OnlineABFTMemory))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWireForward(b, tr)
+}
+
+func BenchmarkWireChanMessage_Parallel4(b *testing.B) {
+	tr, err := ftfft.New(wireN, ftfft.WithRanks(wireP), ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(ftfft.MessageOnlyTransport(wireP)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWireForward(b, tr)
+}
+
+func BenchmarkWireUnixSocket_Parallel4(b *testing.B) {
+	sock := filepath.Join(b.TempDir(), "bench.sock")
+	hub, err := ftfft.ListenHub("unix", sock, wireP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 1; i < wireP; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Private single-worker executors: in-process worker ranks must
+			// not compete for the shared pool's gang admission.
+			if err := ftfft.ServeWorker(ctx, "unix", sock, ftfft.WithWorkers(1)); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	tr, err := ftfft.New(wireN, ftfft.WithRanks(wireP), ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(hub), ftfft.WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWireForward(b, tr)
+	b.StopTimer()
+	hub.Close()
+	wg.Wait()
+}

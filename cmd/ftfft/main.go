@@ -10,6 +10,19 @@
 //	ftfft -n 20 -parallel 8 -inject 2m+2c
 //	ftfft -dims 64x64x64 -inject 1m+1c
 //
+// Distributed execution (real OS processes over sockets):
+//
+//	ftfft -n 16 -parallel 4 -listen /tmp/ftfft.sock -spawn-workers
+//	ftfft -n 16 -parallel 4 -listen /tmp/ftfft.sock   # plus, in 3 shells:
+//	ftfft -worker -connect /tmp/ftfft.sock
+//
+// -listen makes this process rank 0 of a p-rank socket world (Unix-domain
+// when the address contains a path separator or no colon, TCP otherwise)
+// and blocks until the p-1 workers dial in; -spawn-workers forks them
+// automatically. -worker -connect turns the process into one rank: it takes
+// its geometry and protection from the hub's handshake and serves transforms
+// until the driver exits.
+//
 // -inject takes a mix like "2m+1c": m = memory faults, c = computational
 // faults. -dims runs the N-dimensional axis-pass engine over the given
 // row-major shape (with -parallel as the per-pass dispatch width).
@@ -21,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +61,21 @@ func main() {
 	parallelRanks := flag.Int("parallel", 0, "parallel ranks for 1-D, or axis-pass dispatch width with -dims (0 = sequential)")
 	timeout := flag.Duration("timeout", 0, "cancel the transform after this long (0 = no deadline)")
 	seed := flag.Int64("seed", 1, "input seed")
+	worker := flag.Bool("worker", false, "run as a distributed worker rank (requires -connect)")
+	connectAddr := flag.String("connect", "", "worker mode: hub address to dial")
+	listenAddr := flag.String("listen", "", "driver mode: run -parallel ranks as OS processes; listen for workers here")
+	spawnWorkers := flag.Bool("spawn-workers", false, "with -listen: fork the worker processes automatically")
 	flag.Parse()
+
+	if *worker {
+		if *connectAddr == "" {
+			fatalf("-worker requires -connect")
+		}
+		if err := ftfft.ServeWorker(context.Background(), networkFor(*connectAddr), *connectAddr); err != nil {
+			fatalf("worker: %v", err)
+		}
+		return
+	}
 
 	n := 1 << *logN
 	dims, err := parseDims(*dimsFlag)
@@ -83,6 +111,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *listenAddr != "" {
+			// Distributed runs inject at the driver: only rank 0's fault
+			// sites are visited in this process, so pin the mix there — the
+			// corrupted blocks still travel to (and are repaired by) the
+			// remote ranks.
+			for i := range faults {
+				faults[i].Rank = 0
+			}
+		}
 		sched = ftfft.NewFaultSchedule(*seed, faults...)
 	}
 
@@ -113,6 +150,47 @@ func main() {
 			label = fmt.Sprintf("parallel %s, %d ranks", p, *parallelRanks)
 		}
 	}
+
+	var workers []*exec.Cmd
+	if *listenAddr != "" {
+		if *parallelRanks < 2 || isND {
+			fatalf("-listen needs a 1-D transform with -parallel ≥ 2")
+		}
+		network := networkFor(*listenAddr)
+		if network == "unix" {
+			os.Remove(*listenAddr)
+		}
+		hub, err := ftfft.ListenHub(network, *listenAddr, *parallelRanks)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer hub.Close()
+		opts = append(opts, ftfft.WithTransport(hub))
+		label += fmt.Sprintf(", %d OS processes over %s", *parallelRanks, network)
+		if *spawnWorkers {
+			self, err := os.Executable()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for i := 1; i < *parallelRanks; i++ {
+				w := exec.Command(self, "-worker", "-connect", *listenAddr)
+				w.Stderr = os.Stderr
+				if err := w.Start(); err != nil {
+					fatalf("spawning worker %d: %v", i, err)
+				}
+				workers = append(workers, w)
+			}
+			// The hub closes on exit (deferred above); workers observe the
+			// goodbye and exit cleanly, so reap them at the end.
+			defer func() {
+				hub.Close()
+				for _, w := range workers {
+					w.Wait()
+				}
+			}()
+		}
+	}
+
 	tr, err := ftfft.New(n, opts...)
 	if err != nil {
 		fatalf("%v", err)
@@ -150,6 +228,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("result    : verified output (DC bin X[0] = %v)\n", dst[0])
+}
+
+// networkFor infers the socket family from an address: anything that looks
+// like a filesystem path is a Unix-domain socket, host:port is TCP.
+func networkFor(addr string) string {
+	if strings.ContainsAny(addr, "/\\") || !strings.Contains(addr, ":") {
+		return "unix"
+	}
+	return "tcp"
 }
 
 // parseDims turns "64x64x64" into a shape, or nil when unset.

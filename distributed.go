@@ -1,0 +1,119 @@
+package ftfft
+
+import (
+	"context"
+	"fmt"
+
+	"ftfft/internal/exec"
+	"ftfft/internal/mpi"
+	"ftfft/internal/parallel"
+)
+
+// Transport is the wire a parallel Transform's ranks communicate over. The
+// default (no WithTransport option) is a per-plan in-process channel matrix
+// with the zero-copy shared-memory fast path; MessageOnlyTransport forces
+// the explicit message-passing paths over the same in-process wire, and
+// ListenHub opens a socket wire whose ranks 1..p-1 are worker OS processes
+// (each running ServeWorker).
+type Transport = mpi.Transport
+
+// Hub is the root process's side of a socket-backed distributed world: rank
+// 0 runs in the caller's process, the remaining ranks are worker processes
+// that dialed in. Pass it to New via WithTransport; call Close when the
+// Transform is retired — workers observe the shutdown and exit cleanly.
+// InjectWireFaults installs a hook that corrupts serialized payload bytes in
+// flight (wire-level soft errors, which the §5 block checksums repair on
+// receipt).
+type Hub = mpi.HubTransport
+
+// ListenHub opens the root side of a distributed world for ranks ranks on
+// network ("unix" or "tcp") and addr, returning immediately. Start ranks-1
+// worker processes (ServeWorker, or `ftfft -worker -connect addr`); the
+// handshake — accepting the workers, assigning each its rank in connection
+// order, and shipping them the plan geometry and protection parameters —
+// completes inside New, which therefore blocks until every worker has
+// dialed in (bounded by a 120 s handshake timeout).
+func ListenHub(network, addr string, ranks int) (*Hub, error) {
+	return mpi.ListenHub(network, addr, ranks)
+}
+
+// MessageOnlyTransport is an in-process channel wire for ranks ranks with
+// the shared-memory fast path masked: rank bodies must use the explicit
+// root-rank scatter/gather message exchanges, exactly as over sockets, while
+// staying in one process. Its outputs are bit-identical to the default
+// transport's — the transport-purity guarantee — which makes it the
+// reference wire for distributed tests and the honest baseline for
+// transport benchmarks.
+func MessageOnlyTransport(ranks int) Transport {
+	return mpi.MessageOnly(mpi.NewChanTransport(ranks))
+}
+
+// WithTransport runs the parallel 1-D transform's ranks over an explicit
+// wire instead of the per-plan in-process default. Requires WithRanks(p) ≥ 2
+// matching the transport's world size, and composes with every protection
+// level that has a parallel formulation. A transport is a physical resource:
+// the plan builds exactly one rank world over it, so concurrent calls on the
+// Transform serialize, and a transform error that poisons the world (rank
+// failure, lost connection, cancellation) retires the Transform — subsequent
+// calls fail fast with the original cause.
+func WithTransport(t Transport) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// ServeWorker runs this process as one rank of a distributed world: it dials
+// the hub at network/addr (retrying while the listener comes up), completes
+// the handshake — which assigns the rank and delivers the root plan's
+// geometry and protection parameters, so both sides provably run the same
+// scheme — and serves its slice of every transform the root initiates.
+//
+// ServeWorker returns nil when the root closes the hub (clean shutdown) and
+// the wire or transform failure otherwise. Accepted options: WithInjector
+// (worker-local fault injection), WithWorkers / WithExecutor (this process's
+// dispatch budget); geometry and protection options are rejected — they
+// belong to the root.
+func ServeWorker(ctx context.Context, network, addr string, opts ...Option) error {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.ranks != 0 || c.dimsSet || c.rows != 0 || c.cols != 0 || c.protection != None ||
+		c.etaScale != 0 || c.maxRetries != 0 || c.transport != nil {
+		return fmt.Errorf("ftfft: ServeWorker takes its geometry and protection from the hub handshake; only WithInjector / WithWorkers / WithExecutor apply")
+	}
+	// The executor options get New's validation, not a silent fallback.
+	if c.workers < 0 {
+		return fmt.Errorf("ftfft: invalid worker count %d", c.workers)
+	}
+	if c.workers > 0 && c.executorSet {
+		return fmt.Errorf("ftfft: invalid executor options: WithWorkers and WithExecutor are mutually exclusive")
+	}
+	pool := exec.Default()
+	switch {
+	case c.executorSet:
+		if c.executor == nil {
+			return fmt.Errorf("ftfft: invalid executor: WithExecutor requires a non-nil Executor")
+		}
+		pool = c.executor.pool
+	case c.workers > 0:
+		pool = exec.New(c.workers)
+		defer pool.Close()
+	}
+	tr, meta, err := mpi.DialWorker(network, addr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	pl, err := parallel.NewPlan(meta.N, meta.P, parallel.Config{
+		Protected:  meta.Protected,
+		Optimized:  meta.Optimized,
+		Injector:   c.injector,
+		EtaScale:   meta.EtaScale,
+		MaxRetries: meta.MaxRetries,
+		Executor:   pool,
+		Transport:  tr,
+	})
+	if err != nil {
+		return err
+	}
+	return pl.Serve(ctx)
+}

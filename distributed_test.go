@@ -1,0 +1,279 @@
+package ftfft_test
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ftfft"
+)
+
+// buildWorkerBinary compiles cmd/ftfft once per test binary; the worker mode
+// of that command is the real multi-process entry point the acceptance
+// criterion names.
+var (
+	workerBinOnce sync.Once
+	workerBin     string
+	workerBinErr  error
+)
+
+func buildWorkerBinary(t *testing.T) string {
+	t.Helper()
+	workerBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ftfft-worker-bin")
+		if err != nil {
+			workerBinErr = err
+			return
+		}
+		workerBin = filepath.Join(dir, "ftfft")
+		out, err := exec.Command("go", "build", "-o", workerBin, "./cmd/ftfft").CombinedOutput()
+		if err != nil {
+			workerBinErr = err
+			t.Logf("go build ./cmd/ftfft: %v\n%s", err, out)
+		}
+	})
+	if workerBinErr != nil {
+		t.Skipf("cannot build cmd/ftfft worker binary: %v", workerBinErr)
+	}
+	return workerBin
+}
+
+// spawnWorkers starts count `ftfft -worker -connect sock` OS processes and
+// returns a reaper that asserts every one of them exited cleanly.
+func spawnWorkers(t *testing.T, bin, sock string, count int) func() {
+	t.Helper()
+	procs := make([]*exec.Cmd, count)
+	for i := range procs {
+		w := exec.Command(bin, "-worker", "-connect", sock)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		procs[i] = w
+	}
+	return func() {
+		for i, w := range procs {
+			done := make(chan error, 1)
+			go func() { done <- w.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("worker %d exited with %v (want clean shutdown)", i, err)
+				}
+			case <-time.After(30 * time.Second):
+				w.Process.Kill()
+				t.Errorf("worker %d did not exit after hub close", i)
+			}
+		}
+	}
+}
+
+// TestDistributedBitIdentical is the multi-process acceptance test: a p-rank
+// transform whose ranks 1..p-1 are real OS processes (cmd/ftfft worker mode,
+// Unix-domain sockets) must produce bit-for-bit the output of the in-process
+// run over the message-only chan wire — the same message sequence, so the
+// comparison holds with injected faults too — and, transform for transform,
+// identical fault Reports. Forward and Inverse both cross the wire.
+func TestDistributedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const n, p = 4096, 4
+	bin := buildWorkerBinary(t)
+
+	rng := rand.New(rand.NewSource(77))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+
+	// Rank-0-pinned faults: one in a scatter/transpose message payload (a
+	// remote rank repairs it from the block checksums), one in the driver's
+	// FFT1 stage. Occurrence counting is per (site, rank), so the reference
+	// run's schedule fires at the identical visits.
+	mkFaults := func() []ftfft.Fault {
+		return []ftfft.Fault{
+			{Site: ftfft.SiteMessage, Rank: 0, Occurrence: 2, Index: -1, Mode: ftfft.SetConstant, Value: 42},
+			{Site: ftfft.SiteParallelFFT1, Rank: 0, Occurrence: 3, Index: -1, Mode: ftfft.AddConstant, Value: 5},
+		}
+	}
+
+	for _, tc := range []struct {
+		name   string
+		prot   ftfft.Protection
+		faulty bool
+	}{
+		{"plain", ftfft.None, false},
+		{"online-memory", ftfft.OnlineABFTMemory, false},
+		{"online-memory-faulty", ftfft.OnlineABFTMemory, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refOpts := []ftfft.Option{
+				ftfft.WithRanks(p), ftfft.WithProtection(tc.prot),
+				ftfft.WithTransport(ftfft.MessageOnlyTransport(p)),
+			}
+			var refSched, distSched *ftfft.Schedule
+			if tc.faulty {
+				refSched = ftfft.NewFaultSchedule(9, mkFaults()...)
+				distSched = ftfft.NewFaultSchedule(9, mkFaults()...)
+				refOpts = append(refOpts, ftfft.WithInjector(refSched))
+			}
+			ref, err := ftfft.New(n, refOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sock := filepath.Join(t.TempDir(), "hub.sock")
+			hub, err := ftfft.ListenHub("unix", sock, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reap := spawnWorkers(t, bin, sock, p-1)
+			distOpts := []ftfft.Option{
+				ftfft.WithRanks(p), ftfft.WithProtection(tc.prot), ftfft.WithTransport(hub),
+			}
+			if tc.faulty {
+				distOpts = append(distOpts, ftfft.WithInjector(distSched))
+			}
+			dist, err := ftfft.New(n, distOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			want := make([]complex128, n)
+			got := make([]complex128, n)
+			// Two rounds: world reuse across transforms must stay identical.
+			for round := 0; round < 2; round++ {
+				wantRep, err := ref.Forward(ctx, want, x)
+				if err != nil {
+					t.Fatalf("round %d ref: %v", round, err)
+				}
+				gotRep, err := dist.Forward(ctx, got, x)
+				if err != nil {
+					t.Fatalf("round %d dist: %v", round, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("round %d: multi-process output differs at %d: %v vs %v", round, i, got[i], want[i])
+					}
+				}
+				if gotRep != wantRep {
+					t.Fatalf("round %d: reports differ: dist %+v vs ref %+v", round, gotRep, wantRep)
+				}
+			}
+			// Inverse crosses the wire through the same pipeline.
+			wantInv := make([]complex128, n)
+			gotInv := make([]complex128, n)
+			if _, err := ref.Inverse(ctx, wantInv, x); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dist.Inverse(ctx, gotInv, x); err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantInv {
+				if gotInv[i] != wantInv[i] {
+					t.Fatalf("inverse differs at %d: %v vs %v", i, gotInv[i], wantInv[i])
+				}
+			}
+			if tc.faulty && (!refSched.AllFired() || !distSched.AllFired()) {
+				t.Fatalf("faults did not all fire: ref=%v dist=%v", refSched.AllFired(), distSched.AllFired())
+			}
+			hub.Close()
+			reap()
+		})
+	}
+}
+
+// TestTransportBatchSerializes pins the exclusive-context batch contract: a
+// transport-backed plan owns one world, so ForwardBatch must reap each item
+// before beginning the next — the pipelined window would otherwise park the
+// second Begin on the context only reaping can return (a reproduced
+// deadlock). The batch must complete promptly and match unbatched output.
+func TestTransportBatchSerializes(t *testing.T) {
+	const n, p, items = 1024, 4, 3
+	rng := rand.New(rand.NewSource(79))
+	tr, err := ftfft.New(n, ftfft.WithRanks(p), ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(ftfft.MessageOnlyTransport(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([][]complex128, items)
+	dst := make([][]complex128, items)
+	want := make([][]complex128, items)
+	for i := range src {
+		src[i] = make([]complex128, n)
+		for j := range src[i] {
+			src[i][j] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		dst[i] = make([]complex128, n)
+		want[i] = make([]complex128, n)
+	}
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.ForwardBatch(ctx, dst, src)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("ForwardBatch deadlocked on the exclusive transport context")
+	}
+	for i := range want {
+		if _, err := tr.Forward(ctx, want[i], src[i]); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want[i] {
+			if dst[i][j] != want[i][j] {
+				t.Fatalf("item %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDistributedSharedFastPathBitIdentical closes the purity argument from
+// the public API: the default shared-memory fast path and the message-only
+// wire produce bit-identical outputs, so TestDistributedBitIdentical's
+// message-only reference stands in for the default path transitively.
+func TestDistributedSharedFastPathBitIdentical(t *testing.T) {
+	const n, p = 4096, 4
+	rng := rand.New(rand.NewSource(78))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	for _, prot := range []ftfft.Protection{ftfft.None, ftfft.OnlineABFTMemory} {
+		shared, err := ftfft.New(n, ftfft.WithRanks(p), ftfft.WithProtection(prot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := ftfft.New(n, ftfft.WithRanks(p), ftfft.WithProtection(prot),
+			ftfft.WithTransport(ftfft.MessageOnlyTransport(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		want := make([]complex128, n)
+		got := make([]complex128, n)
+		if _, err := shared.Forward(ctx, want, x); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := msg.Forward(ctx, got, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("prot %v: message-only output differs at %d", prot, i)
+			}
+		}
+	}
+}

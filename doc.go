@@ -71,6 +71,44 @@
 // keeping every pass protected. Shape() remains as the 2-D compatibility
 // view of Dims().
 //
+// # Distributed execution
+//
+// The six-step parallel transform is transport-pure: a rank body touches
+// only its own preallocated workspace and its communicator endpoints, with
+// input distributed by an explicit root-rank scatter and output collected by
+// a gather (both checksum-protected). Which wire carries the messages is an
+// option:
+//
+//	hub, _ := ftfft.ListenHub("unix", "/tmp/fft.sock", 4)   // rank 0 = this process
+//	tr, _ := ftfft.New(1<<20, ftfft.WithRanks(4),
+//	    ftfft.WithProtection(ftfft.OnlineABFTMemory),
+//	    ftfft.WithTransport(hub))            // blocks until 3 workers dial in
+//	defer hub.Close()                        // workers exit cleanly
+//
+// and each worker process (one rank apiece) is just
+//
+//	ftfft.ServeWorker(ctx, "unix", "/tmp/fft.sock")          // or: ftfft -worker -connect …
+//
+// Workers need no configuration: the connection handshake assigns the rank
+// and ships the plan geometry and protection parameters, so every process
+// provably runs the same scheme. On the wire, messages travel through a
+// framed byte codec — tag/src/dst/length header, optional §5 block checksum
+// pair, then the payload as little-endian IEEE-754 bit patterns — so a
+// multi-process run is bit-for-bit identical to the in-process run, and the
+// block checksums repair payloads corrupted on the wire itself (including
+// below the codec: Hub.InjectWireFaults flips serialized bytes in flight).
+// A rank failure or lost connection poisons every process's world instead of
+// deadlocking it; the failed Transform's wire is then retired and later
+// calls fail fast.
+//
+// The shared-memory fast-path guarantee: without WithTransport, ranks run
+// in-process over a channel wire that grants the SharedMemory capability,
+// and rank bodies copy their slices of the caller's arrays directly instead
+// of exchanging scatter/gather messages. The fast path is selected by
+// transport capability, never assumed by the algorithm, and its outputs are
+// bit-identical to the message path (MessageOnlyTransport masks the
+// capability to prove exactly that).
+//
 // # Cancellation
 //
 // Every executor method takes a context.Context. Sequential transforms

@@ -1,0 +1,124 @@
+// Distributed: the six-step parallel FFT (paper §5) over real OS processes.
+// The driver is rank 0; it re-executes itself ranks-1 times as worker
+// processes, which dial the Unix-domain hub, take their rank and plan
+// parameters from the wire handshake, and serve their slice of every
+// transform — the same message-passing rank bodies that run in-process, now
+// with every block crossing a socket through the byte-level codec. A soft
+// error is injected into a message payload in the driver; the receiving
+// worker process detects and repairs it from the block checksums.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/cmplx"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+const (
+	n     = 1 << 16
+	ranks = 4
+
+	workerEnv = "FTFFT_DISTRIBUTED_WORKER"
+)
+
+func main() {
+	if addr := os.Getenv(workerEnv); addr != "" {
+		// Worker process: one rank, geometry and protection from the hub.
+		if err := ftfft.ServeWorker(context.Background(), "unix", addr); err != nil {
+			log.Fatalf("worker: %v", err)
+		}
+		return
+	}
+
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("ftfft-distributed-%d.sock", os.Getpid()))
+	os.Remove(sock)
+	defer os.Remove(sock)
+
+	hub, err := ftfft.ListenHub("unix", sock, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hub.Close()
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var workers []*exec.Cmd
+	for i := 1; i < ranks; i++ {
+		w := exec.Command(self)
+		w.Env = append(os.Environ(), workerEnv+"="+sock)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		hub.Close()
+		for _, w := range workers {
+			w.Wait()
+		}
+	}()
+
+	// One fault in a message payload, injected at the driver: the corrupted
+	// block crosses the wire and is repaired by a worker process.
+	sched := ftfft.NewFaultSchedule(7, ftfft.Fault{
+		Site: ftfft.SiteMessage, Rank: 0, Occurrence: 5, Index: -1,
+		Mode: ftfft.SetConstant, Value: 1e6,
+	})
+
+	// New blocks until the three workers have dialed in and completes the
+	// handshake that ships them the plan parameters.
+	tr, err := ftfft.New(n,
+		ftfft.WithRanks(ranks),
+		ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(hub),
+		ftfft.WithInjector(sched),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x := workload.Uniform(29, n)
+	freq := make([]complex128, n)
+	back := make([]complex128, n)
+
+	ctx := context.Background()
+	start := time.Now()
+	repF, err := tr.Forward(ctx, freq, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repI, err := tr.Inverse(ctx, back, freq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	took := time.Since(start)
+
+	var maxErr float64
+	for i := range x {
+		if d := cmplx.Abs(back[i] - x[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+
+	fmt.Printf("distributed FT-FFT: %d points over %d OS processes (unix socket hub)\n", n, ranks)
+	fmt.Printf("forward+inverse   : %v\n", took)
+	for _, r := range sched.Records() {
+		fmt.Printf("injected          : %s at %s (driver) -> repaired by the receiving worker\n", r.Fault.Mode, r.Site)
+	}
+	fmt.Printf("fault report      : forward %d detection(s), %d repair(s); inverse clean=%v\n",
+		repF.Detections, repF.MemCorrections, repI.Clean())
+	fmt.Printf("round-trip error  : %.3g (machine precision)\n", maxErr)
+}

@@ -68,8 +68,11 @@ type Plan struct {
 	scratch  sync.Pool // of []complex128, length maxRadix
 	work     sync.Pool // of []complex128, length n (non-power-of-two in-place path)
 
-	// r2 is the shared iterative radix-2 state, resolved at plan build time
-	// for power-of-two sizes so ExecuteInPlace does no lookup per call.
+	// r2 is the plan's iterative radix-2 state, resolved at plan time for
+	// power-of-two sizes so ExecuteInPlace does no lookup per call. The
+	// tables come from a bounded shared cache (sharing across same-size
+	// plans) or, past the cap, are plan-private — process memory is bounded
+	// either way, unlike the old unbounded per-(size,direction) registry.
 	r2 *radix2State
 }
 
@@ -103,7 +106,7 @@ func NewPlan(n int, sign Sign) (*Plan, error) {
 		return &s
 	}
 	if isPow2(n) {
-		p.r2 = p.radix2state()
+		p.r2 = p.radix2stateFor()
 	}
 	return p, nil
 }

@@ -2,53 +2,90 @@ package fft
 
 import "sync"
 
-// radix2State holds the lazily built tables for the iterative in-place
-// radix-2 path: a bit-reversal permutation and a half-size twiddle table.
+// radix2State holds the tables for the iterative in-place radix-2 path: a
+// bit-reversal permutation and a half-size twiddle table. The tables are
+// immutable once built, so plans of the same (size, direction) can share one
+// state — but the sharing registry is *bounded*: the old process-global
+// sync.Map grew by one entry per distinct key for the life of the process,
+// leaking tables a long-lived server would never touch again. The cache
+// below keeps at most maxRadix2Cache entries; a plan whose key misses a full
+// cache builds a private state that dies with the plan. Either way the hot
+// path reads the plan's own r2 pointer, resolved once at build time.
 type radix2State struct {
-	once   sync.Once
 	rev    []int32
 	wTable []complex128 // wTable[j] = ω_n^{sign·j}, j in [0, n/2)
 }
 
-var radix2states sync.Map // map[radix2Key]*radix2State
+// maxRadix2Cache bounds the shared registry: the common case — many plans
+// (pooled contexts, per-rank sub-plans) over a handful of sizes — shares
+// tables, while a size sweep cannot grow process memory without bound.
+const maxRadix2Cache = 32
 
 type radix2Key struct {
 	n    int
 	sign Sign
 }
 
-// radix2state resolves the shared per-(size, direction) state. Called once
-// at plan build time; the hot path uses the cached Plan.r2 pointer.
-func (p *Plan) radix2state() *radix2State {
+var (
+	radix2Mu    sync.Mutex
+	radix2Cache = make(map[radix2Key]*radix2State)
+)
+
+// radix2CacheEntries reports the registry size (for the bound test).
+func radix2CacheEntries() int {
+	radix2Mu.Lock()
+	defer radix2Mu.Unlock()
+	return len(radix2Cache)
+}
+
+// radix2stateFor resolves the plan's radix-2 state: a cache hit shares the
+// existing tables, a miss builds them (outside the lock — construction is
+// O(n)) and registers them only while the cache has room.
+func (p *Plan) radix2stateFor() *radix2State {
 	key := radix2Key{p.n, p.sign}
-	v, ok := radix2states.Load(key)
-	if !ok {
-		v, _ = radix2states.LoadOrStore(key, &radix2State{})
+	radix2Mu.Lock()
+	if st, ok := radix2Cache[key]; ok {
+		radix2Mu.Unlock()
+		return st
 	}
-	st := v.(*radix2State)
-	st.once.Do(func() {
-		n := p.n
-		st.rev = make([]int32, n)
-		shift := 1
-		for 1<<shift < n {
-			shift++
-		}
-		// Standard incremental bit-reversal construction.
-		for i := 1; i < n; i++ {
-			st.rev[i] = st.rev[i>>1]>>1 | int32(i&1)<<(shift-1)
-		}
-		st.wTable = make([]complex128, n/2)
-		for j := 0; j < n/2; j++ {
-			st.wTable[j] = p.omega(n, j)
-		}
-	})
+	radix2Mu.Unlock()
+	st := p.buildRadix2State()
+	radix2Mu.Lock()
+	defer radix2Mu.Unlock()
+	if prior, ok := radix2Cache[key]; ok {
+		// A concurrent build won the race; share its tables.
+		return prior
+	}
+	if len(radix2Cache) < maxRadix2Cache {
+		radix2Cache[key] = st
+	}
+	return st
+}
+
+// buildRadix2State constructs the tables for this plan's size and direction.
+func (p *Plan) buildRadix2State() *radix2State {
+	n := p.n
+	st := &radix2State{}
+	st.rev = make([]int32, n)
+	shift := 1
+	for 1<<shift < n {
+		shift++
+	}
+	// Standard incremental bit-reversal construction.
+	for i := 1; i < n; i++ {
+		st.rev[i] = st.rev[i>>1]>>1 | int32(i&1)<<(shift-1)
+	}
+	st.wTable = make([]complex128, n/2)
+	for j := 0; j < n/2; j++ {
+		st.wTable[j] = p.omega(n, j)
+	}
 	return st
 }
 
 // radix2InPlace computes the transform of buf (length p.n, a power of two)
-// truly in place: O(1) auxiliary space beyond the shared per-size tables.
-// This is the path the parallel in-place scheme uses, where the algorithm's
-// defining property — the input is destroyed — must actually hold.
+// truly in place: O(1) auxiliary space beyond the plan's tables. This is the
+// path the parallel in-place scheme uses, where the algorithm's defining
+// property — the input is destroyed — must actually hold.
 func (p *Plan) radix2InPlace(buf []complex128) {
 	n := p.n
 	if n == 1 {

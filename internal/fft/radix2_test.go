@@ -1,0 +1,67 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestRadix2CacheShared pins the sharing half of the bounded-cache contract:
+// plans of the same (size, direction) share one immutable table set (the
+// common pooled-context / per-rank case pays the O(n) build once), and the
+// shared tables still produce the same transform as the recursive
+// mixed-radix executor.
+func TestRadix2CacheShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 8, 64, 256, 1024} {
+		for _, sign := range []Sign{Forward, Inverse} {
+			a := MustPlan(n, sign)
+			b := MustPlan(n, sign)
+			if a.r2 == nil || b.r2 == nil {
+				t.Fatalf("n=%d: power-of-two plan missing its radix-2 state", n)
+			}
+			if a.r2 != b.r2 {
+				t.Fatalf("n=%d sign=%d: same-key plans did not share cached tables", n, sign)
+			}
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			}
+			want := make([]complex128, n)
+			a.Execute(want, x)
+			got := append([]complex128(nil), x...)
+			b.ExecuteInPlace(got)
+			for i := range want {
+				if d := cmplx.Abs(got[i] - want[i]); d > 1e-9*float64(n) {
+					t.Fatalf("n=%d sign=%d: in-place differs at %d by %g", n, sign, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRadix2CacheBounded pins the bound: a sweep over more distinct
+// (size, direction) keys than the cap — exactly what grew the old
+// process-global sync.Map forever — leaves the registry at or under
+// maxRadix2Cache, with overflow plans owning private (but still correct)
+// tables.
+func TestRadix2CacheBounded(t *testing.T) {
+	for k := 1; k <= 20; k++ {
+		n := 1 << k
+		for _, sign := range []Sign{Forward, Inverse} {
+			p := MustPlan(n, sign)
+			if len(p.r2.rev) != n || len(p.r2.wTable) != n/2 {
+				t.Fatalf("n=%d: table sizes %d/%d", n, len(p.r2.rev), len(p.r2.wTable))
+			}
+		}
+	}
+	if got := radix2CacheEntries(); got > maxRadix2Cache {
+		t.Fatalf("radix-2 cache grew to %d entries, cap is %d", got, maxRadix2Cache)
+	}
+	// Past the cap, plans still build working private tables.
+	n := 1 << 21
+	p := MustPlan(n, Forward)
+	if p.r2 == nil || len(p.r2.rev) != n {
+		t.Fatalf("overflow plan has no usable radix-2 state")
+	}
+}

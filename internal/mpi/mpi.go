@@ -28,10 +28,15 @@
 // Rank bodies are launched as co-scheduled task groups on the shared bounded
 // executor (internal/exec) via World.Launch, not as raw goroutines, so M
 // concurrent transforms draw from one worker budget instead of spawning M·p
-// goroutines. The wire itself sits behind the Transport interface: the
-// default stays the in-process channel matrix, but the seam admits future
-// multi-process transports (sockets, shared memory) without touching the
-// tag-matching, checksum, or abort machinery above it.
+// goroutines. The wire itself sits behind the Transport interface. The
+// default is the in-process channel matrix; the socket transports (wire.go,
+// socket.go) carry the same tagged messages between OS processes through a
+// byte-level framed codec, so the tag-matching, checksum, and abort machinery
+// above the wire is identical either way. Optional capability interfaces on
+// the transport (SharedMemory, RankPlacement, WorldBinder, WorldConfigurer,
+// AbortPropagator) let the layers above choose fast paths — e.g. the
+// in-process wire keeps zero-copy direct-slice scatter/gather — without the
+// algorithm ever assuming shared memory.
 package mpi
 
 import (
@@ -49,10 +54,31 @@ import (
 // when no more specific cause was recorded.
 var ErrAborted = errors.New("mpi: world aborted")
 
+// ErrShutdown is the abort cause recorded when the root process shuts a
+// distributed world down cleanly (goodbye frame): worker serve loops treat it
+// as a normal exit, not a failure.
+var ErrShutdown = errors.New("mpi: world shut down")
+
 // payload is a pooled message body. Boxing the slice keeps the sync.Pool
 // round-trip allocation-free (the pool stores the same *payload forever).
 type payload struct {
 	data []complex128
+}
+
+// payloads is the process-wide message-body pool, shared by every world and
+// transport so payloads can be recycled wherever a message terminates: at the
+// matching receive (in-process delivery) or right after serialization (socket
+// sends).
+var payloads = sync.Pool{New: func() any { return new(payload) }}
+
+// getPayload returns a pooled buffer holding exactly n elements.
+func getPayload(n int) *payload {
+	pb := payloads.Get().(*payload)
+	if cap(pb.data) < n {
+		pb.data = make([]complex128, n)
+	}
+	pb.data = pb.data[:n]
+	return pb
 }
 
 // Message is one tagged payload in flight between two ranks. Data aliases a
@@ -71,9 +97,9 @@ type Message struct {
 
 // Transport moves tagged messages between ranks — the wire beneath the
 // World. The in-process default is the buffered channel matrix
-// (chanTransport); the interface is the seam a future multi-process
-// transport plugs into. Implementations must be safe for concurrent use by
-// all ranks and must unblock any blocked operation when abort fires.
+// (chanTransport); the socket transports carry the same messages between OS
+// processes. Implementations must be safe for concurrent use by all ranks
+// and must unblock any blocked operation when abort fires.
 type Transport interface {
 	// Send delivers m from src to dst, reporting false when the world
 	// aborted before the message could be accepted.
@@ -84,11 +110,76 @@ type Transport interface {
 	Recv(dst, src int, abort <-chan struct{}) (m Message, ok bool)
 }
 
+// SharedMemory is an optional Transport capability: a transport whose ranks
+// all live in the caller's address space — and whose deliveries are exact
+// copies — reports true, allowing the algorithm layer to expose caller
+// slices directly to rank bodies (zero-copy scatter/gather) instead of
+// exchanging root-rank messages. The fast path is chosen by this capability,
+// never assumed.
+type SharedMemory interface {
+	SharedMemory() bool
+}
+
+// IsShared reports whether t grants the zero-copy shared-memory fast path.
+func IsShared(t Transport) bool {
+	s, ok := t.(SharedMemory)
+	return ok && s.SharedMemory()
+}
+
+// RankPlacement is an optional Transport capability for wires spanning
+// several OS processes: LocalRanks lists the ranks whose bodies run in this
+// process. Transports without it are fully local (all ranks).
+type RankPlacement interface {
+	LocalRanks() []int
+}
+
+// WorldBinder is an optional Transport capability: Bind is called exactly
+// once, when a World is built over the transport, handing it the world whose
+// aborts and inboxes it must serve. Socket transports start their connection
+// readers here.
+type WorldBinder interface {
+	Bind(w *World)
+}
+
+// WorldMeta is the job description a root process ships to remote workers
+// during the connection handshake, so every process builds the identical
+// plan: the global geometry plus the protection-scheme parameters.
+type WorldMeta struct {
+	N, P       int
+	Protected  bool
+	Optimized  bool
+	EtaScale   float64
+	MaxRetries int
+}
+
+// WorldConfigurer is an optional Transport capability: ConfigureWorld is
+// called once at plan-build time with the job metadata. The hub transport
+// completes the worker handshake here (it blocks until every worker has
+// connected, then ships each one the metadata).
+type WorldConfigurer interface {
+	ConfigureWorld(meta WorldMeta) error
+}
+
+// AbortPropagator is an optional Transport capability: PropagateAbort
+// broadcasts the world's poison pill to remote processes, so an abort in one
+// process unwinds ranks parked in receives everywhere. It must be
+// best-effort and non-blocking with respect to correctness — local abort has
+// already happened when it is called.
+type AbortPropagator interface {
+	PropagateAbort(cause error)
+}
+
 // chanTransport is the default in-process wire: a p×p matrix of deeply
 // buffered channels, so sends never block in this model.
 type chanTransport struct {
 	inbox [][]chan Message // inbox[dst][src]
 }
+
+// NewChanTransport creates the in-process channel-matrix wire for p ranks —
+// the transport NewWorld uses by default. It grants the shared-memory fast
+// path; wrap it in MessageOnly to force the explicit message-passing paths
+// over the same wire.
+func NewChanTransport(p int) Transport { return newChanTransport(p) }
 
 func newChanTransport(p int) *chanTransport {
 	t := &chanTransport{inbox: make([][]chan Message, p)}
@@ -99,6 +190,46 @@ func newChanTransport(p int) *chanTransport {
 		}
 	}
 	return t
+}
+
+// SharedMemory grants the zero-copy direct-slice fast path: every rank of a
+// chan world lives in the caller's address space.
+func (t *chanTransport) SharedMemory() bool { return true }
+
+// WorldSize returns the rank count the wire was built for, so plan
+// construction can reject a geometry mismatch instead of indexing out of
+// range at transform time.
+func (t *chanTransport) WorldSize() int { return len(t.inbox) }
+
+// messageOnly masks every capability of the wrapped transport, exposing only
+// the raw Send/Recv wire: rank bodies must use explicit message exchanges.
+// It exists so tests and benchmarks can prove the algorithm layer is
+// transport-pure — bit-identical over the chan wire with the shared-memory
+// fast path disabled.
+type messageOnly struct {
+	tr Transport
+}
+
+// MessageOnly wraps t, hiding its optional capabilities (shared memory,
+// placement, binding). Intended for the in-process chan transport. The
+// world-size safety check is not a capability and passes through.
+func MessageOnly(t Transport) Transport { return &messageOnly{tr: t} }
+
+func (t *messageOnly) Send(dst, src int, m Message, abort <-chan struct{}) bool {
+	return t.tr.Send(dst, src, m, abort)
+}
+
+func (t *messageOnly) Recv(dst, src int, abort <-chan struct{}) (Message, bool) {
+	return t.tr.Recv(dst, src, abort)
+}
+
+// WorldSize forwards the wrapped wire's rank count (0 = unknown): masking
+// capabilities must not mask the construction-time geometry validation.
+func (t *messageOnly) WorldSize() int {
+	if ws, ok := t.tr.(interface{ WorldSize() int }); ok {
+		return ws.WorldSize()
+	}
+	return 0
 }
 
 func (t *chanTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool {
@@ -122,13 +253,14 @@ func (t *chanTransport) Recv(dst, src int, abort <-chan struct{}) (Message, bool
 // World owns the endpoints of a p-rank communicator and the abort state
 // layered over its Transport.
 type World struct {
-	p   int
-	tr  Transport
-	inj fault.Injector
+	p      int
+	tr     Transport
+	inj    fault.Injector
+	local  []int // ranks whose bodies run in this process (placement capability)
+	shared bool  // transport grants the shared-memory fast path
 
 	barrier   *barrier
 	endpoints []*Comm
-	payloads  sync.Pool // of *payload, recycled by completed receives
 
 	// Abort support: the poison-pill broadcast that turns a stuck
 	// collective into an error. abortErr is written exactly once, before
@@ -146,7 +278,10 @@ func NewWorld(p int, inj fault.Injector) *World {
 }
 
 // NewWorldTransport creates a communicator over an explicit transport; a nil
-// tr selects the in-process channel matrix.
+// tr selects the in-process channel matrix. The transport's optional
+// capabilities are resolved here: rank placement (which bodies this process
+// runs), the shared-memory fast path, and world binding (socket transports
+// start their readers once they know whose inboxes they feed).
 func NewWorldTransport(p int, inj fault.Injector, tr Transport) *World {
 	if p < 1 {
 		panic("mpi: world size must be ≥ 1")
@@ -154,17 +289,48 @@ func NewWorldTransport(p int, inj fault.Injector, tr Transport) *World {
 	if tr == nil {
 		tr = newChanTransport(p)
 	}
-	w := &World{p: p, tr: tr, inj: inj, barrier: newBarrier(p), done: make(chan struct{})}
-	w.payloads.New = func() any { return new(payload) }
+	w := &World{p: p, tr: tr, inj: inj, done: make(chan struct{})}
+	w.shared = IsShared(tr)
+	if pl, ok := tr.(RankPlacement); ok {
+		w.local = append([]int(nil), pl.LocalRanks()...)
+	}
+	if w.local == nil {
+		w.local = make([]int, p)
+		for r := range w.local {
+			w.local[r] = r
+		}
+	}
+	for _, r := range w.local {
+		if r < 0 || r >= p {
+			panic(fmt.Sprintf("mpi: local rank %d out of range [0,%d)", r, p))
+		}
+	}
+	// The barrier is a local collective: it spans the ranks of this process.
+	w.barrier = newBarrier(len(w.local))
 	w.endpoints = make([]*Comm, p)
 	for r := 0; r < p; r++ {
 		w.endpoints[r] = &Comm{w: w, rank: r, pending: make([][]Message, p)}
+	}
+	if b, ok := tr.(WorldBinder); ok {
+		b.Bind(w)
 	}
 	return w
 }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
+
+// LocalRanks returns the ranks whose bodies this process runs — all of them
+// for an in-process world, this process's slice of a distributed one.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Shared reports whether the transport grants the zero-copy shared-memory
+// fast path (direct access to the caller's slices from rank bodies).
+func (w *World) Shared() bool { return w.shared }
+
+// Distributed reports whether some ranks of this world live in other
+// processes.
+func (w *World) Distributed() bool { return len(w.local) < w.p }
 
 // Abort poisons the world: every blocked or future receive and barrier wait
 // returns cause (ErrAborted when cause is nil) instead of waiting forever.
@@ -179,6 +345,11 @@ func (w *World) Abort(cause error) {
 		w.abortErr = cause
 		close(w.done)
 		w.barrier.abort()
+		// Distributed worlds broadcast the poison pill over the wire too, so
+		// ranks in other processes unwind with the same cause.
+		if ap, ok := w.tr.(AbortPropagator); ok {
+			ap.PropagateAbort(cause)
+		}
 	})
 }
 
@@ -206,16 +377,6 @@ func (w *World) AbortCause() error {
 // abortError returns the recorded cause; it must only be called after
 // observing the closed done channel.
 func (w *World) abortError() error { return w.abortErr }
-
-// getPayload returns a pooled buffer holding exactly n elements.
-func (w *World) getPayload(n int) *payload {
-	pb := w.payloads.Get().(*payload)
-	if cap(pb.data) < n {
-		pb.data = make([]complex128, n)
-	}
-	pb.data = pb.data[:n]
-	return pb
-}
 
 // Comm is one rank's endpoint. A Comm must be used by a single goroutine.
 type Comm struct {
@@ -255,22 +416,26 @@ type Launch struct {
 	watcherDone chan struct{}
 }
 
-// Launch runs body on every rank of the world as one co-scheduled task group
-// on ex (nil means the process-wide exec.Default()). The ranks are admitted
-// atomically — never partially — so co-blocking rank bodies cannot deadlock
-// against another caller's partial fan-out, and the pool's budget bounds the
-// process-wide rank-goroutine count no matter how many callers contend.
+// Launch runs body on every rank of the world that is local to this process,
+// as one co-scheduled task group on ex (nil means the process-wide
+// exec.Default()). The ranks are admitted atomically — never partially — so
+// co-blocking rank bodies cannot deadlock against another caller's partial
+// fan-out, and the pool's budget bounds the process-wide rank-goroutine
+// count no matter how many callers contend. In a distributed world the
+// remote ranks' bodies run in their own processes (their serve loops), so
+// the gang here is only this process's slice.
 //
 // A rank body that returns an error poisons the world (the poison-pill
-// broadcast), so its peers unwind out of blocked receives and barriers; ctx
-// cancellation fires the same abort. Launch returns once the group is
-// admitted and started; join it with Wait. The only error returned here is a
-// ctx cancellation during admission, with the world left untouched.
+// broadcast, relayed over the wire for distributed worlds), so its peers
+// unwind out of blocked receives and barriers; ctx cancellation fires the
+// same abort. Launch returns once the group is admitted and started; join it
+// with Wait. The only error returned here is a ctx cancellation during
+// admission, with the world left untouched.
 func (w *World) Launch(ctx context.Context, ex *exec.Pool, body func(c *Comm) error) (*Launch, error) {
 	if ex == nil {
 		ex = exec.Default()
 	}
-	res, err := ex.Reserve(ctx, w.p)
+	res, err := ex.Reserve(ctx, len(w.local))
 	if err != nil {
 		return nil, err
 	}
@@ -278,12 +443,12 @@ func (w *World) Launch(ctx context.Context, ex *exec.Pool, body func(c *Comm) er
 }
 
 // LaunchReserved is Launch on a pre-admitted executor reservation (which
-// must have been made for exactly this world's size). It never blocks:
-// callers reserve first, then build or draw per-call state, then launch —
-// so expensive state is never held while queueing for admission.
+// must have been made for exactly this world's local rank count). It never
+// blocks: callers reserve first, then build or draw per-call state, then
+// launch — so expensive state is never held while queueing for admission.
 func (w *World) LaunchReserved(ctx context.Context, res *exec.Reservation, body func(c *Comm) error) *Launch {
-	g := res.Launch(ctx, func(_ context.Context, rank int) error {
-		err := runRankBody(body, w.endpoints[rank])
+	g := res.Launch(ctx, func(_ context.Context, i int) error {
+		err := runRankBody(body, w.endpoints[w.local[i]])
 		if err != nil {
 			w.Abort(err)
 		}
@@ -366,7 +531,7 @@ type RecvRequest struct {
 // copy in transit) before handing it to the transport. cs carries the
 // optional block checksums.
 func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRequest {
-	pb := c.w.getPayload(len(data))
+	pb := getPayload(len(data))
 	copy(pb.data, data)
 	// The wire is where transit faults strike.
 	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
@@ -377,7 +542,7 @@ func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRe
 	}
 	if !c.w.tr.Send(dst, c.rank, m, c.w.done) {
 		// Aborted world: the receiver is unwinding, drop the payload.
-		c.w.payloads.Put(pb)
+		payloads.Put(pb)
 	}
 	return sendDone
 }
@@ -406,7 +571,7 @@ func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
 func (r *RecvRequest) complete(m Message) {
 	copy(r.buf, m.Data)
 	if m.pb != nil {
-		r.c.w.payloads.Put(m.pb)
+		payloads.Put(m.pb)
 	}
 	r.cs, r.hasCS, r.done = m.CS, m.HasCS, true
 	r.c.freeReqs = append(r.c.freeReqs, r)

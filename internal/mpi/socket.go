@@ -1,0 +1,596 @@
+// socket.go implements the multi-process wire: a hub-and-spoke socket
+// transport (Unix-domain by default, TCP optionally) carrying the framed
+// codec of wire.go.
+//
+// Topology: the root process listens (HubTransport, rank 0); each worker
+// process dials in (WorkerTransport, one rank per process, assigned in
+// connection order). Worker↔worker messages relay through the hub at the
+// byte level — the hub forwards the serialized frame without decoding the
+// payload. A star keeps connection management trivial (p-1 sockets, one
+// listener) at the cost of one extra hop for worker pairs; on one machine
+// over Unix sockets that hop is cheap, and the transport seam leaves room
+// for a full mesh later without touching the layers above.
+//
+// Lifecycle and failure:
+//
+//   - handshake: worker sends a hello frame (protocol magic); the hub
+//     responds — once the plan is built and ConfigureWorld runs — with a
+//     config frame carrying the worker's rank and the WorldMeta, so every
+//     process constructs the identical plan.
+//   - abort: a world abort in any process broadcasts an abort frame; the hub
+//     relays worker-originated aborts to the other workers. A lost
+//     connection aborts the world with the connection error. Either way,
+//     every rank parked in a receive unwinds with a cause instead of
+//     deadlocking — the in-process poison-pill contract, extended over the
+//     wire.
+//   - shutdown: Hub.Close sends a goodbye frame; workers record ErrShutdown
+//     so serve loops exit cleanly.
+//
+// Fault injection: InjectWireFaults installs a hook that may mutate the
+// serialized payload bytes of outgoing data frames — soft errors on the wire
+// itself, below the codec, which the §5 block checksums must detect and
+// repair on receipt.
+package mpi
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WireFault may corrupt the serialized payload of an outgoing data frame:
+// payload is the count×16-byte little-endian element region (checksums and
+// header excluded). Install with InjectWireFaults.
+type WireFault func(dst, src, tag int, payload []byte)
+
+// handshakeTimeout bounds the accept/hello/config exchange; a worker that
+// never completes its handshake fails the hub instead of hanging it forever.
+const handshakeTimeout = 120 * time.Second
+
+// dialRetryInterval paces DialWorker's connection attempts while the hub's
+// listener is not up yet.
+const dialRetryInterval = 25 * time.Millisecond
+
+// teardownFlushTimeout bounds the abort/goodbye writes (and, transitively,
+// any in-flight data write wedged on a dead peer's full socket buffer —
+// setting the deadline forces it to error out and release the write mutex).
+// Without it, a frozen worker could block PropagateAbort or Hub.Close
+// forever, violating the "abort unblocks everything" contract.
+const teardownFlushTimeout = 5 * time.Second
+
+// wireConn is one framed socket: buffered, mutex-serialized writes with a
+// connection-owned encode buffer, so concurrent senders interleave whole
+// frames and steady-state sends allocate nothing. The buffered reader is
+// owned by the connection too — handshake and read loop must share it, or
+// bytes buffered by one would be invisible to the other.
+type wireConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	mu  sync.Mutex
+	enc []byte
+}
+
+func newWireConn(c net.Conn) *wireConn {
+	return &wireConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// writeData encodes and writes m as one data frame, applying wf (if any) to
+// the serialized payload region first.
+func (wc *wireConn) writeData(dst, src int, m Message, wf WireFault) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	frame, off := encodeDataFrame(wc.enc, dst, src, m)
+	wc.enc = frame
+	if wf != nil && len(m.Data) > 0 {
+		wf(dst, src, m.Tag, frame[off:])
+	}
+	if _, err := wc.bw.Write(frame); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
+// writeControl writes one control frame.
+func (wc *wireConn) writeControl(typ byte, payload []byte) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	wc.enc = encodeControlFrame(wc.enc, typ, payload)
+	if _, err := wc.bw.Write(wc.enc); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
+// writeRaw relays an already-serialized frame (header + body) verbatim.
+func (wc *wireConn) writeRaw(hdr, body []byte) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if _, err := wc.bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := wc.bw.Write(body); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
+// RemoteAbortError is an abort cause relayed over the wire from another
+// process; Msg is the originating process's rendered error.
+type RemoteAbortError struct{ Msg string }
+
+func (e *RemoteAbortError) Error() string { return "mpi: remote abort: " + e.Msg }
+
+// HubTransport is the root process's side of the socket wire: rank 0 lives
+// here, ranks 1..p-1 are worker processes dialed in through the listener.
+type HubTransport struct {
+	p        int
+	ln       net.Listener
+	conns    []*wireConn    // by worker rank; conns[0] is nil (the hub itself)
+	inbox    []chan Message // local rank 0's inbox, indexed by src
+	maxElems int
+
+	w         *World
+	accepted  bool
+	started   bool
+	wfMu      sync.Mutex
+	wireFault WireFault
+	remote    atomic.Bool // the poison pill arrived over the wire
+	closing   atomic.Bool // deliberate shutdown: connection losses are expected
+	closeOnce sync.Once
+}
+
+// ListenHub opens the root side of a p-rank socket world on network
+// ("unix" or "tcp") and addr. It returns immediately; the p-1 worker
+// connections are accepted when the plan built over this transport runs its
+// handshake (ConfigureWorld). Use Addr to recover the bound address (useful
+// with "tcp" and a ":0" listen address).
+func ListenHub(network, addr string, p int) (*HubTransport, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("mpi: a socket world needs at least 2 ranks, got %d", p)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: listen %s %s: %w", network, addr, err)
+	}
+	t := &HubTransport{p: p, ln: ln, conns: make([]*wireConn, p)}
+	t.inbox = newInboxRow(p)
+	return t, nil
+}
+
+// newInboxRow builds one local rank's inbox: a channel per source rank.
+// Socket transports host exactly one rank per process, so a single row —
+// not a p×p matrix — is all the process can ever receive into.
+func newInboxRow(p int) []chan Message {
+	inbox := make([]chan Message, p)
+	for src := 0; src < p; src++ {
+		inbox[src] = make(chan Message, 64)
+	}
+	return inbox
+}
+
+// Addr returns the listener's bound address.
+func (t *HubTransport) Addr() net.Addr { return t.ln.Addr() }
+
+// WorldSize returns the number of ranks the hub was opened for.
+func (t *HubTransport) WorldSize() int { return t.p }
+
+// LocalRanks implements RankPlacement: the hub hosts rank 0.
+func (t *HubTransport) LocalRanks() []int { return []int{0} }
+
+// Bind implements WorldBinder.
+func (t *HubTransport) Bind(w *World) { t.w = w }
+
+// InjectWireFaults installs a hook over outgoing serialized payloads — the
+// wire-level fault site. A nil hook removes it.
+func (t *HubTransport) InjectWireFaults(f WireFault) {
+	t.wfMu.Lock()
+	t.wireFault = f
+	t.wfMu.Unlock()
+}
+
+func (t *HubTransport) getWireFault() WireFault {
+	t.wfMu.Lock()
+	defer t.wfMu.Unlock()
+	return t.wireFault
+}
+
+// ConfigureWorld completes the handshake: it accepts the p-1 worker
+// connections (bounded by handshakeTimeout), assigns ranks in connection
+// order, ships each worker its rank and the job metadata, and starts the
+// connection readers. Called once, at plan-build time.
+func (t *HubTransport) ConfigureWorld(meta WorldMeta) error {
+	if t.w == nil {
+		return fmt.Errorf("mpi: hub transport not bound to a world")
+	}
+	if meta.P != t.p {
+		return fmt.Errorf("mpi: plan has %d ranks but the hub was opened for %d", meta.P, t.p)
+	}
+	if t.started {
+		return fmt.Errorf("mpi: hub transport already configured (one world per transport)")
+	}
+	if err := t.acceptWorkers(); err != nil {
+		return err
+	}
+	cfgDone := time.Now().Add(handshakeTimeout)
+	for r := 1; r < t.p; r++ {
+		wc := t.conns[r]
+		wc.c.SetWriteDeadline(cfgDone)
+		if err := wc.writeControl(frameConfig, encodeConfig(r, meta)); err != nil {
+			return fmt.Errorf("mpi: configuring worker rank %d: %w", r, err)
+		}
+		wc.c.SetWriteDeadline(time.Time{})
+	}
+	t.maxElems = meta.N
+	t.started = true
+	for r := 1; r < t.p; r++ {
+		go t.readLoop(r)
+	}
+	return nil
+}
+
+// acceptWorkers accepts and hello-validates the p-1 worker connections.
+func (t *HubTransport) acceptWorkers() error {
+	if t.accepted {
+		return nil
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := t.ln.(deadliner); ok {
+		d.SetDeadline(time.Now().Add(handshakeTimeout))
+		defer d.SetDeadline(time.Time{})
+	}
+	for r := 1; r < t.p; r++ {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: accepting worker %d/%d: %w", r, t.p-1, err)
+		}
+		wc := newWireConn(c)
+		c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		h, body, err := readFrame(wc.br, nil, t.p, 0)
+		if err != nil || h.typ != frameHello || !bytes.Equal(body, []byte(wireMagic)) {
+			c.Close()
+			return fmt.Errorf("mpi: worker %d handshake failed (type %d, %q): %v", r, h.typ, body, err)
+		}
+		c.SetReadDeadline(time.Time{})
+		t.conns[r] = wc
+	}
+	t.accepted = true
+	return nil
+}
+
+// readLoop drains one worker connection: local deliveries decode into the
+// inbox, frames for other workers relay verbatim, aborts poison the world.
+func (t *HubTransport) readLoop(src int) {
+	r := t.conns[src].br
+	var body []byte
+	for {
+		h, b, err := readFrame(r, body, t.p, t.maxElems)
+		body = b
+		if err != nil {
+			t.connLost(src, err)
+			return
+		}
+		switch h.typ {
+		case frameData:
+			if h.src != src {
+				t.connLost(src, fmt.Errorf("mpi: worker %d forged src %d", src, h.src))
+				return
+			}
+			if h.dst == 0 {
+				m, err := decodeDataBody(h, body)
+				if err != nil {
+					t.connLost(src, err)
+					return
+				}
+				if !deliver(t.inbox[h.src], m, t.w.done) {
+					payloads.Put(m.pb)
+					return
+				}
+			} else if t.conns[h.dst] != nil {
+				var hdr [frameHeaderLen]byte
+				putHeader(hdr[:], h)
+				if err := t.conns[h.dst].writeRaw(hdr[:], body); err != nil {
+					t.connLost(h.dst, err)
+					return
+				}
+			}
+		case frameAbort:
+			t.remote.Store(true)
+			cause := &RemoteAbortError{Msg: string(body)}
+			// Relay the pill to the other workers before poisoning locally
+			// (Abort's propagation is suppressed for wire-originated pills).
+			for r2 := 1; r2 < t.p; r2++ {
+				if r2 != src && t.conns[r2] != nil {
+					t.conns[r2].writeControl(frameAbort, body)
+				}
+			}
+			t.w.Abort(cause)
+			return
+		default:
+			// Goodbye/hello/config frames are meaningless from a worker.
+		}
+	}
+}
+
+// connLost poisons the world when a connection dies mid-run; a loss after
+// abort or a deliberate Close is the expected teardown and stays quiet.
+func (t *HubTransport) connLost(rank int, err error) {
+	if t.closing.Load() || t.w.Aborted() {
+		return
+	}
+	t.w.Abort(fmt.Errorf("mpi: connection to rank %d lost: %w", rank, err))
+}
+
+// deliver pushes m into an inbox channel, giving up when the world aborts.
+// On false the payload ownership stays with the caller (Isend recycles what
+// a transport reports undelivered; readLoops recycle what they decoded).
+func deliver(ch chan Message, m Message, abort <-chan struct{}) bool {
+	select {
+	case ch <- m:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// Send implements Transport: rank-0 loopback lands in the inbox; anything
+// else is serialized onto the worker's socket. The pooled payload is
+// recycled only on success (the bytes are the copy then) — a false return
+// leaves ownership with the caller, per the Transport contract.
+func (t *HubTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool {
+	if dst == 0 {
+		return deliver(t.inbox[src], m, abort)
+	}
+	select {
+	case <-abort:
+		return false
+	default:
+	}
+	if err := t.conns[dst].writeData(dst, src, m, t.getWireFault()); err != nil {
+		t.connLost(dst, err)
+		return false
+	}
+	if m.pb != nil {
+		payloads.Put(m.pb)
+	}
+	return true
+}
+
+// Recv implements Transport for the hub's local rank (dst is always 0).
+func (t *HubTransport) Recv(dst, src int, abort <-chan struct{}) (Message, bool) {
+	select {
+	case m := <-t.inbox[src]:
+		return m, true
+	case <-abort:
+		return Message{}, false
+	}
+}
+
+// PropagateAbort implements AbortPropagator: broadcast the pill to every
+// worker, unless it arrived from the wire (the originator already did).
+// The writes are deadline-bounded — a worker wedged with a full socket
+// buffer must not be able to block the abort (the deadline also errors out
+// any data write currently stuck on that conn, releasing its mutex); a
+// worker the pill cannot reach sees the connection error instead.
+func (t *HubTransport) PropagateAbort(cause error) {
+	if t.remote.Load() {
+		return
+	}
+	payload := []byte(cause.Error())
+	deadline := time.Now().Add(teardownFlushTimeout)
+	for r := 1; r < t.p; r++ {
+		if t.conns[r] != nil {
+			t.conns[r].c.SetWriteDeadline(deadline)
+			t.conns[r].writeControl(frameAbort, payload)
+		}
+	}
+}
+
+// Close shuts the world down cleanly: a goodbye frame tells each worker's
+// serve loop to exit, then the sockets and listener close, and the bound
+// world (if any) is poisoned with ErrShutdown — a Close racing an in-flight
+// transform unwinds the root rank out of its receives instead of leaving it
+// parked forever. Idempotent.
+func (t *HubTransport) Close() error {
+	t.closeOnce.Do(func() {
+		t.closing.Store(true)
+		t.remote.Store(true) // suppress the abort broadcast: goodbye is the signal
+		deadline := time.Now().Add(teardownFlushTimeout)
+		for r := 1; r < t.p; r++ {
+			if t.conns[r] != nil {
+				// The deadline bounds the goodbye AND forces out any write
+				// wedged on this conn (releasing its mutex), so Close cannot
+				// hang behind a dead worker.
+				t.conns[r].c.SetWriteDeadline(deadline)
+				t.conns[r].writeControl(frameGoodbye, nil)
+				t.conns[r].c.Close()
+			}
+		}
+		t.ln.Close()
+		if t.w != nil {
+			t.w.Abort(ErrShutdown)
+		}
+	})
+	return nil
+}
+
+// WorkerTransport is one worker process's side of the socket wire: exactly
+// one rank lives here, with a single connection to the hub that carries
+// every message (the hub relays worker↔worker traffic).
+type WorkerTransport struct {
+	p, rank  int
+	wc       *wireConn
+	inbox    []chan Message // this rank's inbox, indexed by src
+	maxElems int
+
+	w         *World
+	wfMu      sync.Mutex
+	wireFault WireFault
+	remote    atomic.Bool
+	shutdown  atomic.Bool
+	closeOnce sync.Once
+}
+
+// DialWorker connects to a hub at network/addr, retrying while the listener
+// comes up (bounded by handshakeTimeout), and completes the handshake: it
+// sends the protocol hello, then blocks until the hub assigns this process a
+// rank and ships the job metadata. The returned transport hosts exactly that
+// rank; build the matching plan from meta and serve it.
+func DialWorker(network, addr string) (*WorkerTransport, WorldMeta, error) {
+	deadline := time.Now().Add(handshakeTimeout)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.Dial(network, addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, WorldMeta{}, fmt.Errorf("mpi: dialing hub %s %s: %w", network, addr, err)
+		}
+		time.Sleep(dialRetryInterval)
+	}
+	wc := newWireConn(c)
+	c.SetDeadline(deadline)
+	if err := wc.writeControl(frameHello, []byte(wireMagic)); err != nil {
+		c.Close()
+		return nil, WorldMeta{}, fmt.Errorf("mpi: hello: %w", err)
+	}
+	h, body, err := readFrame(wc.br, nil, 1, 0)
+	if err != nil || h.typ != frameConfig {
+		c.Close()
+		return nil, WorldMeta{}, fmt.Errorf("mpi: waiting for hub config (type %d): %v", h.typ, err)
+	}
+	rank, meta, err := decodeConfig(body)
+	if err != nil {
+		c.Close()
+		return nil, WorldMeta{}, err
+	}
+	c.SetDeadline(time.Time{})
+	t := &WorkerTransport{p: meta.P, rank: rank, wc: wc, maxElems: meta.N}
+	t.inbox = newInboxRow(meta.P)
+	return t, meta, nil
+}
+
+// Rank returns the rank the hub assigned this process.
+func (t *WorkerTransport) Rank() int { return t.rank }
+
+// WorldSize returns the number of ranks in the world.
+func (t *WorkerTransport) WorldSize() int { return t.p }
+
+// LocalRanks implements RankPlacement: one rank per worker process.
+func (t *WorkerTransport) LocalRanks() []int { return []int{t.rank} }
+
+// InjectWireFaults installs a hook over outgoing serialized payloads.
+func (t *WorkerTransport) InjectWireFaults(f WireFault) {
+	t.wfMu.Lock()
+	t.wireFault = f
+	t.wfMu.Unlock()
+}
+
+func (t *WorkerTransport) getWireFault() WireFault {
+	t.wfMu.Lock()
+	defer t.wfMu.Unlock()
+	return t.wireFault
+}
+
+// Bind implements WorldBinder and starts the connection reader.
+func (t *WorkerTransport) Bind(w *World) {
+	t.w = w
+	go t.readLoop()
+}
+
+// readLoop drains the hub connection into the local rank's inbox.
+func (t *WorkerTransport) readLoop() {
+	r := t.wc.br
+	var body []byte
+	for {
+		h, b, err := readFrame(r, body, t.p, t.maxElems)
+		body = b
+		if err != nil {
+			if !t.shutdown.Load() && !t.w.Aborted() {
+				t.w.Abort(fmt.Errorf("mpi: hub connection lost: %w", err))
+			}
+			return
+		}
+		switch h.typ {
+		case frameData:
+			if h.dst != t.rank {
+				continue // misrouted; drop
+			}
+			m, err := decodeDataBody(h, body)
+			if err != nil {
+				t.w.Abort(err)
+				return
+			}
+			if !deliver(t.inbox[h.src], m, t.w.done) {
+				payloads.Put(m.pb)
+				return
+			}
+		case frameAbort:
+			t.remote.Store(true)
+			t.w.Abort(&RemoteAbortError{Msg: string(body)})
+			return
+		case frameGoodbye:
+			t.remote.Store(true)
+			t.shutdown.Store(true)
+			t.w.Abort(ErrShutdown)
+			return
+		}
+	}
+}
+
+// Send implements Transport: self-sends land in the inbox, everything else
+// goes to the hub, which routes on the frame's dst field.
+func (t *WorkerTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool {
+	if dst == t.rank {
+		return deliver(t.inbox[src], m, abort)
+	}
+	select {
+	case <-abort:
+		return false
+	default:
+	}
+	if err := t.wc.writeData(dst, src, m, t.getWireFault()); err != nil {
+		if !t.shutdown.Load() && !t.w.Aborted() {
+			t.w.Abort(fmt.Errorf("mpi: hub connection lost: %w", err))
+		}
+		return false
+	}
+	if m.pb != nil {
+		payloads.Put(m.pb)
+	}
+	return true
+}
+
+// Recv implements Transport for the worker's local rank (dst == Rank()).
+func (t *WorkerTransport) Recv(dst, src int, abort <-chan struct{}) (Message, bool) {
+	select {
+	case m := <-t.inbox[src]:
+		return m, true
+	case <-abort:
+		return Message{}, false
+	}
+}
+
+// PropagateAbort implements AbortPropagator: tell the hub (which relays to
+// the other workers), unless the pill came from the wire. Deadline-bounded
+// like the hub's broadcast, so a wedged hub conn cannot block the abort.
+func (t *WorkerTransport) PropagateAbort(cause error) {
+	if t.remote.Load() {
+		return
+	}
+	t.wc.c.SetWriteDeadline(time.Now().Add(teardownFlushTimeout))
+	t.wc.writeControl(frameAbort, []byte(cause.Error()))
+}
+
+// Close tears the hub connection down. Idempotent.
+func (t *WorkerTransport) Close() error {
+	t.closeOnce.Do(func() { t.wc.c.Close() })
+	return nil
+}

@@ -1,0 +1,282 @@
+// wire.go is the byte-level message codec beneath the socket transports: a
+// framed binary protocol carrying the same tagged, checksummed complex128
+// payloads the in-process channel wire moves, plus the control frames a
+// multi-process world needs (handshake, job metadata, abort, shutdown).
+//
+// Frame layout (all integers little-endian):
+//
+//	off  0  u8   type      (frameData, frameAbort, frameGoodbye, frameConfig, frameHello)
+//	off  1  u8   flags     (bit 0: block checksums present)
+//	off  2  u16  reserved  (0)
+//	off  4  u32  tag
+//	off  8  u32  src
+//	off 12  u32  dst
+//	off 16  u32  count     (data: complex128 elements; control: payload bytes)
+//	off 20  u32  reserved  (0)
+//	        [32 bytes]     2 × complex128 block checksums, when flags bit 0
+//	        payload        count × 16 bytes (float64 re, float64 im bits) for
+//	                       data frames; count raw bytes for control frames
+//
+// complex128 elements are serialized as the IEEE-754 bit patterns of their
+// real and imaginary parts, so a round trip is bit-exact for every value,
+// including negative zeros, infinities and NaN payloads — the bit-for-bit
+// equality guarantee between in-process and multi-process runs rests on
+// this. Encode and decode work through pooled buffers so a steady-state
+// exchange performs no per-message allocation.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame types.
+const (
+	frameData    = 1 // a tagged rank-to-rank message
+	frameAbort   = 2 // poison pill; payload is the cause, as UTF-8
+	frameGoodbye = 3 // clean shutdown from the root process
+	frameConfig  = 4 // hub → worker: rank assignment + WorldMeta
+	frameHello   = 5 // worker → hub: protocol magic
+)
+
+const (
+	frameHeaderLen = 24
+	checksumLen    = 32 // 2 × complex128
+	elemLen        = 16 // 1 × complex128
+
+	// flagHasCS marks a data frame carrying the two §5 block checksums.
+	flagHasCS = 1
+
+	// wireMagic is the hello payload; a version bump changes the suffix.
+	wireMagic = "FTFFT/1"
+
+	// maxControlPayload bounds control-frame payloads (error strings,
+	// metadata) so a corrupt or hostile peer cannot force a huge allocation.
+	maxControlPayload = 1 << 16
+)
+
+// frameHeader is one decoded frame header.
+type frameHeader struct {
+	typ   byte
+	flags byte
+	tag   int
+	src   int
+	dst   int
+	count int
+}
+
+// putHeader encodes h into buf[:frameHeaderLen].
+func putHeader(buf []byte, h frameHeader) {
+	buf[0] = h.typ
+	buf[1] = h.flags
+	binary.LittleEndian.PutUint16(buf[2:], 0)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(h.tag))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.src))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.dst))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(h.count))
+	binary.LittleEndian.PutUint32(buf[20:], 0)
+	_ = buf[frameHeaderLen-1]
+}
+
+// parseHeader decodes and validates buf[:frameHeaderLen]. maxElems bounds a
+// data frame's element count (a world-size-derived limit); control frames
+// are bounded by maxControlPayload. parseHeader never panics on arbitrary
+// bytes — the fuzz target FuzzFrameDecode holds it to that.
+func parseHeader(buf []byte, p, maxElems int) (frameHeader, error) {
+	if len(buf) < frameHeaderLen {
+		return frameHeader{}, fmt.Errorf("mpi: short frame header: %d bytes", len(buf))
+	}
+	h := frameHeader{
+		typ:   buf[0],
+		flags: buf[1],
+		tag:   int(binary.LittleEndian.Uint32(buf[4:])),
+		src:   int(binary.LittleEndian.Uint32(buf[8:])),
+		dst:   int(binary.LittleEndian.Uint32(buf[12:])),
+		count: int(binary.LittleEndian.Uint32(buf[16:])),
+	}
+	// Reserved fields must be zero: the codec is strict, so decode∘encode is
+	// the identity on every accepted frame (no information the re-encoder
+	// would silently drop) and the reserved space stays usable for future
+	// protocol versions.
+	if binary.LittleEndian.Uint16(buf[2:]) != 0 || binary.LittleEndian.Uint32(buf[20:]) != 0 {
+		return h, fmt.Errorf("mpi: nonzero reserved header fields")
+	}
+	switch h.typ {
+	case frameData:
+		if h.src < 0 || h.src >= p || h.dst < 0 || h.dst >= p {
+			return h, fmt.Errorf("mpi: data frame ranks %d→%d out of range [0,%d)", h.src, h.dst, p)
+		}
+		if h.count < 0 || h.count > maxElems {
+			return h, fmt.Errorf("mpi: data frame payload %d elements exceeds limit %d", h.count, maxElems)
+		}
+		if h.flags&^flagHasCS != 0 {
+			return h, fmt.Errorf("mpi: unknown data frame flags %#x", h.flags)
+		}
+	case frameAbort, frameGoodbye, frameConfig, frameHello:
+		if h.count < 0 || h.count > maxControlPayload {
+			return h, fmt.Errorf("mpi: control frame payload %d bytes exceeds limit %d", h.count, maxControlPayload)
+		}
+	default:
+		return h, fmt.Errorf("mpi: unknown frame type %d", h.typ)
+	}
+	return h, nil
+}
+
+// payloadBytes returns the number of bytes following the header for h.
+func (h frameHeader) payloadBytes() int {
+	n := h.count
+	if h.typ == frameData {
+		n *= elemLen
+		if h.flags&flagHasCS != 0 {
+			n += checksumLen
+		}
+	}
+	return n
+}
+
+// putComplex encodes z at buf[off:off+16].
+func putComplex(buf []byte, off int, z complex128) {
+	binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(real(z)))
+	binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(imag(z)))
+}
+
+// getComplex decodes the element at buf[off:off+16].
+func getComplex(buf []byte, off int) complex128 {
+	re := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+	im := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+	return complex(re, im)
+}
+
+// encodeDataFrame serializes m as a data frame from src to dst into buf
+// (grown as needed) and returns the full frame. The payload region starts at
+// payloadOff, so wire-level fault hooks can corrupt the serialized elements
+// without touching the header or checksums.
+func encodeDataFrame(buf []byte, dst, src int, m Message) (frame []byte, payloadOff int) {
+	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data)}
+	if m.HasCS {
+		h.flags = flagHasCS
+	}
+	total := frameHeaderLen + h.payloadBytes()
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	putHeader(buf, h)
+	off := frameHeaderLen
+	if m.HasCS {
+		putComplex(buf, off, m.CS[0])
+		putComplex(buf, off+elemLen, m.CS[1])
+		off += checksumLen
+	}
+	payloadOff = off
+	for _, z := range m.Data {
+		putComplex(buf, off, z)
+		off += elemLen
+	}
+	return buf, payloadOff
+}
+
+// decodeDataBody materializes a Message from a data frame's body (the bytes
+// after the header), drawing the payload from the shared pool — the matching
+// receive recycles it, exactly like an in-process send.
+func decodeDataBody(h frameHeader, body []byte) (Message, error) {
+	if len(body) != h.payloadBytes() {
+		return Message{}, fmt.Errorf("mpi: data frame body %d bytes, want %d", len(body), h.payloadBytes())
+	}
+	m := Message{Tag: h.tag}
+	off := 0
+	if h.flags&flagHasCS != 0 {
+		m.CS[0] = getComplex(body, 0)
+		m.CS[1] = getComplex(body, elemLen)
+		m.HasCS = true
+		off = checksumLen
+	}
+	pb := getPayload(h.count)
+	for i := 0; i < h.count; i++ {
+		pb.data[i] = getComplex(body, off)
+		off += elemLen
+	}
+	m.Data, m.pb = pb.data, pb
+	return m, nil
+}
+
+// encodeControlFrame serializes a control frame with a raw byte payload.
+func encodeControlFrame(buf []byte, typ byte, payload []byte) []byte {
+	total := frameHeaderLen + len(payload)
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+	putHeader(buf, frameHeader{typ: typ, count: len(payload)})
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// configPayloadLen is the fixed size of a frameConfig payload:
+// u32 rank, u32 p, u64 n, u8 scheme flags, 3 pad bytes, u32 maxRetries
+// (full width — a truncated retry budget would silently diverge the worker's
+// scheme from the root's), f64 eta.
+const configPayloadLen = 4 + 4 + 8 + 1 + 3 + 4 + 8
+
+// encodeConfig serializes the worker's rank assignment plus the job metadata.
+func encodeConfig(rank int, meta WorldMeta) []byte {
+	buf := make([]byte, configPayloadLen)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(rank))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(meta.P))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(meta.N))
+	var flags byte
+	if meta.Protected {
+		flags |= 1
+	}
+	if meta.Optimized {
+		flags |= 2
+	}
+	buf[16] = flags
+	binary.LittleEndian.PutUint32(buf[20:], uint32(meta.MaxRetries))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(meta.EtaScale))
+	return buf
+}
+
+// decodeConfig parses a frameConfig payload.
+func decodeConfig(buf []byte) (rank int, meta WorldMeta, err error) {
+	if len(buf) != configPayloadLen {
+		return 0, meta, fmt.Errorf("mpi: config payload %d bytes, want %d", len(buf), configPayloadLen)
+	}
+	rank = int(binary.LittleEndian.Uint32(buf[0:]))
+	meta.P = int(binary.LittleEndian.Uint32(buf[4:]))
+	meta.N = int(binary.LittleEndian.Uint64(buf[8:]))
+	meta.Protected = buf[16]&1 != 0
+	meta.Optimized = buf[16]&2 != 0
+	meta.MaxRetries = int(binary.LittleEndian.Uint32(buf[20:]))
+	meta.EtaScale = math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
+	if meta.P < 1 || rank < 0 || rank >= meta.P || meta.N < 1 {
+		return 0, meta, fmt.Errorf("mpi: config rank %d / p %d / n %d out of range", rank, meta.P, meta.N)
+	}
+	return rank, meta, nil
+}
+
+// readFrame reads one complete frame (header + body) from r, reusing body
+// (grown as needed). p and maxElems bound data frames; see parseHeader.
+// It never panics on arbitrary input and never allocates beyond the declared
+// (validated) payload size.
+func readFrame(r io.Reader, body []byte, p, maxElems int) (frameHeader, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frameHeader{}, body, err
+	}
+	h, err := parseHeader(hdr[:], p, maxElems)
+	if err != nil {
+		return h, body, err
+	}
+	nb := h.payloadBytes()
+	if cap(body) < nb {
+		body = make([]byte, nb)
+	}
+	body = body[:nb]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return h, body, err
+	}
+	return h, body, nil
+}

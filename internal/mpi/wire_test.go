@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPayload draws elements from the full float64 bit space — including
+// NaN payloads, infinities, subnormals and negative zeros — because the
+// wire's bit-for-bit guarantee is over bit patterns, not values.
+func randomPayload(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(
+			math.Float64frombits(rng.Uint64()),
+			math.Float64frombits(rng.Uint64()),
+		)
+	}
+	return out
+}
+
+// bitsEqual compares complex values by bit pattern (NaN != NaN under ==).
+func bitsEqual(a, b complex128) bool {
+	return math.Float64bits(real(a)) == math.Float64bits(real(b)) &&
+		math.Float64bits(imag(a)) == math.Float64bits(imag(b))
+}
+
+// TestDataFrameRoundTrip is the codec property test: for random tags, rank
+// pairs, lengths, checksum presence and full-bit-space payloads, encode →
+// parse → decode reproduces the message bit-for-bit.
+func TestDataFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const p = 16
+	var enc []byte
+	for iter := 0; iter < 2000; iter++ {
+		m := Message{
+			Tag:  rng.Intn(1 << 20),
+			Data: randomPayload(rng, rng.Intn(64)),
+		}
+		if rng.Intn(2) == 0 {
+			m.HasCS = true
+			m.CS = [2]complex128{
+				complex(math.Float64frombits(rng.Uint64()), math.Float64frombits(rng.Uint64())),
+				complex(math.Float64frombits(rng.Uint64()), math.Float64frombits(rng.Uint64())),
+			}
+		}
+		src, dst := rng.Intn(p), rng.Intn(p)
+
+		frame, payloadOff := encodeDataFrame(enc, dst, src, m)
+		enc = frame
+		if want := frameHeaderLen + len(m.Data)*elemLen + map[bool]int{true: checksumLen}[m.HasCS]; len(frame) != want {
+			t.Fatalf("frame length %d, want %d", len(frame), want)
+		}
+		if payloadOff != len(frame)-len(m.Data)*elemLen {
+			t.Fatalf("payload offset %d inconsistent with frame length %d", payloadOff, len(frame))
+		}
+
+		h, err := parseHeader(frame, p, 64)
+		if err != nil {
+			t.Fatalf("parseHeader: %v", err)
+		}
+		if h.typ != frameData || h.tag != m.Tag || h.src != src || h.dst != dst || h.count != len(m.Data) {
+			t.Fatalf("header mismatch: %+v vs tag=%d src=%d dst=%d n=%d", h, m.Tag, src, dst, len(m.Data))
+		}
+		got, err := decodeDataBody(h, frame[frameHeaderLen:])
+		if err != nil {
+			t.Fatalf("decodeDataBody: %v", err)
+		}
+		if got.Tag != m.Tag || got.HasCS != m.HasCS || len(got.Data) != len(m.Data) {
+			t.Fatalf("decoded message mismatch: %+v", got)
+		}
+		if m.HasCS && (!bitsEqual(got.CS[0], m.CS[0]) || !bitsEqual(got.CS[1], m.CS[1])) {
+			t.Fatalf("checksums not bit-identical: %v vs %v", got.CS, m.CS)
+		}
+		for i := range m.Data {
+			if !bitsEqual(got.Data[i], m.Data[i]) {
+				t.Fatalf("element %d not bit-identical: %x vs %x",
+					i, math.Float64bits(real(got.Data[i])), math.Float64bits(real(m.Data[i])))
+			}
+		}
+		if got.pb != nil {
+			payloads.Put(got.pb)
+		}
+	}
+}
+
+// TestControlFrameRoundTrip covers the config payload and control frames.
+func TestControlFrameRoundTrip(t *testing.T) {
+	meta := WorldMeta{N: 1 << 20, P: 8, Protected: true, Optimized: true, EtaScale: 2.5, MaxRetries: 7}
+	for rank := 1; rank < meta.P; rank++ {
+		frame := encodeControlFrame(nil, frameConfig, encodeConfig(rank, meta))
+		h, err := parseHeader(frame, meta.P, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.typ != frameConfig || h.count != configPayloadLen {
+			t.Fatalf("bad config header %+v", h)
+		}
+		gotRank, gotMeta, err := decodeConfig(frame[frameHeaderLen:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRank != rank || gotMeta != meta {
+			t.Fatalf("config round trip: rank %d meta %+v, want %d %+v", gotRank, gotMeta, rank, meta)
+		}
+	}
+	if _, _, err := decodeConfig(encodeConfig(0, WorldMeta{N: 0, P: 4})); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	abort := encodeControlFrame(nil, frameAbort, []byte("rank 3: retries exhausted"))
+	h, err := parseHeader(abort, 4, 0)
+	if err != nil || h.typ != frameAbort {
+		t.Fatalf("abort header: %+v, %v", h, err)
+	}
+	if string(abort[frameHeaderLen:]) != "rank 3: retries exhausted" {
+		t.Fatal("abort payload mangled")
+	}
+}
+
+// TestParseHeaderRejectsGarbage pins the decoder's bounds: oversized
+// payloads, out-of-range ranks, unknown types and flags all error out
+// instead of allocating or panicking.
+func TestParseHeaderRejectsGarbage(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		frame, _ := encodeDataFrame(nil, 1, 0, Message{Tag: 7, Data: make([]complex128, 3)})
+		mut(frame)
+		return frame
+	}
+	cases := map[string][]byte{
+		"short":        make([]byte, frameHeaderLen-1),
+		"type":         mk(func(b []byte) { b[0] = 99 }),
+		"flags":        mk(func(b []byte) { b[1] = 0x80 }),
+		"reserved-a":   mk(func(b []byte) { b[2] = 1 }),
+		"reserved-b":   mk(func(b []byte) { b[21] = 7 }),
+		"src-range":    mk(func(b []byte) { b[8] = 200 }),
+		"dst-range":    mk(func(b []byte) { b[12] = 200 }),
+		"count-bound":  mk(func(b []byte) { b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0x7f }),
+		"control-huge": encodeControlFrame(nil, frameAbort, nil),
+	}
+	cases["control-huge"][16] = 0xff
+	cases["control-huge"][18] = 0xff
+	for name, frame := range cases {
+		if _, err := parseHeader(frame, 4, 64); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadFrameShortBody: a frame whose stream ends mid-payload surfaces an
+// error, not a hang or panic.
+func TestReadFrameShortBody(t *testing.T) {
+	frame, _ := encodeDataFrame(nil, 1, 0, Message{Tag: 1, Data: make([]complex128, 8)})
+	_, _, err := readFrame(bytes.NewReader(frame[:len(frame)-5]), nil, 4, 64)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

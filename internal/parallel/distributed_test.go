@@ -1,0 +1,302 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ftfft/internal/core"
+	"ftfft/internal/exec"
+	"ftfft/internal/fault"
+	"ftfft/internal/mpi"
+)
+
+// TestMessageOnlyBitIdentical is the transport-purity proof for the chan
+// wire: with the shared-memory fast path masked (explicit root-rank
+// scatter/gather messages over the same in-process transport), every
+// variant's output is bit-for-bit the shared-path output.
+func TestMessageOnlyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, g := range []struct{ n, p int }{{256, 4}, {1024, 4}, {4096, 8}} {
+		x := randomVec(rng, g.n)
+		for _, cfg := range []Config{
+			{},
+			{Optimized: true},
+			{Protected: true},
+			{Protected: true, Optimized: true},
+		} {
+			shared, err := NewPlan(g.n, g.p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgCfg := cfg
+			msgCfg.Transport = mpi.MessageOnly(mpi.NewChanTransport(g.p))
+			msg, err := NewPlan(g.n, g.p, msgCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]complex128, g.n)
+			got := make([]complex128, g.n)
+			if _, err := shared.Transform(want, x); err != nil {
+				t.Fatalf("shared n=%d p=%d prot=%v opt=%v: %v", g.n, g.p, cfg.Protected, cfg.Optimized, err)
+			}
+			// Two rounds over the message wire: steady-state reuse of the
+			// exclusive context must stay bit-identical too.
+			for round := 0; round < 2; round++ {
+				rep, err := msg.Transform(got, x)
+				if err != nil {
+					t.Fatalf("message n=%d p=%d prot=%v opt=%v: %v", g.n, g.p, cfg.Protected, cfg.Optimized, err)
+				}
+				if cfg.Protected && !rep.Clean() {
+					t.Fatalf("fault-free message run not clean: %+v", rep)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d p=%d prot=%v opt=%v round %d: outputs differ at %d: %v vs %v",
+							g.n, g.p, cfg.Protected, cfg.Optimized, round, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// startSocketWorld spins up a p-rank Unix-socket world inside this test
+// process: the returned hub hosts rank 0; p-1 goroutines dial in and serve
+// plans configured by the handshake, each on a private executor (separate
+// single-rank gangs block on each other, so sharing one saturated pool
+// would deadlock — real deployments run them in separate processes).
+func startSocketWorld(t *testing.T, p int, workerInj func(rank int) fault.Injector) (*mpi.HubTransport, *sync.WaitGroup) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "world.sock")
+	hub, err := mpi.ListenHub("unix", sock, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, meta, err := mpi.DialWorker("unix", sock)
+			if err != nil {
+				t.Errorf("worker dial: %v", err)
+				return
+			}
+			defer tr.Close()
+			var inj fault.Injector
+			if workerInj != nil {
+				inj = workerInj(tr.Rank())
+			}
+			pl, err := NewPlan(meta.N, meta.P, Config{
+				Protected: meta.Protected, Optimized: meta.Optimized,
+				EtaScale: meta.EtaScale, MaxRetries: meta.MaxRetries,
+				Injector: inj, Transport: tr, Executor: exec.New(1),
+			})
+			if err != nil {
+				t.Errorf("worker plan: %v", err)
+				return
+			}
+			if err := pl.Serve(context.Background()); err != nil {
+				t.Errorf("worker rank %d serve: %v", tr.Rank(), err)
+			}
+		}()
+	}
+	return hub, &wg
+}
+
+// TestSocketTransportBitIdentical runs the protected-optimized pipeline over
+// real Unix-domain sockets (worker ranks served in-process, so the wire —
+// codec, relay, handshake — is exercised under the race detector) and
+// demands bit-for-bit the output of the equivalent message-only chan run,
+// with and without injected faults, across repeated transforms on one world.
+func TestSocketTransportBitIdentical(t *testing.T) {
+	const n, p = 4096, 4
+	rng := rand.New(rand.NewSource(33))
+	x := randomVec(rng, n)
+
+	// Faults pinned to rank 0 (the hub process): the message-fault strikes a
+	// scatter/transpose payload that a remote rank must verify and repair,
+	// and the FFT1 fault exercises recomputation — occurrence counting is
+	// per (site, rank), so the reference run sees the identical sequence.
+	mkSched := func() *fault.Schedule {
+		return fault.NewSchedule(5,
+			fault.Fault{Site: fault.SiteMessage, Rank: 0, Occurrence: 2, Index: -1, Mode: fault.AddConstant, Value: 7},
+			fault.Fault{Site: fault.SiteMessage, Rank: 0, Occurrence: 6, Index: -1, Mode: fault.AddConstant, Value: -3},
+			fault.Fault{Site: fault.SiteParallelFFT1, Rank: 0, Occurrence: 4, Index: -1, Mode: fault.AddConstant, Value: 2},
+		)
+	}
+
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{Protected: true, Optimized: true}
+			var refSched, sockSched *fault.Schedule
+			if faulty {
+				refSched, sockSched = mkSched(), mkSched()
+			}
+
+			refCfg := cfg
+			refCfg.Transport = mpi.MessageOnly(mpi.NewChanTransport(p))
+			if refSched != nil {
+				refCfg.Injector = refSched
+			}
+			ref, err := NewPlan(n, p, refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			hub, wg := startSocketWorld(t, p, nil)
+			sockCfg := cfg
+			sockCfg.Transport = hub
+			if sockSched != nil {
+				sockCfg.Injector = sockSched
+			}
+			sock, err := NewPlan(n, p, sockCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := make([]complex128, n)
+			got := make([]complex128, n)
+			for round := 0; round < 3; round++ {
+				wantRep, err := ref.Transform(want, x)
+				if err != nil {
+					t.Fatalf("round %d ref: %v", round, err)
+				}
+				gotRep, err := sock.Transform(got, x)
+				if err != nil {
+					t.Fatalf("round %d socket: %v", round, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("round %d: socket output differs at %d: %v vs %v", round, i, got[i], want[i])
+					}
+				}
+				if gotRep != wantRep {
+					t.Fatalf("round %d: reports differ: socket %+v vs ref %+v", round, gotRep, wantRep)
+				}
+			}
+			if faulty {
+				if !refSched.AllFired() || !sockSched.AllFired() {
+					t.Fatalf("faults did not all fire: ref=%v sock=%v", refSched.AllFired(), sockSched.AllFired())
+				}
+			}
+			hub.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// TestSocketWireCorruptionRepaired injects a fault below the codec — a bit
+// flipped in the serialized payload bytes of an in-flight frame — and
+// demands the §5 block checksums detect and repair it: the ABFT protects
+// the wire representation itself, not just the in-memory arrays.
+func TestSocketWireCorruptionRepaired(t *testing.T) {
+	const n, p = 1024, 4
+	rng := rand.New(rand.NewSource(44))
+	x := randomVec(rng, n)
+
+	clean, err := NewPlan(n, p, Config{Protected: true, Optimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	if _, err := clean.Transform(want, x); err != nil {
+		t.Fatal(err)
+	}
+
+	hub, wg := startSocketWorld(t, p, nil)
+	defer func() { hub.Close(); wg.Wait() }()
+	pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true, Transport: hub, Executor: exec.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	hub.InjectWireFaults(func(dst, src, tag int, payload []byte) {
+		// One mantissa-bit flip in the first outbound transpose payload.
+		if flips == 0 && tag == tagTran1 && len(payload) >= 8 {
+			payload[3] ^= 0x10
+			flips++
+		}
+	})
+	dst := make([]complex128, n)
+	rep, err := pl.Transform(dst, x)
+	if err != nil {
+		t.Fatalf("%v (%+v)", err, rep)
+	}
+	if flips != 1 {
+		t.Fatalf("wire fault did not fire (flips=%d)", flips)
+	}
+	if rep.Detections == 0 || rep.MemCorrections == 0 {
+		t.Fatalf("wire corruption not detected/repaired: %+v", rep)
+	}
+	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+		t.Fatalf("repaired output off by %g", d)
+	}
+}
+
+// TestSocketWorkerFailurePropagates: a worker rank that exhausts its retry
+// budget must poison the whole distributed world — the root's Transform
+// returns an error instead of hanging, and later Transforms fail fast.
+func TestSocketWorkerFailurePropagates(t *testing.T) {
+	const n, p = 1024, 4
+	rng := rand.New(rand.NewSource(55))
+	x := randomVec(rng, n)
+
+	// Workers get a persistent FFT1 corruption on rank 2; Serve exits with
+	// the failure, so silence the per-worker error check via a local world.
+	sock := filepath.Join(t.TempDir(), "world.sock")
+	hub, err := mpi.ListenHub("unix", sock, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, p)
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, meta, err := mpi.DialWorker("unix", sock)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer tr.Close()
+			pl, err := NewPlan(meta.N, meta.P, Config{
+				Protected: meta.Protected, Optimized: meta.Optimized,
+				MaxRetries: meta.MaxRetries,
+				Injector:   &stuckRank{rank: 2},
+				Transport:  tr, Executor: exec.New(1),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			workerErrs[tr.Rank()] = pl.Serve(context.Background())
+		}()
+	}
+	pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true, MaxRetries: 2, Transport: hub, Executor: exec.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, n)
+	if _, err := pl.Transform(dst, x); err == nil {
+		t.Fatal("transform over a failing worker rank succeeded")
+	}
+	// The dead wire must fail fast, not hang.
+	if _, err := pl.Transform(dst, x); err == nil {
+		t.Fatal("transform on a dead world succeeded")
+	}
+	hub.Close()
+	wg.Wait()
+	if workerErrs[2] == nil || !errors.Is(workerErrs[2], core.ErrUncorrectable) {
+		t.Fatalf("failing worker should report its own cause, got %v", workerErrs[2])
+	}
+}

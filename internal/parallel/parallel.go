@@ -1,6 +1,16 @@
 // Package parallel implements the paper's §5–§6: the six-step 1-D parallel
-// in-place FFT and its online ABFT protection, on top of the in-process
-// message-passing runtime (internal/mpi).
+// in-place FFT and its online ABFT protection, on top of the message-passing
+// runtime (internal/mpi).
+//
+// The algorithm layer is transport-pure: a rank body touches only its own
+// preallocated workspace and its World endpoints. Input reaches rank j
+// through an explicit root-rank scatter and its output returns through a
+// gather (both checksum-protected), so the same rank body runs unchanged
+// whether the wire is the in-process channel matrix or sockets between OS
+// processes (Plan.Serve drives remote ranks). The one concession to speed is
+// capability-gated, not assumed: a transport granting mpi.SharedMemory (the
+// in-process default) lets ranks copy their slices of the caller's arrays
+// directly, skipping the scatter/gather messages bit-identically.
 //
 // Data layout, for N = p·q (q = N/p local points, b = q/p block size):
 //
@@ -34,6 +44,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -67,6 +78,14 @@ type Config struct {
 	// Executor is the bounded pool the rank fan-out is dispatched on; nil
 	// means the process-wide exec.Default().
 	Executor *exec.Pool
+	// Transport selects the wire the rank world communicates over. nil
+	// builds a fresh in-process channel wire per execution context (the
+	// zero-copy shared-memory fast path). A non-nil transport is a physical
+	// resource — the plan builds exactly one world over it, so concurrent
+	// Transforms serialize; socket transports additionally place only a
+	// subset of ranks in this process (the rest run in worker processes
+	// driving Plan.Serve).
+	Transport mpi.Transport
 }
 
 // Plan executes protected parallel forward FFTs of a fixed size on a fixed
@@ -77,14 +96,21 @@ type Plan struct {
 	n, p, q, b int
 	cfg        Config
 	ex         *exec.Pool // rank fan-out executor (never nil)
+	gang       int        // local rank count = executor gang size per Transform
 
 	fftP     *fft.Plan    // p-point FFT1 sub-plan (nil when p == 1)
 	weightsB []complex128 // checksum.Weights(b): transpose block weights
+	weightsQ []complex128 // checksum.Weights(q): scatter/gather slice weights (message mode)
+	weightsR []complex128 // checksum.Weights(reportWords): report message weights (message mode)
 	checkP   []complex128 // checksum.CheckVector(p): FFT1 input weights
 	twiddle  []complex128 // [rank·q + n1] = ω_N^{n1·rank}, all p ranks
 
 	mu   sync.Mutex
 	free []*execCtx // idle execution contexts (see workspace.go)
+
+	// exclusive holds the single context of a plan built over an explicit
+	// Transport (nil otherwise); see getCtx.
+	exclusive chan *execCtx
 }
 
 // NewPlan validates the geometry — p must divide n, p must divide q = n/p,
@@ -102,9 +128,22 @@ func NewPlan(n, p int, cfg Config) (*Plan, error) {
 	if q%p != 0 {
 		return nil, fmt.Errorf("parallel: local size %d not divisible by %d (need p² | n)", q, p)
 	}
-	pl := &Plan{n: n, p: p, q: q, b: q / p, cfg: cfg, ex: cfg.Executor}
+	pl := &Plan{n: n, p: p, q: q, b: q / p, cfg: cfg, ex: cfg.Executor, gang: p}
 	if pl.ex == nil {
 		pl.ex = exec.Default()
+	}
+	if cfg.Transport != nil {
+		if p < 2 {
+			return nil, fmt.Errorf("parallel: an explicit transport needs at least 2 ranks, got %d", p)
+		}
+		// 0 means the wire cannot report its size; anything else must match.
+		if ws, ok := cfg.Transport.(interface{ WorldSize() int }); ok && ws.WorldSize() != 0 && ws.WorldSize() != p {
+			return nil, fmt.Errorf("parallel: plan has %d ranks but the transport carries %d", p, ws.WorldSize())
+		}
+		if rp, ok := cfg.Transport.(mpi.RankPlacement); ok {
+			pl.gang = len(rp.LocalRanks())
+		}
+		pl.exclusive = make(chan *execCtx, 1)
 	}
 	if p > 1 {
 		var err error
@@ -114,15 +153,28 @@ func NewPlan(n, p int, cfg Config) (*Plan, error) {
 		pl.weightsB = checksum.Weights(pl.b)
 		pl.checkP = checksum.CheckVector(p)
 		pl.twiddle = twiddleTable(n, p, q)
+		if cfg.Transport != nil && cfg.Protected {
+			// Message-mode scatter/gather slices and report frames travel
+			// with their own checksum pairs, like every other protected
+			// block — a transit fault on any message is detectable.
+			pl.weightsQ = checksum.Weights(q)
+			pl.weightsR = checksum.Weights(reportWords)
+		}
 	}
 	// Build the first execution context eagerly: it validates the FFT2
 	// decomposition of q and pre-warms the pool, so the first Transform is
-	// already on the steady-state path.
+	// already on the steady-state path. (Over a socket transport this also
+	// runs the wire handshake, so plan construction blocks until the remote
+	// workers have dialed in.)
 	ec, err := pl.newCtx()
 	if err != nil {
 		return nil, err
 	}
-	pl.free = append(pl.free, ec)
+	if pl.exclusive != nil {
+		pl.exclusive <- ec
+	} else {
+		pl.free = append(pl.free, ec)
+	}
 	return pl, nil
 }
 
@@ -152,6 +204,13 @@ func twiddleTable(n, p, q int) []complex128 {
 // Workers returns the worker budget of the executor the plan dispatches on.
 func (pl *Plan) Workers() int { return pl.ex.Workers() }
 
+// Exclusive reports whether the plan owns a single execution context (an
+// explicit Transport wire): at most one transform can be in flight, so batch
+// drivers must reap each invocation before beginning the next — pipelining
+// Begins would park the second caller on the context it can only get by
+// reaping the first.
+func (pl *Plan) Exclusive() bool { return pl.exclusive != nil }
+
 // N returns the global transform size; P the number of ranks.
 func (pl *Plan) N() int { return pl.n }
 
@@ -159,8 +218,11 @@ func (pl *Plan) N() int { return pl.n }
 func (pl *Plan) P() int { return pl.p }
 
 // Transform computes the forward DFT of src into dst using p ranks.
-// src and dst have length N; rank j reads src[j·q:(j+1)·q] and writes
-// dst[j·q:(j+1)·q] (shared-memory stand-ins for the distributed arrays).
+// src and dst have length N and belong to the root rank's process; every
+// other rank works on a private q-point slice, distributed by an explicit
+// root-rank scatter and collected by a gather — unless the transport grants
+// shared memory, in which case rank j reads src[j·q:(j+1)·q] and writes
+// dst[j·q:(j+1)·q] directly (the in-process zero-copy fast path).
 //
 // Transform is safe for concurrent use; each invocation draws a pooled
 // execution context, so the steady-state cost of a call is the p rank
@@ -196,15 +258,13 @@ func (pl *Plan) TransformContext(ctx context.Context, dst, src []complex128) (co
 // runSeq is the single-rank fallback: one in-place protected transform on a
 // pooled context, no communicator, no executor round-trip.
 func (pl *Plan) runSeq(ctx context.Context, dst, src []complex128) (core.Report, error) {
-	ec, err := pl.getCtx()
+	ec, err := pl.getCtx(ctx)
 	if err != nil {
 		return core.Report{}, err
 	}
 	copy(dst[:pl.n], src[:pl.n])
 	rep, err := ec.seq.TransformContext(ctx, dst[:pl.n])
-	if err == nil {
-		pl.putCtx(ec)
-	}
+	pl.finishCtx(ec, err == nil)
 	return rep, err
 }
 
@@ -245,14 +305,21 @@ func (pl *Plan) Begin(ctx context.Context, dst, src []complex128) (*Invocation, 
 		inv.rep, inv.err = pl.runSeq(ctx, dst, src)
 		return inv, nil
 	}
-	res, err := pl.ex.Reserve(ctx, pl.p)
+	res, err := pl.ex.Reserve(ctx, pl.gang)
 	if err != nil {
 		return nil, err
 	}
-	ec, err := pl.getCtx()
+	ec, err := pl.getCtx(ctx)
 	if err != nil {
 		res.Cancel()
 		return nil, err
+	}
+	if cause := ec.world.AbortCause(); cause != nil {
+		// A transport-backed world is permanent; once its wire died, every
+		// later Transform fails fast with the root cause.
+		pl.finishCtx(ec, false)
+		res.Cancel()
+		return nil, fmt.Errorf("parallel: world is dead: %w", cause)
 	}
 	inv := &Invocation{pl: pl, ec: ec}
 	inv.l = ec.world.LaunchReserved(ctx, res, func(c *mpi.Comm) error {
@@ -282,36 +349,91 @@ func (inv *Invocation) Wait() (core.Report, error) {
 		total.Add(ec.reports[r])
 	}
 	if firstErr == nil {
-		if aborted := ec.world.Aborted(); !aborted {
-			pl.putCtx(ec)
-		}
-		// A world aborted by a cancel that raced completion is dropped;
-		// the finished results are still valid.
+		// A world aborted by a cancel that raced completion is dropped
+		// (finishCtx keeps exclusive transport worlds either way); the
+		// finished results are still valid.
+		pl.finishCtx(ec, !ec.world.Aborted())
 		return total, nil
 	}
 	// Prefer the root cause over the abort echoes the other ranks report.
 	if cause := ec.world.AbortCause(); cause != nil {
 		firstErr = cause
 	}
+	pl.finishCtx(ec, false)
 	return total, firstErr
 }
 
+// Serve runs this process's ranks of a distributed world: for every
+// transform the root process initiates, the local rank bodies run their
+// slice of the six-step pipeline — blocked in the scatter receive between
+// transforms — until the root shuts the wire down (Serve returns nil) or a
+// rank fails (Serve returns the cause, after the abort has been propagated
+// to every process). The plan must have been built over an explicit
+// Transport whose placement puts at least one rank here; it must mirror the
+// root's geometry and scheme exactly, which is what the wire handshake's
+// WorldMeta guarantees.
+func (pl *Plan) Serve(ctx context.Context) error {
+	if pl.cfg.Transport == nil || pl.p == 1 {
+		return fmt.Errorf("parallel: Serve needs a plan over an explicit multi-rank transport")
+	}
+	ec, err := pl.getCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer pl.finishCtx(ec, false)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l, err := ec.world.Launch(ctx, pl.ex, func(c *mpi.Comm) error {
+			_, err := pl.rankBody(ctx, ec.ranks[c.Rank()], nil, nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if err := l.Wait(); err != nil {
+			if errors.Is(err, mpi.ErrShutdown) {
+				return nil
+			}
+			if cause := ec.world.AbortCause(); cause != nil && !errors.Is(err, cause) {
+				return cause
+			}
+			return err
+		}
+	}
+}
+
 const (
-	tagTran1 = 1
-	tagTran2 = 2
-	tagTran3 = 3
+	tagTran1   = 1
+	tagTran2   = 2
+	tagTran3   = 3
+	tagScatter = 4 // root → rank: the rank's q-point input slice
+	tagGather  = 5 // rank → root: the rank's q-point output slice
+	tagReport  = 6 // rank → root: encoded per-rank Report (distributed worlds)
 )
 
 // rankBody is the per-rank six-step pipeline, running entirely out of the
-// rank's preallocated workspace. ctx is checked between stages (the
-// transposes additionally unwind via the world abort).
+// rank's preallocated workspace plus its World endpoints — the algorithm
+// layer is transport-pure. Only the root rank (rank 0, in the caller's
+// process) touches the caller's dst/src slices; every other rank receives
+// its input slice in an explicit root-rank scatter and returns its output in
+// an explicit gather, both checksum-protected when the plan is. When the
+// transport grants the SharedMemory capability (the in-process chan wire),
+// ranks skip the exchange and copy their slices directly — the zero-copy
+// fast path, chosen by capability, never assumed. ctx is checked between
+// stages (the communication stages additionally unwind via the world abort).
 func (pl *Plan) rankBody(ctx context.Context, rs *rankState, dst, src []complex128) (core.Report, error) {
 	var rep core.Report
 	q := pl.q
 	rank := rs.comm.Rank()
 
 	local, recvBuf := rs.local, rs.recv
-	copy(local, src[rank*q:(rank+1)*q])
+	if rs.shared {
+		copy(local, src[rank*q:(rank+1)*q])
+	} else if err := pl.scatterInput(rs, local, src, &rep); err != nil {
+		return rep, err
+	}
 
 	sigma0 := roundoff.RMSStrided(local, min(q, 512), max(1, q/512))
 	if sigma0 == 0 {
@@ -353,9 +475,163 @@ func (pl *Plan) rankBody(ctx context.Context, rs *rankState, dst, src []complex1
 	}
 
 	// ---- Transpose 3 + local adjustment ----
-	out := dst[rank*q : (rank+1)*q]
-	err = pl.transpose(rs, local, nil, out, tagTran3, &rep)
-	return rep, err
+	// The root writes its slice of the output in place either way; non-root
+	// ranks write the caller's dst directly only on the shared fast path.
+	out := rs.out
+	if rs.shared || rank == 0 {
+		out = dst[rank*q : (rank+1)*q]
+	}
+	if err := pl.transpose(rs, local, nil, out, tagTran3, &rep); err != nil {
+		return rep, err
+	}
+	if !rs.shared {
+		if err := pl.gatherOutput(rs, out, dst, &rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// scatterInput is the explicit input distribution of message mode: the root
+// rank sends every peer its q-point slice of src; peers receive into their
+// local workspace. Protected plans attach a checksum pair to each slice and
+// verify (single-element-repairing) on receipt — an input slice corrupted on
+// the wire is healed before the pipeline consumes it.
+func (pl *Plan) scatterInput(rs *rankState, local, src []complex128, rep *core.Report) error {
+	c := rs.comm
+	q := pl.q
+	if c.Rank() == 0 {
+		for j := 1; j < pl.p; j++ {
+			blk := src[j*q : (j+1)*q]
+			if cs, has := pl.sliceChecksum(pl.weightsQ, blk); has {
+				c.Send(j, tagScatter, blk, &cs)
+			} else {
+				c.Send(j, tagScatter, blk, nil)
+			}
+		}
+		copy(local, src[:q])
+		return nil
+	}
+	cs, has, err := c.Recv(0, tagScatter, local)
+	if err != nil {
+		return err
+	}
+	return pl.verifySlice(c.Rank(), 0, local, pl.weightsQ, cs, has, rep)
+}
+
+// gatherOutput is the explicit output collection of message mode: every
+// non-root rank sends its finished q-point slice to the root, which writes
+// it (after checksum verification) straight into the caller's dst. In a
+// distributed world the non-root ranks also ship their Reports, so the
+// caller's aggregate accounting covers remote fault activity.
+func (pl *Plan) gatherOutput(rs *rankState, out, dst []complex128, rep *core.Report) error {
+	c := rs.comm
+	q := pl.q
+	if c.Rank() != 0 {
+		if cs, has := pl.sliceChecksum(pl.weightsQ, out); has {
+			c.Send(0, tagGather, out, &cs)
+		} else {
+			c.Send(0, tagGather, out, nil)
+		}
+		if rs.dist {
+			encodeReport(rs.repBuf, *rep)
+			if cs, has := pl.sliceChecksum(pl.weightsR, rs.repBuf); has {
+				c.Send(0, tagReport, rs.repBuf, &cs)
+			} else {
+				c.Send(0, tagReport, rs.repBuf, nil)
+			}
+		}
+		return nil
+	}
+	for j := 1; j < pl.p; j++ {
+		slot := dst[j*q : (j+1)*q]
+		cs, has, err := c.Recv(j, tagGather, slot)
+		if err != nil {
+			return err
+		}
+		if err := pl.verifySlice(0, j, slot, pl.weightsQ, cs, has, rep); err != nil {
+			return err
+		}
+	}
+	if rs.dist {
+		for j := 1; j < pl.p; j++ {
+			cs, has, err := c.Recv(j, tagReport, rs.repBuf)
+			if err != nil {
+				return err
+			}
+			if err := pl.verifySlice(0, j, rs.repBuf, pl.weightsR, cs, has, rep); err != nil {
+				return err
+			}
+			rep.Add(decodeReport(rs.repBuf))
+		}
+	}
+	return nil
+}
+
+// sliceChecksum computes the weighted checksum pair a protected
+// scatter/gather/report message travels with; has is false on unprotected
+// plans (and on shared-memory plans, which never build the weights).
+func (pl *Plan) sliceChecksum(weights, slice []complex128) (cs [2]complex128, has bool) {
+	if weights == nil {
+		return cs, false
+	}
+	pr := checksum.GeneratePair(weights, slice)
+	return [2]complex128{pr.D1, pr.D2}, true
+}
+
+// verifySlice checks a received scatter/gather/report message against its
+// carried checksums, repairing a single corrupted element in place.
+func (pl *Plan) verifySlice(rank, from int, slice, weights []complex128, cs [2]complex128, hasCS bool, rep *core.Report) error {
+	if weights == nil || !hasCS {
+		return nil
+	}
+	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
+	cur := checksum.GeneratePair(weights, slice)
+	d := stored.Sub(cur)
+	if d.D1 == 0 && d.D2 == 0 {
+		return nil
+	}
+	rep.Detections++
+	j, ok := checksum.Locate(d, len(weights))
+	if !ok {
+		rep.Uncorrectable = true
+		return fmt.Errorf("parallel: rank %d: unrecoverable corruption in slice from %d: %w", rank, from, core.ErrUncorrectable)
+	}
+	slice[j] += d.D1 / weights[j]
+	rep.MemCorrections++
+	return nil
+}
+
+// reportWords is the encoded size of a core.Report on the wire: five
+// counters plus the uncorrectable flag, one real-valued word each.
+const reportWords = 6
+
+// encodeReport serializes rep into buf (length reportWords). Counters ride
+// in real parts; float64 holds every realistic count exactly.
+func encodeReport(buf []complex128, rep core.Report) {
+	buf[0] = complex(float64(rep.Detections), 0)
+	buf[1] = complex(float64(rep.CompRecomputations), 0)
+	buf[2] = complex(float64(rep.MemCorrections), 0)
+	buf[3] = complex(float64(rep.TwiddleCorrections), 0)
+	buf[4] = complex(float64(rep.FullRestarts), 0)
+	buf[5] = 0
+	if rep.Uncorrectable {
+		buf[5] = 1
+	}
+}
+
+// decodeReport is the inverse of encodeReport. Counters round rather than
+// truncate: a report frame repaired in transit restores its values to within
+// rounding of the exact integers, not necessarily bit-exactly.
+func decodeReport(buf []complex128) core.Report {
+	return core.Report{
+		Detections:         int(math.Round(real(buf[0]))),
+		CompRecomputations: int(math.Round(real(buf[1]))),
+		MemCorrections:     int(math.Round(real(buf[2]))),
+		TwiddleCorrections: int(math.Round(real(buf[3]))),
+		FullRestarts:       int(math.Round(real(buf[4]))),
+		Uncorrectable:      real(buf[5]) != 0,
+	}
 }
 
 // blockChecksum computes the weighted checksum pair a protected block

@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"context"
+	"fmt"
+
 	"ftfft/internal/checksum"
 	"ftfft/internal/core"
 	"ftfft/internal/mpi"
@@ -15,6 +18,13 @@ type rankState struct {
 	fft2  *core.InPlaceTransformer // q-point protected FFT2, rank-tagged
 	sched []int                    // all-to-all peer visit order
 
+	// shared grants the zero-copy fast path: the transport lets this rank
+	// read/write the caller's slices directly. dist marks a world whose
+	// ranks span several processes (reports must travel to the root).
+	// Both are capabilities of the world's transport, resolved at build.
+	shared bool
+	dist   bool
+
 	local []complex128 // q: the rank's working vector
 	recv  []complex128 // q: transpose landing zone (swapped with local)
 
@@ -24,16 +34,26 @@ type rankState struct {
 	pairs  []checksum.Pair // b: FFT1 dual-use input checksum pairs (CMCG)
 	bufOut []complex128    // p: FFT1 sub-FFT output staging
 	chunk  []complex128    // min(q,1024): DMR twiddle staging
+
+	// Message-mode buffers, absent on the shared fast path: out stages the
+	// rank's output slice for the explicit gather (non-root ranks only);
+	// repBuf carries the encoded per-rank Report to the root of a
+	// distributed world.
+	out    []complex128
+	repBuf []complex128
 }
 
 // execCtx bundles everything one Transform invocation needs that cannot be
 // shared between concurrent invocations: the mpi.World (transport and
-// in-flight payload pool), the per-rank workspaces and transformers, and the
-// per-rank report slots. Contexts are pooled on the Plan, so back-to-back
-// Transforms reuse one context and concurrent Transforms each get their own.
+// in-flight message state), the per-rank workspaces and transformers, and
+// the per-rank report slots. Contexts are pooled on the Plan, so
+// back-to-back Transforms reuse one context and concurrent Transforms each
+// get their own — except over an explicit Transport, which admits exactly
+// one world, so the plan keeps a single exclusive context and concurrent
+// Transforms serialize on it.
 type execCtx struct {
 	world *mpi.World
-	ranks []*rankState
+	ranks []*rankState // indexed by rank; nil for ranks local to other processes
 
 	seq *core.InPlaceTransformer // p == 1 fallback transformer
 
@@ -53,7 +73,8 @@ func (pl *Plan) coreConfig() core.Config {
 }
 
 // newCtx builds a complete execution context: world, endpoints, per-rank
-// transformers and workspaces. All construction-time work lives here.
+// transformers and workspaces — for the ranks that live in this process.
+// All construction-time work lives here.
 func (pl *Plan) newCtx() (*execCtx, error) {
 	ec := &execCtx{}
 	if pl.p == 1 {
@@ -64,19 +85,34 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 		ec.seq = tr
 		return ec, nil
 	}
-	ec.world = mpi.NewWorld(pl.p, pl.cfg.Injector)
+	ec.world = mpi.NewWorldTransport(pl.p, pl.cfg.Injector, pl.cfg.Transport)
+	if wc, ok := pl.cfg.Transport.(mpi.WorldConfigurer); ok {
+		// Complete the wire handshake: remote workers get the metadata they
+		// need to build the identical plan.
+		if err := wc.ConfigureWorld(mpi.WorldMeta{
+			N: pl.n, P: pl.p,
+			Protected: pl.cfg.Protected, Optimized: pl.cfg.Optimized,
+			EtaScale: pl.cfg.EtaScale, MaxRetries: pl.cfg.MaxRetries,
+		}); err != nil {
+			return nil, fmt.Errorf("parallel: transport handshake: %w", err)
+		}
+	}
+	shared := ec.world.Shared()
+	dist := ec.world.Distributed()
 	ec.ranks = make([]*rankState, pl.p)
 	ec.reports = make([]core.Report, pl.p)
-	for r := 0; r < pl.p; r++ {
+	for _, r := range ec.world.LocalRanks() {
 		fft2, err := core.NewInPlace(pl.q, pl.coreConfig())
 		if err != nil {
 			return nil, err
 		}
 		fft2.SetRank(r)
-		ec.ranks[r] = &rankState{
+		rs := &rankState{
 			comm:     ec.world.Endpoint(r),
 			fft2:     fft2,
 			sched:    mpi.TransposeSchedule(r, pl.p),
+			shared:   shared,
+			dist:     dist,
 			local:    make([]complex128, pl.q),
 			recv:     make([]complex128, pl.q),
 			rb1:      make([]complex128, pl.b),
@@ -86,6 +122,13 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 			bufOut:   make([]complex128, pl.p),
 			chunk:    make([]complex128, min(pl.q, 1024)),
 		}
+		if !shared {
+			if r != 0 {
+				rs.out = make([]complex128, pl.q)
+			}
+			rs.repBuf = make([]complex128, reportWords)
+		}
+		ec.ranks[r] = rs
 	}
 	return ec, nil
 }
@@ -96,8 +139,19 @@ const maxPooledCtx = 4
 
 // getCtx pops a pooled context or builds a fresh one. An explicit freelist
 // (not a sync.Pool) is used so the steady-state single-caller path is
-// deterministically allocation-free across garbage collections.
-func (pl *Plan) getCtx() (*execCtx, error) {
+// deterministically allocation-free across garbage collections. Plans over
+// an explicit Transport own exactly one context; callers queue on it (the
+// wire is a physical resource — one world's messages must not interleave
+// with another's).
+func (pl *Plan) getCtx(ctx context.Context) (*execCtx, error) {
+	if pl.exclusive != nil {
+		select {
+		case ec := <-pl.exclusive:
+			return ec, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	pl.mu.Lock()
 	if k := len(pl.free); k > 0 {
 		ec := pl.free[k-1]
@@ -110,9 +164,19 @@ func (pl *Plan) getCtx() (*execCtx, error) {
 	return pl.newCtx()
 }
 
-// putCtx returns a cleanly finished context to the pool. Contexts that saw
-// an error are dropped instead (their world may hold undelivered messages).
-func (pl *Plan) putCtx(ec *execCtx) {
+// finishCtx returns a context after an invocation. Cleanly finished contexts
+// go back to the pool; ones whose world aborted are dropped (the world may
+// hold undelivered messages) — except the exclusive transport context, which
+// is always returned so later callers fail fast on the dead wire instead of
+// blocking forever on an empty slot.
+func (pl *Plan) finishCtx(ec *execCtx, clean bool) {
+	if pl.exclusive != nil {
+		pl.exclusive <- ec
+		return
+	}
+	if !clean {
+		return
+	}
 	pl.mu.Lock()
 	if len(pl.free) < maxPooledCtx {
 		pl.free = append(pl.free, ec)
@@ -124,6 +188,9 @@ func (pl *Plan) putCtx(ec *execCtx) {
 // and the freelist cap; a burst of concurrent Transforms never pins more
 // than the cap once it drains. Exposed for the context-pool bound tests.
 func (pl *Plan) PooledContexts() (free, capacity int) {
+	if pl.exclusive != nil {
+		return len(pl.exclusive), 1
+	}
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	return len(pl.free), maxPooledCtx

@@ -1,6 +1,9 @@
 package ftfft
 
-import "ftfft/internal/exec"
+import (
+	"ftfft/internal/exec"
+	"ftfft/internal/mpi"
+)
 
 // Option configures New. Options compose: protection × geometry ×
 // parallelism are independent axes, and every supported combination is
@@ -20,6 +23,7 @@ type config struct {
 	workers     int       // WithWorkers; 0 means unset
 	executor    *Executor // WithExecutor
 	executorSet bool
+	transport   mpi.Transport // WithTransport; nil means per-plan in-process wire
 
 	// pool is the resolved executor every layer dispatches on, filled in by
 	// New; nil (the deprecated-shim path) falls back to exec.Default().

@@ -30,6 +30,7 @@ func parallelConfig(c config) (parallel.Config, error) {
 		EtaScale:   c.etaScale,
 		MaxRetries: c.maxRetries,
 		Executor:   c.pool,
+		Transport:  c.transport,
 	}
 	switch c.protection {
 	case None:
@@ -106,12 +107,18 @@ const maxBatchWorlds = 4
 // budget allows, and admission back-pressure paces the submission loop when
 // it is saturated. The window is sized to the rank groups the executor can
 // actually run at once (budget / ranks, within the world-pool cap), so a
-// saturated batch holds no more worlds than it is using.
+// saturated batch holds no more worlds than it is using. A transport-backed
+// plan owns exactly one world, so its window is 1 — each item is reaped
+// before the next begins (pipelining would self-deadlock on the exclusive
+// execution context).
 func (t *parTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
 	if err := checkBatch(t.n, dst, src); err != nil {
 		return Report{}, err
 	}
 	window := min(maxBatchWorlds, max(1, t.pl.Workers()/t.ranks))
+	if t.pl.Exclusive() {
+		window = 1
+	}
 	type pending struct {
 		inv  *parallel.Invocation
 		item int

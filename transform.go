@@ -145,6 +145,14 @@ func (c *config) validate(n int) error {
 	if c.workers > 0 && c.executorSet {
 		return fmt.Errorf("ftfft: invalid executor options: WithWorkers and WithExecutor are mutually exclusive")
 	}
+	if c.transport != nil {
+		if c.ranks < 2 {
+			return fmt.Errorf("ftfft: invalid transport options: WithTransport needs WithRanks ≥ 2, got %d", c.ranks)
+		}
+		if c.dimsSet || c.rows != 0 || c.cols != 0 {
+			return fmt.Errorf("ftfft: invalid transport options: WithTransport applies to the parallel 1-D transform, not WithDims/WithShape")
+		}
+	}
 	if c.executorSet && c.executor == nil {
 		return fmt.Errorf("ftfft: invalid executor: WithExecutor requires a non-nil Executor")
 	}
