@@ -14,5 +14,9 @@ pattern="${1:-.}"
 benchtime="${BENCHTIME:-2s}"
 out="BENCH_$(date +%Y%m%d).json"
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . | tee "$out"
+# Root package: the paper's figure/table families plus the public kernel
+# pair (BenchmarkKernelRFFT vs BenchmarkKernelComplexSameLength); then the
+# fft engine's BenchmarkKernel* micro family (flat vs recursive, in-place,
+# Bluestein convolution-length chooser).
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . ./internal/fft/ | tee "$out"
 echo "wrote $out" >&2

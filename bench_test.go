@@ -417,3 +417,60 @@ func BenchmarkDotOmega3(b *testing.B) {
 	}
 	_ = sink
 }
+
+// --------------------------------------------- Real-input vs complex kernels
+
+// BenchmarkKernelRFFT transforms n real samples through the packed
+// half-length real path; BenchmarkKernelComplexSameLength transforms the
+// same n samples as zero-imaginary complex data. The pair prices what the
+// real path saves (about half the transform work and memory traffic) under
+// no protection and under the flagship scheme.
+func BenchmarkKernelRFFT(b *testing.B) {
+	for _, prot := range []ftfft.Protection{ftfft.None, ftfft.OnlineABFTMemory} {
+		b.Run(prot.String(), func(b *testing.B) {
+			tr, err := ftfft.NewReal(benchN, ftfft.WithProtection(prot))
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := make([]float64, benchN)
+			for i, z := range workload.Uniform(3, benchN) {
+				src[i] = real(z)
+			}
+			spec := make([]complex128, tr.SpectrumLen())
+			ctx := context.Background()
+			b.SetBytes(int64(8 * benchN))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Forward(ctx, spec, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKernelComplexSameLength(b *testing.B) {
+	for _, prot := range []ftfft.Protection{ftfft.None, ftfft.OnlineABFTMemory} {
+		b.Run(prot.String(), func(b *testing.B) {
+			tr, err := ftfft.New(benchN, ftfft.WithProtection(prot))
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := make([]complex128, benchN)
+			for i, z := range workload.Uniform(3, benchN) {
+				src[i] = complex(real(z), 0)
+			}
+			dst := make([]complex128, benchN)
+			ctx := context.Background()
+			b.SetBytes(int64(8 * benchN))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Forward(ctx, dst, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

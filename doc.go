@@ -48,6 +48,47 @@
 // and the experiments harness (cmd/ftexperiments), which regenerates every
 // table and figure of the paper's evaluation.
 //
+// # Kernel architecture
+//
+// Beneath every protection scheme sits the planned FFT engine
+// (internal/fft). Power-of-two sizes run a flat, iterative, cache-friendly
+// kernel: one precomputed bit-reversal permutation, then radix-4
+// decimation-in-time butterfly stages (with a single radix-2 fixup stage
+// when log₂ n is odd) over per-stage twiddle tables, with no recursion and
+// no per-call lookup. All other sizes run a recursive mixed-radix
+// Cooley-Tukey walk with specialized butterflies for small radices, and
+// sizes with prime factors beyond the butterfly set switch to Bluestein's
+// chirp-z algorithm — whose convolution length is chosen by a stage-cost
+// model over the sizes the kernels handle cheaply, not pinned to the next
+// power of two. The immutable per-(size, direction) tables are served from a
+// bounded process-wide cache, so many plans over a handful of sizes pay each
+// table build once while process memory stays bounded. Kernel choice is made
+// at plan time and never changes arithmetic guarantees: in-place and
+// out-of-place execution of the flat kernel are bit-identical, and every
+// kernel is validated against the O(n²) reference DFT.
+//
+// # Real-input transforms
+//
+// NewReal plans transforms of real-valued samples through the packed
+// half-length trick: the n reals become an (n/2)-point complex vector
+// z_t = x_{2t} + i·x_{2t+1}, ONE protected complex transform of half the
+// length runs under the configured scheme, and an O(n) untangling recovers
+// the stored half spectrum X_0..X_{n/2} (the upper half follows from
+// conjugate symmetry and is not stored) —
+//
+//	rt, _ := ftfft.NewReal(1<<20, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+//	spec := make([]complex128, rt.SpectrumLen())       // n/2 + 1 bins
+//	report, err := rt.Forward(ctx, spec, samples)      // RFFT
+//	_, err = rt.Inverse(ctx, samples2, spec)           // IRFFT, 1/n scaled
+//
+// This roughly halves the work and memory traffic of transforming the same
+// samples as zero-imaginary complex data. The inner complex transform
+// carries the scheme's full ABFT machinery — every fault site is visited,
+// verified and repaired exactly as in the complex path — and the
+// deterministic pack/untangle steps add no new fault sites. Protection and
+// tuning options compose as with New; geometry and parallelism options do
+// not apply to the 1-D real path and are rejected at plan time.
+//
 // # N-dimensional transforms
 //
 // WithDims plans an N-D transform as a sequence of protected 1-D axis

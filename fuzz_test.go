@@ -115,3 +115,55 @@ func FuzzForwardInverse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRealForwardInverse is the real-input counterpart of FuzzForwardInverse:
+// the packed half-length RFFT against the real reference DFT and an
+// IRFFT∘RFFT round trip, across even sizes and protection levels, on
+// fuzzer-chosen samples.
+func FuzzRealForwardInverse(f *testing.F) {
+	f.Add(uint8(1), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(3), uint8(5), []byte{0xff, 0x80, 0x01, 0x7f})
+	f.Add(uint8(5), uint8(3), []byte{9, 9, 9})
+	f.Add(uint8(7), uint8(6), []byte{})
+	f.Fuzz(func(t *testing.T, sizeSel, protSel uint8, raw []byte) {
+		n := fuzzSizes[int(sizeSel)%len(fuzzSizes)]
+		if n%2 != 0 {
+			n++
+		}
+		prot := fuzzProtections[int(protSel)%len(fuzzProtections)]
+		src := make([]float64, n)
+		for i := range src {
+			var v int8
+			if i < len(raw) {
+				v = int8(raw[i])
+			}
+			src[i] = float64(v) / 8
+		}
+		tr, err := ftfft.NewReal(n, ftfft.WithProtection(prot))
+		if err != nil {
+			t.Skipf("n=%d rejected under %v: %v", n, prot, err)
+		}
+		want := dft.RealTransform(src)
+		got := make([]complex128, tr.SpectrumLen())
+		rep, err := tr.Forward(bg, got, src)
+		if err != nil {
+			t.Fatalf("n=%d prot=%v: Forward: %v (%+v)", n, prot, err, rep)
+		}
+		if !rep.Clean() {
+			t.Fatalf("n=%d prot=%v: fault activity on a fault-free run: %+v", n, prot, rep)
+		}
+		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Fatalf("n=%d prot=%v: spectrum diverged from reference by %g (tol %g)", n, prot, d, tol)
+		}
+		back := make([]float64, n)
+		if _, err := tr.Inverse(bg, back, got); err != nil {
+			t.Fatalf("n=%d prot=%v: Inverse: %v", n, prot, err)
+		}
+		for i := range src {
+			if d := back[i] - src[i]; d > tol || d < -tol {
+				t.Fatalf("n=%d prot=%v: round trip sample %d off by %g (tol %g)", n, prot, i, d, tol)
+			}
+		}
+	})
+}

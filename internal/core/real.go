@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// RealTransformer computes protected real-input transforms via the classic
+// half-length trick: the 2m real samples are packed into an m-point complex
+// vector z_t = x_{2t} + i·x_{2t+1}, one protected m-point complex transform
+// produces Z, and an O(n) untangling recovers the half spectrum
+// X_0..X_m (the upper half is determined by conjugate symmetry,
+// X_{n-k} = conj(X_k), and is not stored).
+//
+// Protection semantics: the inner complex transform carries the full ABFT
+// machinery — every fault site of the configured scheme is visited and
+// repaired exactly as in the complex path, over half the points. The
+// pack/untangle steps are deterministic O(n) arithmetic with no new fault
+// sites; they sit outside the protected region the paper's schemes model
+// (like the caller's own data movement).
+//
+// Like Transformer, a RealTransformer owns its working storage and is NOT
+// safe for concurrent use; create one per goroutine.
+type RealTransformer struct {
+	n  int // real length (even)
+	m  int // n/2 — the inner complex transform size
+	tr *Transformer
+
+	// tw[k] = ω_n^k for k in [0, m/2]: the untangling twiddles. The inverse
+	// path uses their conjugates.
+	tw []complex128
+
+	packed []complex128 // packed input / retangled spectrum, length m
+	spec   []complex128 // inner transform output, length m
+}
+
+// NewReal builds a RealTransformer for n-point real transforms under cfg.
+// n must be even and ≥ 2; online schemes additionally need the half length
+// n/2 to be composite and ≥ 4 (the two-layer decomposition runs on the
+// inner complex transform).
+func NewReal(n int, cfg Config) (*RealTransformer, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("core: real transforms need an even size ≥ 2, got %d", n)
+	}
+	m := n / 2
+	tr, err := New(m, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: real transform of %d points (inner size %d): %w", n, m, err)
+	}
+	r := &RealTransformer{n: n, m: m, tr: tr}
+	r.tw = make([]complex128, m/2+1)
+	for k := range r.tw {
+		r.tw[k] = omegaN(n, k)
+	}
+	r.packed = make([]complex128, m)
+	r.spec = make([]complex128, m)
+	return r, nil
+}
+
+// N returns the real transform length.
+func (r *RealTransformer) N() int { return r.n }
+
+// SpectrumLen returns the stored half-spectrum length, n/2 + 1.
+func (r *RealTransformer) SpectrumLen() int { return r.m + 1 }
+
+// TransformContext computes the half spectrum X_0..X_{n/2} of the real src
+// into dst. dst needs SpectrumLen() elements; src needs N(). X_0 and X_{n/2}
+// are real (zero imaginary part by construction).
+func (r *RealTransformer) TransformContext(ctx context.Context, dst []complex128, src []float64) (Report, error) {
+	if len(dst) < r.m+1 || len(src) < r.n {
+		return Report{}, fmt.Errorf("core: real transform buffers too short: dst=%d src=%d, need %d and %d", len(dst), len(src), r.m+1, r.n)
+	}
+	for t := 0; t < r.m; t++ {
+		r.packed[t] = complex(src[2*t], src[2*t+1])
+	}
+	rep, err := r.tr.TransformContext(ctx, r.spec, r.packed)
+	if err != nil {
+		return rep, err
+	}
+	r.untangle(dst)
+	return rep, nil
+}
+
+// untangle recovers X_0..X_m from the packed spectrum Z in r.spec. With
+// A = Z_k and B = conj(Z_{m-k}), the even/odd sub-spectra are
+// E_k = (A+B)/2 and O_k = -i·(A-B)/2, and X_k = E_k + ω_n^k·O_k,
+// X_{m-k} = conj(E_k - ω_n^k·O_k). The self-paired k = m/2 entry satisfies
+// both identities at once, so the loop runs through it unguarded.
+func (r *RealTransformer) untangle(dst []complex128) {
+	m := r.m
+	z0 := r.spec[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	for k := 1; 2*k <= m; k++ {
+		a := r.spec[k]
+		b := conjc(r.spec[m-k])
+		u := (a + b) * 0.5
+		hd := (a - b) * 0.5
+		v := r.tw[k] * complex(imag(hd), -real(hd)) // ω_n^k · (-i·(A-B)/2)
+		dst[k] = u + v
+		dst[m-k] = conjc(u - v)
+	}
+}
+
+// InverseContext computes the n real samples whose half spectrum is src:
+// dst_t = (1/n)·Σ_j X_j·ω_n^{-jt} with X extended by conjugate symmetry.
+// src needs SpectrumLen() elements (only X_0..X_{n/2}; the imaginary parts
+// of X_0 and X_{n/2} are ignored, as conjugate symmetry forces them to
+// zero); dst needs N(). The inner protected transform runs through the same
+// conjugation identity the complex inverse path uses, so the ABFT machinery
+// guards the inverse too.
+func (r *RealTransformer) InverseContext(ctx context.Context, dst []float64, src []complex128) (Report, error) {
+	if len(dst) < r.n || len(src) < r.m+1 {
+		return Report{}, fmt.Errorf("core: real inverse buffers too short: dst=%d src=%d, need %d and %d", len(dst), len(src), r.n, r.m+1)
+	}
+	m := r.m
+	// Retangle into conj(Z) directly (the conjugation-identity inverse
+	// transforms conj(Z)): E_k = (A+B)/2, O_k = conj(ω_n^k)·(A-B)/2 with
+	// A = X_k, B = conj(X_{m-k}); Z_k = E_k + i·O_k and
+	// Z_{m-k} = conj(E_k) + i·conj(O_k).
+	e0 := (real(src[0]) + real(src[m])) * 0.5
+	o0 := (real(src[0]) - real(src[m])) * 0.5
+	r.packed[0] = complex(e0, -o0) // conj(E_0 + i·O_0)
+	for k := 1; 2*k <= m; k++ {
+		a := src[k]
+		b := conjc(src[m-k])
+		e := (a + b) * 0.5
+		o := conjc(r.tw[k]) * (a - b) * 0.5
+		r.packed[k] = conjc(e + complex(-imag(o), real(o))) // conj(E + i·O)
+		r.packed[m-k] = e + complex(imag(o), -real(o))      // conj(Z_{m-k}) = E - i·O
+	}
+	rep, err := r.tr.TransformContext(ctx, r.spec, r.packed)
+	if err != nil {
+		return rep, err
+	}
+	// z = conj(F(conj(Z)))/m; unpack x_{2t} = Re z_t, x_{2t+1} = Im z_t.
+	inv := 1 / float64(m)
+	for t := 0; t < m; t++ {
+		dst[2*t] = real(r.spec[t]) * inv
+		dst[2*t+1] = -imag(r.spec[t]) * inv
+	}
+	return rep, nil
+}
+
+func conjc(z complex128) complex128 { return complex(real(z), -imag(z)) }

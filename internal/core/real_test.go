@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftfft/internal/dft"
+	"ftfft/internal/fault"
+)
+
+func realConfigs() map[string]Config {
+	return map[string]Config{
+		"plain":         {Scheme: Plain},
+		"offline":       {Scheme: Offline, Variant: Optimized},
+		"online":        {Scheme: Online, Variant: Optimized},
+		"online-memory": {Scheme: Online, Variant: Optimized, MemoryFT: true},
+	}
+}
+
+// TestRealTransformerMatchesReference checks the packed half-length real path
+// against the O(n²) real reference DFT, and the inverse against a perfect
+// round trip, across even sizes and protection schemes.
+func TestRealTransformerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, cfg := range realConfigs() {
+		for _, n := range []int{2, 4, 8, 16, 24, 64, 200, 256, 1024} {
+			r, err := NewReal(n, cfg)
+			if err != nil {
+				if cfg.Scheme == Online && (n/2 < 4 || isPrimeT(n/2)) {
+					continue // online needs a composite inner size
+				}
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = rng.Float64()*2 - 1
+			}
+			want := dft.RealTransform(src)
+			got := make([]complex128, r.SpectrumLen())
+			rep, err := r.TransformContext(context.Background(), got, src)
+			if err != nil {
+				t.Fatalf("%s n=%d: forward: %v", name, n, err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("%s n=%d: fault activity on a fault-free run: %+v", name, n, rep)
+			}
+			tol := 1e-10 * float64(n) * (1 + maxAbsC(want))
+			for i := range want {
+				if d := cAbs(got[i] - want[i]); d > tol {
+					t.Fatalf("%s n=%d: spectrum[%d] off by %g (tol %g)", name, n, i, d, tol)
+				}
+			}
+			if imag(got[0]) != 0 || imag(got[n/2]) != 0 {
+				t.Fatalf("%s n=%d: X_0/X_{n/2} not purely real: %v %v", name, n, got[0], got[n/2])
+			}
+			back := make([]float64, n)
+			if _, err := r.InverseContext(context.Background(), back, got); err != nil {
+				t.Fatalf("%s n=%d: inverse: %v", name, n, err)
+			}
+			for i := range src {
+				if d := math.Abs(back[i] - src[i]); d > tol {
+					t.Fatalf("%s n=%d: round trip sample %d off by %g (tol %g)", name, n, i, d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestRealTransformerFaults injects arithmetic and memory faults at the inner
+// complex transform's sites and checks the protected real path detects and
+// corrects them — the half-length trick must not weaken the scheme.
+func TestRealTransformerFaults(t *testing.T) {
+	const n = 512 // inner size 256 = 16×16
+	src := make([]float64, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range src {
+		src[i] = rng.Float64()*2 - 1
+	}
+	want := dft.RealTransform(src)
+
+	cases := map[string]struct {
+		cfg   Config
+		fault fault.Fault
+	}{
+		"online-arithmetic": {
+			Config{Scheme: Online, Variant: Optimized},
+			fault.Fault{Site: fault.SiteSubFFT1, Rank: -1, Index: 3, Mode: fault.AddConstant, Value: 40},
+		},
+		"online-memory": {
+			Config{Scheme: Online, Variant: Optimized, MemoryFT: true},
+			fault.Fault{Site: fault.SiteInputMemory, Rank: -1, Index: 5, Mode: fault.SetConstant, Value: 9},
+		},
+	}
+	for name, tc := range cases {
+		cfg := tc.cfg
+		cfg.Injector = fault.NewSchedule(1, tc.fault)
+		r, err := NewReal(n, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := make([]complex128, r.SpectrumLen())
+		rep, err := r.TransformContext(context.Background(), got, src)
+		if err != nil {
+			t.Fatalf("%s: forward under fault: %v", name, err)
+		}
+		if rep.Clean() {
+			t.Fatalf("%s: injected fault left no trace in the report: %+v", name, rep)
+		}
+		tol := 1e-9 * float64(n) * (1 + maxAbsC(want))
+		for i := range want {
+			if d := cAbs(got[i] - want[i]); d > tol {
+				t.Fatalf("%s: spectrum[%d] not corrected: off by %g (tol %g)", name, i, d, tol)
+			}
+		}
+	}
+}
+
+// TestNewRealRejects pins the construction contract.
+func TestNewRealRejects(t *testing.T) {
+	if _, err := NewReal(7, Config{Scheme: Plain}); err == nil {
+		t.Error("odd size accepted")
+	}
+	if _, err := NewReal(0, Config{Scheme: Plain}); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewReal(6, Config{Scheme: Online, Variant: Optimized}); err == nil {
+		t.Error("online with prime inner size accepted")
+	}
+}
+
+func isPrimeT(n int) bool {
+	if n < 2 {
+		return true
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func maxAbsC(a []complex128) float64 {
+	m := 0.0
+	for _, z := range a {
+		if v := cAbs(z); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func cAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

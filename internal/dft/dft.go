@@ -61,6 +61,42 @@ func Inverse(src []complex128) []complex128 {
 	return dst
 }
 
+// RealTransform computes the forward DFT of a real input directly from the
+// definition, returning the stored half spectrum X_0..X_{n/2} of length
+// n/2+1 (the upper half follows from conjugate symmetry X_{n-k} = conj(X_k)).
+// n must be even. It is the ground truth for the packed real-input FFT path.
+func RealTransform(src []float64) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n/2+1)
+	for j := 0; j <= n/2; j++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			sum += complex(src[t], 0) * Omega(n, j*t)
+		}
+		dst[j] = sum
+	}
+	return dst
+}
+
+// RealInverse computes the n real samples whose half spectrum is spec
+// (length n/2+1), directly from the inverse-DFT definition with the upper
+// half reconstructed by conjugate symmetry.
+func RealInverse(spec []complex128, n int) []float64 {
+	dst := make([]float64, n)
+	for t := 0; t < n; t++ {
+		var sum complex128
+		for j := 0; j <= n/2; j++ {
+			x := spec[j]
+			sum += x * OmegaInv(n, j*t)
+			if j != 0 && 2*j != n {
+				sum += complex(real(x), -imag(x)) * OmegaInv(n, (n-j)*t)
+			}
+		}
+		dst[t] = real(sum) / float64(n)
+	}
+	return dst
+}
+
 // TransformStrided computes the forward DFT of the n strided elements
 // src[0], src[stride], ..., src[(n-1)*stride] into dst[0..n-1].
 // It is the reference for the decomposed sub-FFT paths.

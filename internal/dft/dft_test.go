@@ -234,3 +234,35 @@ func TestOmega3IsCubeRoot(t *testing.T) {
 		t.Fatalf("negative powers should wrap")
 	}
 }
+
+// TestRealReferenceConsistent checks the real-input reference against the
+// complex one on complexified data, and its inverse as an exact round trip —
+// the real FFT paths are validated against these functions, so they must
+// themselves agree with the definition.
+func TestRealReferenceConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{2, 4, 6, 8, 10, 16, 30, 64} {
+		src := make([]float64, n)
+		csrc := make([]complex128, n)
+		for i := range src {
+			src[i] = rng.Float64()*2 - 1
+			csrc[i] = complex(src[i], 0)
+		}
+		full := Transform(csrc)
+		half := RealTransform(src)
+		if len(half) != n/2+1 {
+			t.Fatalf("n=%d: half spectrum length %d", n, len(half))
+		}
+		for j := range half {
+			if !approxEqual(half[j], full[j], 1e-10*float64(n)) {
+				t.Fatalf("n=%d: RealTransform[%d] = %v, complex reference %v", n, j, half[j], full[j])
+			}
+		}
+		back := RealInverse(half, n)
+		for i := range src {
+			if math.Abs(back[i]-src[i]) > 1e-10*float64(n) {
+				t.Fatalf("n=%d: RealInverse round trip sample %d off by %g", n, i, back[i]-src[i])
+			}
+		}
+	}
+}

@@ -21,3 +21,34 @@ func TestExecuteInPlaceAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestExecuteAllocs pins the out-of-place paths at zero steady-state allocs
+// for both kernels: the flat iterative kernel gathers straight into dst, and
+// the recursive walk draws scratch from the plan's pool.
+func TestExecuteAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		kernel Kernel
+	}{
+		{1024, KernelFlat},
+		{1024, KernelRecursive},
+		{360, KernelAuto},
+	} {
+		p, err := NewPlanKernel(tc.n, Forward, tc.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := make([]complex128, tc.n)
+		dst := make([]complex128, tc.n)
+		for i := range src {
+			src[i] = complex(float64(i%7)-3, float64(i%5)-2)
+		}
+		p.Execute(dst, src) // warm the pools
+		allocs := testing.AllocsPerRun(20, func() {
+			p.Execute(dst, src)
+		})
+		if allocs != 0 {
+			t.Errorf("n=%d kernel=%v: Execute %v allocs/op, want 0", tc.n, p.Kernel(), allocs)
+		}
+	}
+}

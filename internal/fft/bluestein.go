@@ -3,9 +3,9 @@ package fft
 import "fmt"
 
 // bluestein implements the chirp-z transform, turning a DFT of arbitrary
-// size n into a circular convolution of power-of-two size M ≥ 2n-1, which the
-// radix-2/4 machinery handles. It is engaged by the planner for sizes with
-// prime factors larger than maxGenericRadix.
+// size n into a circular convolution of size M ≥ 2n-1 that the fast kernels
+// handle. It is engaged by the planner for sizes with prime factors larger
+// than maxGenericRadix.
 //
 // Identity: with c_t = exp(sign·πi·t²/n),
 //
@@ -13,6 +13,65 @@ import "fmt"
 //
 // so X = c ⊙ (x⊙c ⊛ conj(c)), computed via three size-M transforms (one of
 // which is precomputed here).
+//
+// M was historically pinned to the next power of two, which can overshoot
+// 2n-1 by almost 2×; convLen instead picks the cheapest size the kernels
+// handle among o·2^k candidates (o a small odd with a specialized butterfly),
+// under a per-point stage-cost model that still credits the flat kernel's
+// edge on pure powers of two.
+
+// convOdd lists the odd cofactors considered for the convolution length:
+// 1 keeps the flat power-of-two kernel; 3, 5, 9 = 3², 15 = 3·5 add at most
+// two specialized odd-radix stages on top of the radix-4/2 recursion.
+var convOdd = [...]int{1, 3, 5, 9, 15}
+
+// convCost estimates the per-transform cost of an m = o·2^j candidate in
+// per-point butterfly units: the flat kernel's radix-4/2 stages cost ~0.5
+// per point per log2 level; the recursive engine pays a walk overhead on the
+// same levels plus the odd-radix stage cost (radix r is O(r) per point).
+// The constants are calibrated on the BenchmarkKernel* family — what matters
+// is the ordering they induce, not their absolute scale.
+func convCost(m, o int) float64 {
+	j := 0
+	for v := m / o; v > 1; v >>= 1 {
+		j++
+	}
+	perPoint := 0.5 * float64(j) // radix-4/2 levels
+	if o == 1 {
+		return float64(m) * perPoint // flat kernel
+	}
+	perPoint *= 1.30 // recursive-walk overhead on the pow-2 levels
+	switch o {
+	case 3:
+		perPoint += 2.0
+	case 5:
+		perPoint += 3.3
+	case 9:
+		perPoint += 4.0 // two radix-3 stages
+	case 15:
+		perPoint += 5.3 // radix-3 + radix-5
+	}
+	return float64(m) * perPoint
+}
+
+// convLen picks the convolution length for a Bluestein leaf of size n: the
+// cheapest supported m ≥ 2n-1 under convCost, preferring the smaller m on
+// ties.
+func convLen(n int) int {
+	need := 2*n - 1
+	best, bestCost := 0, 0.0
+	for _, o := range convOdd {
+		m := o
+		for m < need {
+			m <<= 1
+		}
+		if c := convCost(m, o); best == 0 || c < bestCost || (c == bestCost && m < best) {
+			best, bestCost = m, c
+		}
+	}
+	return best
+}
+
 type bluestein struct {
 	n    int
 	m    int
@@ -32,10 +91,13 @@ type blueBufs struct {
 	fa []complex128
 }
 
-func newBluestein(n int, sign Sign) (*bluestein, error) {
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
+// newBluestein builds the chirp-z state for an n-point leaf over an m-point
+// circular convolution. m must be ≥ 2n-1 with no prime factor above
+// maxGenericRadix; plan construction passes convLen(n), and benchmarks pass
+// the legacy next power of two to measure the chooser against it.
+func newBluestein(n int, sign Sign, m int) (*bluestein, error) {
+	if m < 2*n-1 {
+		return nil, fmt.Errorf("fft: bluestein(%d): convolution length %d < %d", n, m, 2*n-1)
 	}
 	b := &bluestein{n: n, m: m, sign: sign}
 	var err error

@@ -1,0 +1,55 @@
+package fft
+
+import "sync"
+
+// The kernel table cache shares *all* per-(size, direction) immutable plan
+// tables — the flat kernel's bit-reversal permutation and per-stage twiddle
+// tables — across plans. It generalizes the former radix-2-only registry:
+// the common case (many plans over a handful of sizes: pooled execution
+// contexts, per-rank sub-plans, Bluestein's internal power-of-two plans) pays
+// each O(n) table build once, while the registry itself stays *bounded*: at
+// most maxKernelCache entries, and a plan whose key misses a full cache
+// builds private tables that die with the plan. Either way the hot path
+// reads the plan's own resolved pointer, never a map.
+const maxKernelCache = 32
+
+type kernelKey struct {
+	n    int
+	sign Sign
+}
+
+var (
+	kernelMu    sync.Mutex
+	kernelCache = make(map[kernelKey]*flatState)
+)
+
+// kernelCacheEntries reports the registry size (for the bound test).
+func kernelCacheEntries() int {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return len(kernelCache)
+}
+
+// flatStateFor resolves the flat-kernel tables for (n, sign): a cache hit
+// shares the existing tables, a miss builds them (outside the lock —
+// construction is O(n)) and registers them only while the cache has room.
+func flatStateFor(n int, sign Sign) *flatState {
+	key := kernelKey{n, sign}
+	kernelMu.Lock()
+	if st, ok := kernelCache[key]; ok {
+		kernelMu.Unlock()
+		return st
+	}
+	kernelMu.Unlock()
+	st := buildFlatState(n, sign)
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	if prior, ok := kernelCache[key]; ok {
+		// A concurrent build won the race; share its tables.
+		return prior
+	}
+	if len(kernelCache) < maxKernelCache {
+		kernelCache[key] = st
+	}
+	return st
+}

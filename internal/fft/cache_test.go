@@ -1,0 +1,79 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelCacheShared pins the sharing half of the bounded-cache contract,
+// generalized from the old radix-2-only registry: plans of the same
+// (size, direction) share one immutable flat-kernel table set — bit-reversal
+// permutation and every per-stage twiddle table — so the common pooled-
+// context / per-rank case pays the O(n) build once, and the shared tables
+// still produce the same transform as the recursive mixed-radix executor.
+func TestKernelCacheShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 8, 64, 256, 1024} {
+		for _, sign := range []Sign{Forward, Inverse} {
+			a := MustPlan(n, sign)
+			b := MustPlan(n, sign)
+			if a.flat == nil || b.flat == nil {
+				t.Fatalf("n=%d: power-of-two plan missing its flat-kernel state", n)
+			}
+			if a.flat != b.flat {
+				t.Fatalf("n=%d sign=%d: same-key plans did not share cached tables", n, sign)
+			}
+			rec, err := NewPlanKernel(n, sign, KernelRecursive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			}
+			want := make([]complex128, n)
+			rec.Execute(want, x)
+			got := append([]complex128(nil), x...)
+			b.ExecuteInPlace(got)
+			for i := range want {
+				if d := cmplx.Abs(got[i] - want[i]); d > 1e-9*float64(n) {
+					t.Fatalf("n=%d sign=%d: flat in-place differs from recursive at %d by %g", n, sign, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelCacheBounded pins the bound: a sweep over more distinct
+// (size, direction) keys than the cap — exactly what grew the old
+// process-global sync.Map forever — leaves the registry at or under
+// maxKernelCache, with overflow plans owning private (but still correct)
+// tables.
+func TestKernelCacheBounded(t *testing.T) {
+	for k := 1; k <= 20; k++ {
+		n := 1 << k
+		for _, sign := range []Sign{Forward, Inverse} {
+			p := MustPlan(n, sign)
+			if len(p.flat.rev) != n {
+				t.Fatalf("n=%d: bit-reversal table size %d", n, len(p.flat.rev))
+			}
+			twTotal := 0
+			for _, sg := range p.flat.stages {
+				twTotal += len(sg.tw)
+			}
+			if n >= 4 && twTotal == 0 {
+				t.Fatalf("n=%d: no stage twiddle tables", n)
+			}
+		}
+	}
+	if got := kernelCacheEntries(); got > maxKernelCache {
+		t.Fatalf("kernel cache grew to %d entries, cap is %d", got, maxKernelCache)
+	}
+	// Past the cap, plans still build working private tables.
+	n := 1 << 21
+	p := MustPlan(n, Forward)
+	if p.flat == nil || len(p.flat.rev) != n {
+		t.Fatalf("overflow plan has no usable flat-kernel state")
+	}
+}

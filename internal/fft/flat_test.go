@@ -1,0 +1,157 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftfft/internal/dft"
+)
+
+// TestFlatKernelMatchesReference is the kernel half of the PR 6 property
+// matrix: the flat iterative kernel against the O(n²) reference DFT across
+// every power of two in 2..2^12, forward and inverse, out-of-place, in-place
+// and strided. In-place and strided execution must further be bit-identical
+// to out-of-place execution — the flat kernel runs the same stage sweep over
+// the same value order regardless of how the input arrives.
+func TestFlatKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 2; n <= 1<<12; n <<= 1 {
+		fw := MustPlan(n, Forward)
+		bw := MustPlan(n, Inverse)
+		if fw.Kernel() != KernelFlat || bw.Kernel() != KernelFlat {
+			t.Fatalf("n=%d: power-of-two plan did not select the flat kernel", n)
+		}
+		x := randomVec(rng, n)
+
+		want := dft.Transform(x)
+		got := make([]complex128, n)
+		fw.Execute(got, x)
+		tol := 1e-9 * float64(n) * (1 + maxAbs(want))
+		if d := maxAbsDiff(got, want); d > tol {
+			t.Fatalf("n=%d: forward diverged from reference DFT by %g (tol %g)", n, d, tol)
+		}
+
+		wantInv := dft.Inverse(x)
+		gotInv := make([]complex128, n)
+		bw.Execute(gotInv, x)
+		bw.Scale(gotInv)
+		if d := maxAbsDiff(gotInv, wantInv); d > tol {
+			t.Fatalf("n=%d: inverse diverged from reference IDFT by %g (tol %g)", n, d, tol)
+		}
+
+		// In-place: bit-identical to out-of-place.
+		inPlace := append([]complex128(nil), x...)
+		fw.ExecuteInPlace(inPlace)
+		for i := range got {
+			if inPlace[i] != got[i] {
+				t.Fatalf("n=%d: in-place differs bit-wise from out-of-place at %d", n, i)
+			}
+		}
+
+		// Strided: bit-identical to gathering first.
+		const stride = 3
+		base := randomVec(rng, n*stride)
+		gathered := make([]complex128, n)
+		for i := range gathered {
+			gathered[i] = base[i*stride]
+		}
+		wantS := make([]complex128, n)
+		fw.Execute(wantS, gathered)
+		gotS := make([]complex128, n)
+		fw.ExecuteStrided(gotS, base, stride)
+		for i := range wantS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("n=%d: strided differs bit-wise from gathered at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestFlatMatchesRecursive pits the two kernels against each other across
+// power-of-two sizes: same size, same direction, same input — answers equal
+// within round-off. This is the cross-kernel row of the bit-identity matrix
+// (the kernels legitimately differ in the last bits: different operation
+// order).
+func TestFlatMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 2; n <= 1<<12; n <<= 1 {
+		for _, sign := range []Sign{Forward, Inverse} {
+			flat, err := NewPlanKernel(n, sign, KernelFlat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := NewPlanKernel(n, sign, KernelRecursive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flat.Kernel() != KernelFlat || rec.Kernel() != KernelRecursive {
+				t.Fatalf("n=%d: kernel selection not honoured (%v/%v)", n, flat.Kernel(), rec.Kernel())
+			}
+			x := randomVec(rng, n)
+			a := make([]complex128, n)
+			b := make([]complex128, n)
+			flat.Execute(a, x)
+			rec.Execute(b, x)
+			tol := 1e-9 * float64(n) * (1 + maxAbs(b))
+			if d := maxAbsDiff(a, b); d > tol {
+				t.Fatalf("n=%d sign=%d: kernels diverged by %g (tol %g)", n, sign, d, tol)
+			}
+		}
+	}
+}
+
+// TestFlatKernelErrors pins the construction contract of the kernel knob.
+func TestFlatKernelErrors(t *testing.T) {
+	if _, err := NewPlanKernel(12, Forward, KernelFlat); err == nil {
+		t.Error("expected error forcing the flat kernel onto a non-power-of-two size")
+	}
+	if _, err := NewPlanKernel(8, Forward, Kernel(99)); err == nil {
+		t.Error("expected error for an unknown kernel")
+	}
+	if p, err := NewPlanKernel(8, Forward, KernelFlat); err != nil || p.Kernel() != KernelFlat {
+		t.Errorf("KernelFlat on 8: %v, kernel %v", err, p.Kernel())
+	}
+	if p, err := NewPlanKernel(12, Forward, KernelAuto); err != nil || p.Kernel() != KernelRecursive {
+		t.Errorf("KernelAuto on 12: %v, kernel %v", err, p.Kernel())
+	}
+}
+
+// TestConvLen pins the Bluestein convolution-length chooser: every choice is
+// ≥ 2n-1, factors as o·2^k for a supported odd o, and never costs more under
+// the model than the legacy next power of two.
+func TestConvLen(t *testing.T) {
+	supported := func(m int) (int, bool) {
+		for _, o := range convOdd {
+			v := m
+			for v%2 == 0 {
+				v >>= 1
+			}
+			if v == o {
+				return o, true
+			}
+		}
+		return 0, false
+	}
+	for _, n := range []int{37, 149, 509, 521, 1031, 16411, 99991} {
+		m := convLen(n)
+		if m < 2*n-1 {
+			t.Fatalf("n=%d: convLen %d < %d", n, m, 2*n-1)
+		}
+		o, ok := supported(m)
+		if !ok {
+			t.Fatalf("n=%d: convLen %d has an unsupported odd part", n, m)
+		}
+		pow2 := 1
+		for pow2 < 2*n-1 {
+			pow2 <<= 1
+		}
+		if convCost(m, o) > convCost(pow2, 1) {
+			t.Fatalf("n=%d: chose m=%d costing more than the pow-2 fallback %d", n, m, pow2)
+		}
+	}
+	// A prime just above half a power of two is the case the chooser exists
+	// for: the legacy pow-2 length nearly doubles the work.
+	if m := convLen(16411); m >= 1<<16 {
+		t.Fatalf("convLen(16411) = %d, expected a sub-pow-2 candidate", m)
+	}
+}

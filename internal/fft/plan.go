@@ -1,13 +1,19 @@
 // Package fft is a from-scratch planned FFT engine, the stand-in for FFTW in
 // this reproduction. It provides:
 //
-//   - a planner that factors N into radix stages (4, 2, 3, 5, 7 and generic
-//     small primes) with per-stage precomputed twiddle tables;
-//   - a recursive mixed-radix Cooley-Tukey executor with specialized
-//     butterflies for radices 2, 3, 4 and 5 and a generic fallback;
-//   - Bluestein's chirp-z algorithm for sizes containing large prime factors;
-//   - an iterative, truly in-place radix-2 path for power-of-two sizes (used
-//     by the parallel in-place scheme, where "input is overwritten" matters);
+//   - a flat, iterative, cache-friendly power-of-two kernel: radix-4
+//     decimation-in-time butterflies (plus a radix-2 fixup stage for odd
+//     log2 n) over a precomputed bit-reversal permutation and per-stage
+//     twiddle tables, served from a bounded shared table cache — the default
+//     execution path for every power-of-two size, in and out of place;
+//   - a planner that factors non-power-of-two N into radix stages (4, 2, 3,
+//     5, 7 and generic small primes) with per-stage precomputed twiddle
+//     tables, run by a recursive mixed-radix Cooley-Tukey executor with
+//     specialized butterflies for radices 2, 3, 4 and 5;
+//   - Bluestein's chirp-z algorithm for sizes containing large prime
+//     factors, with the convolution length chosen by a stage-cost model
+//     over the sizes the kernels handle cheaply (not pinned to the next
+//     power of two);
 //   - strided input execution, which the two-layer ABFT decomposition relies
 //     on for its non-contiguous sub-FFTs.
 //
@@ -39,6 +45,35 @@ const (
 // Bluestein's algorithm.
 const maxGenericRadix = 31
 
+// Kernel identifies which execution engine a plan runs on.
+type Kernel int
+
+const (
+	// KernelAuto lets the planner choose: the flat iterative kernel for
+	// power-of-two sizes, the recursive mixed-radix walk otherwise.
+	KernelAuto Kernel = iota
+	// KernelFlat forces the flat iterative radix-4/2 kernel; only
+	// power-of-two sizes qualify.
+	KernelFlat
+	// KernelRecursive forces the recursive mixed-radix executor — kept
+	// selectable so benchmarks and cross-kernel tests can measure the flat
+	// kernel against its predecessor on the same binary.
+	KernelRecursive
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelFlat:
+		return "flat"
+	case KernelRecursive:
+		return "recursive"
+	default:
+		return "unknown-kernel"
+	}
+}
+
 // Plan holds the factorization and twiddle tables for transforms of a fixed
 // size and direction. Plans are safe for concurrent use by multiple
 // goroutines.
@@ -68,31 +103,58 @@ type Plan struct {
 	scratch  sync.Pool // of []complex128, length maxRadix
 	work     sync.Pool // of []complex128, length n (non-power-of-two in-place path)
 
-	// r2 is the plan's iterative radix-2 state, resolved at plan time for
-	// power-of-two sizes so ExecuteInPlace does no lookup per call. The
-	// tables come from a bounded shared cache (sharing across same-size
-	// plans) or, past the cap, are plan-private — process memory is bounded
-	// either way, unlike the old unbounded per-(size,direction) registry.
-	r2 *radix2State
+	// flat is the plan's iterative kernel state, resolved at plan time for
+	// power-of-two sizes so execution does no lookup per call. The tables
+	// (bit-reversal permutation, per-stage twiddles) come from the bounded
+	// shared kernel cache (sharing across same-size plans) or, past the cap,
+	// are plan-private — process memory is bounded either way. nil means the
+	// plan runs the recursive mixed-radix executor.
+	flat *flatState
 }
 
 // NewPlan creates a plan for size n and direction sign. n must be positive.
+// Power-of-two sizes run the flat iterative kernel; every other size runs
+// the recursive mixed-radix executor (with Bluestein leaves for large
+// primes).
 func NewPlan(n int, sign Sign) (*Plan, error) {
+	return NewPlanKernel(n, sign, KernelAuto)
+}
+
+// NewPlanKernel is NewPlan with an explicit kernel choice. KernelFlat
+// requires a power-of-two n; KernelRecursive is always accepted and exists
+// so benchmarks and cross-kernel tests can pit the two engines against each
+// other on the same binary.
+func NewPlanKernel(n int, sign Sign, kernel Kernel) (*Plan, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fft: size must be positive, got %d", n)
 	}
 	if sign != Forward && sign != Inverse {
 		return nil, fmt.Errorf("fft: sign must be Forward or Inverse, got %d", sign)
 	}
+	switch kernel {
+	case KernelAuto, KernelRecursive:
+	case KernelFlat:
+		if !isPow2(n) {
+			return nil, fmt.Errorf("fft: the flat kernel needs a power-of-two size, got %d", n)
+		}
+	default:
+		return nil, fmt.Errorf("fft: unknown kernel %d", int(kernel))
+	}
 	p := &Plan{n: n, sign: sign}
 	p.factorize()
-	p.buildTwiddles()
-	if leaf := p.sizes[len(p.factors)]; leaf > 1 {
-		b, err := newBluestein(leaf, sign)
-		if err != nil {
-			return nil, err
+	if kernel != KernelRecursive && isPow2(n) {
+		// Flat path: the recursive per-level twiddle tables are never read,
+		// so only the factorization (cheap, kept for Factors()) is built.
+		p.flat = flatStateFor(n, sign)
+	} else {
+		p.buildTwiddles()
+		if leaf := p.sizes[len(p.factors)]; leaf > 1 {
+			b, err := newBluestein(leaf, sign, convLen(leaf))
+			if err != nil {
+				return nil, err
+			}
+			p.blue = b
 		}
-		p.blue = b
 	}
 	if p.maxRadix < 1 {
 		p.maxRadix = 1
@@ -104,9 +166,6 @@ func NewPlan(n int, sign Sign) (*Plan, error) {
 	p.work.New = func() any {
 		s := make([]complex128, p.n)
 		return &s
-	}
-	if isPow2(n) {
-		p.r2 = p.radix2stateFor()
 	}
 	return p, nil
 }
@@ -125,6 +184,14 @@ func (p *Plan) N() int { return p.n }
 
 // Direction returns the plan's transform direction.
 func (p *Plan) Direction() Sign { return p.sign }
+
+// Kernel returns the execution engine the plan resolved to.
+func (p *Plan) Kernel() Kernel {
+	if p.flat != nil {
+		return KernelFlat
+	}
+	return KernelRecursive
+}
 
 // Factors returns a copy of the radix sequence chosen by the planner.
 func (p *Plan) Factors() []int {
@@ -212,20 +279,28 @@ func (p *Plan) ExecuteStrided(dst, src []complex128, stride int) {
 	if need := (p.n-1)*stride + 1; len(src) < need {
 		panic(fmt.Sprintf("fft: src too short for stride %d: %d < %d", stride, len(src), need))
 	}
+	if p.flat != nil {
+		p.flat.gather(dst[:p.n], src, stride)
+		p.flat.run(dst[:p.n], p.sign)
+		return
+	}
 	sp := p.scratch.Get().(*[]complex128)
 	p.rec(dst[:p.n], src, stride, 0, *sp)
 	p.scratch.Put(sp)
 }
 
-// ExecuteInPlace transforms buf in place. For power-of-two sizes this uses
-// the iterative bit-reversal radix-2 path and allocates nothing of size N;
-// otherwise it round-trips through a pooled work buffer.
+// ExecuteInPlace transforms buf in place. With the flat kernel (power-of-two
+// sizes) this is truly in place — an in-place bit-reversal permutation
+// followed by the iterative stages, O(1) auxiliary space — and bit-identical
+// to the out-of-place Execute (same stage sweep over the same value order).
+// Other sizes round-trip through a pooled work buffer.
 func (p *Plan) ExecuteInPlace(buf []complex128) {
 	if len(buf) < p.n {
 		panic(fmt.Sprintf("fft: buffer too short: %d < %d", len(buf), p.n))
 	}
-	if isPow2(p.n) {
-		p.radix2InPlace(buf[:p.n])
+	if p.flat != nil {
+		p.flat.permute(buf[:p.n])
+		p.flat.run(buf[:p.n], p.sign)
 		return
 	}
 	wp := p.work.Get().(*[]complex128)
