@@ -150,6 +150,35 @@
 // bit-identical to the message path (MessageOnlyTransport masks the
 // capability to prove exactly that).
 //
+// # Serving
+//
+// ListenServe runs the library as a long-lived spectral server: clients
+// submit individual transforms over the framed byte codec and the server
+// multiplexes them onto a bounded LRU plan cache (size × dims × protection ×
+// real/complex) executed through the shared bounded pool, so bursts degrade
+// by queueing rather than goroutine or plan-build explosion —
+//
+//	srv, _ := ftfft.ListenServe("unix", sock, ftfft.ServerConfig{PlanCache: 32})
+//	defer srv.Shutdown(ctx)               // stop accepting, drain, close
+//
+//	c, _ := ftfft.Dial("unix", sock)      // safe for concurrent use; requests
+//	defer c.Close()                       // pipeline over one connection
+//	report, err := c.Forward(ctx, dst, src,
+//	    ftfft.WithProtection(ftfft.OnlineABFTMemory))
+//
+// The client carries only what to compute — protection and geometry;
+// execution options (WithRanks, WithWorkers, WithTransport, …) are the
+// server's deployment decision and are rejected client-side. The
+// repair-or-reject contract extends the ABFT over the client↔server wire:
+// payloads are block-checksummed in both directions, a corrupted element is
+// located and repaired on receipt (counted in the returned Report), and
+// anything beyond repair capability — wire or transform — returns as an
+// explicit error frame (ErrUncorrectable), never as a silently wrong
+// spectrum. The service output is bit-for-bit identical to the local
+// Transform's, clean and under injected faults. A draining server
+// (Shutdown, or cmd/ftserve on SIGTERM) refuses new requests with
+// ErrServerUnavailable while in-flight requests complete.
+//
 // # Cancellation
 //
 // Every executor method takes a context.Context. Sequential transforms

@@ -1,0 +1,179 @@
+// Serve: FFT-as-a-service with ABFT response guarantees. The driver
+// re-executes itself as a server process (the same long-lived service
+// `cmd/ftserve` deploys), then runs several concurrent clients against it
+// over one Unix socket: mixed sizes and protection schemes multiplex onto
+// the server's bounded plan cache, every payload crosses the wire under §5
+// block checksums, and the service honors the repair-or-reject contract —
+// a single corrupted element in transit is located and repaired (visible in
+// the response report), corruption beyond the code's reach is rejected with
+// an explicit uncorrectable error, never a silently wrong spectrum. The
+// demo finishes with a SIGTERM graceful drain.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/cmplx"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+const (
+	clients   = 4
+	perClient = 8
+	serverEnv = "FTFFT_SERVE_SERVER"
+)
+
+func main() {
+	if addr := os.Getenv(serverEnv); addr != "" {
+		runServer(addr)
+		return
+	}
+
+	sock := filepath.Join(os.TempDir(), fmt.Sprintf("ftfft-serve-%d.sock", os.Getpid()))
+	os.Remove(sock)
+	defer os.Remove(sock)
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := exec.Command(self)
+	srv.Env = append(os.Environ(), serverEnv+"="+sock)
+	srv.Stdout = os.Stdout
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The server is up once the socket accepts a handshake.
+	var probe *ftfft.Client
+	for i := 0; ; i++ {
+		probe, err = ftfft.Dial("unix", sock)
+		if err == nil {
+			break
+		}
+		if i > 200 {
+			log.Fatalf("server did not come up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("FFT service up on %s (payload limit %d elements)\n\n", sock, probe.MaxElems())
+
+	// Phase 1: concurrent clients, mixed sizes and schemes, one plan cache.
+	ctx := context.Background()
+	sizes := []int{1 << 10, 1 << 12, 1 << 14}
+	prots := []ftfft.Protection{ftfft.None, ftfft.OnlineABFT, ftfft.OnlineABFTMemory}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c, err := ftfft.Dial("unix", sock)
+			if err != nil {
+				log.Fatalf("client %d: %v", k, err)
+			}
+			defer c.Close()
+			for r := 0; r < perClient; r++ {
+				n := sizes[(k+r)%len(sizes)]
+				prot := prots[(k+2*r)%len(prots)]
+				dst := make([]complex128, n)
+				if _, err := c.Forward(ctx, dst, workload.Uniform(int64(k*100+r), n),
+					ftfft.WithProtection(prot)); err != nil {
+					log.Fatalf("client %d request %d: %v", k, r, err)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	fmt.Printf("mixed workload    : %d clients × %d requests (sizes %v, all schemes) in %v\n",
+		clients, perClient, sizes, time.Since(start))
+
+	// Phase 2: a soft error strikes a request payload in transit. The server
+	// locates the corrupted element from the §5 checksum pair, repairs it,
+	// and says so in the response report.
+	const n = 1 << 12
+	x := workload.Uniform(42, n)
+	clean := make([]complex128, n)
+	if _, err := probe.Forward(ctx, clean, x, ftfft.WithProtection(ftfft.OnlineABFTMemory)); err != nil {
+		log.Fatal(err)
+	}
+
+	probe.InjectWireFaults(func(payload []byte) {
+		payload[8*16] ^= 0x40 // flip a mantissa bit of element 8 on the wire
+		payload[8*16+7] ^= 0x01
+	})
+	repaired := make([]complex128, n)
+	rep, err := probe.Forward(ctx, repaired, x, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range clean {
+		if d := cmplx.Abs(repaired[i] - clean[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("corrupted request : repaired in place (%d detection, %d correction), output within %.2g of clean\n",
+		rep.Detections, rep.MemCorrections, worst)
+
+	// Phase 3: corruption beyond single-error reach — the server must
+	// reject, with the report metadata carrying the verdict.
+	probe.InjectWireFaults(func(payload []byte) {
+		for _, e := range []int{3, 900, 2100} {
+			payload[e*16] ^= 0x40
+			payload[e*16+7] ^= 0x01
+		}
+	})
+	rep, err = probe.Forward(ctx, repaired, x, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+	if !errors.Is(err, ftfft.ErrUncorrectable) {
+		log.Fatalf("multi-element corruption was not rejected: %v", err)
+	}
+	fmt.Printf("uncorrectable     : rejected with explicit error (uncorrectable=%v) — never a silently wrong payload\n",
+		rep.Uncorrectable)
+	probe.InjectWireFaults(nil)
+	probe.Close()
+
+	// Graceful drain: SIGTERM lets in-flight work finish, then goodbye.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		log.Fatalf("server exit: %v", err)
+	}
+	fmt.Println("graceful drain    : server drained and exited cleanly on SIGTERM")
+}
+
+// runServer is the re-executed child: the same long-lived service a real
+// deployment runs via cmd/ftserve.
+func runServer(addr string) {
+	srv, err := ftfft.ListenServe("unix", addr, ftfft.ServerConfig{PlanCache: 16})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	<-sigc
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("server drain: %v", err)
+	}
+	builds, evictions, size := srv.CacheStats()
+	fmt.Printf("server            : plan cache served %d builds, %d evictions, %d resident at drain\n",
+		builds, evictions, size)
+}

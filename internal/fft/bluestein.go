@@ -28,9 +28,14 @@ var convOdd = [...]int{1, 3, 5, 9, 15}
 // convCost estimates the per-transform cost of an m = o·2^j candidate in
 // per-point butterfly units: the flat kernel's radix-4/2 stages cost ~0.5
 // per point per log2 level; the recursive engine pays a walk overhead on the
-// same levels plus the odd-radix stage cost (radix r is O(r) per point).
-// The constants are calibrated on the BenchmarkKernel* family — what matters
-// is the ordering they induce, not their absolute scale.
+// same levels, the odd-radix stage cost (radix r is O(r) per point), and a
+// fixed per-transform overhead (plan-walk setup, twiddle-table dispatch)
+// that amortizes away as m grows — the term that makes small odd-cofactor
+// candidates lose to a cheap flat-kernel overshoot. The constants are
+// calibrated on the BenchmarkKernelBluestein family (BENCH_PR6.json: the
+// chosen 36864 and 147456 beat their pow-2 fallbacks, while 9216 lost to
+// 16384 at n=4099 by 11%) — what matters is the ordering they induce, not
+// their absolute scale.
 func convCost(m, o int) float64 {
 	j := 0
 	for v := m / o; v > 1; v >>= 1 {
@@ -51,6 +56,7 @@ func convCost(m, o int) float64 {
 	case 15:
 		perPoint += 5.3 // radix-3 + radix-5
 	}
+	perPoint += 24000 / float64(m) // fixed recursive-engine overhead, amortized
 	return float64(m) * perPoint
 }
 

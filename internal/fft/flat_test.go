@@ -155,3 +155,20 @@ func TestConvLen(t *testing.T) {
 		t.Fatalf("convLen(16411) = %d, expected a sub-pow-2 candidate", m)
 	}
 }
+
+// TestConvLenCalibration pins the chooser at the sizes BENCH_PR6.json
+// measured: the odd-cofactor candidates win where the benchmarks showed
+// them faster (16411, 65537), and n=4099 — the recorded +11% miss, where
+// 9216's per-transform recursive overhead outweighed 16384's overshoot —
+// goes to the flat power-of-two kernel.
+func TestConvLenCalibration(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{4099, 16384},   // flat overshoot beats 9·2^10: small m amortizes overhead poorly
+		{16411, 36864},  // 9·2^12, measured faster than 65536
+		{65537, 147456}, // 9·2^14, measured 11% faster than 262144
+	} {
+		if m := convLen(tc.n); m != tc.want {
+			t.Errorf("convLen(%d) = %d, want %d (benchmarked ordering)", tc.n, m, tc.want)
+		}
+	}
+}

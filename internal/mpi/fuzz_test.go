@@ -20,6 +20,24 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(encodeControlFrame(nil, frameConfig, encodeConfig(1, WorldMeta{N: 64, P: 4})))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, frameHeaderLen+8))
+	// Service frames: request (complex and real payloads), response, error.
+	reqSeed, _ := AppendServeRequest(nil, &ServeRequest{
+		ID: 7, Op: OpForward, Protection: 5, N: 4,
+		Data: []complex128{1, 2i, -3, 4 + 4i},
+		CS:   [2]complex128{1 + 2i, 3}, HasCS: true,
+	})
+	f.Add(reqSeed)
+	realSeed, _ := AppendServeRequest(nil, &ServeRequest{
+		ID: 8, Op: OpRealForward, Protection: 0, N: 4,
+		Real: []float64{1, -2, 3, -4},
+	})
+	f.Add(realSeed)
+	respSeed, _ := AppendServeResponse(nil, &ServeResponse{
+		ID: 7, Report: ServeReport{Detections: 1, MemCorrections: 1},
+		Data: []complex128{5, 6i}, CS: [2]complex128{7, 8i}, HasCS: true,
+	})
+	f.Add(respSeed)
+	f.Add(AppendServeError(nil, 9, true, false, "uncorrectable"))
 
 	const p, maxElems = 8, 1 << 10
 	f.Fuzz(func(t *testing.T, stream []byte) {
@@ -52,6 +70,41 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 			case frameConfig:
 				decodeConfig(body) // must not panic on any payload
+			case frameRequest:
+				sf := ServeFrame{Type: h.typ, Flags: h.flags, ID: h.tag, Count: h.count}
+				req, err := DecodeServeRequest(sf, body)
+				if err != nil {
+					// Meta-level rejects (ndims beyond the limit) are valid
+					// decoder outcomes on arbitrary bytes.
+					continue
+				}
+				// decode∘encode must be the identity on accepted requests.
+				re, _ := AppendServeRequest(nil, req)
+				var hdr [frameHeaderLen]byte
+				putHeader(hdr[:], h)
+				if !bytes.Equal(re[:frameHeaderLen], hdr[:]) || !bytes.Equal(re[frameHeaderLen:], body) {
+					t.Fatalf("re-encode of decoded request frame differs")
+				}
+				req.Release()
+			case frameResponse:
+				sf := ServeFrame{Type: h.typ, Flags: h.flags, ID: h.tag, Count: h.count}
+				data := make([]complex128, h.count)
+				rdata := make([]float64, h.count)
+				resp, err := DecodeServeResponseInto(sf, body, data, rdata)
+				if err != nil {
+					// Report flags-word rejects are valid decoder outcomes
+					// on arbitrary bytes.
+					continue
+				}
+				re, _ := AppendServeResponse(nil, &resp)
+				var hdr [frameHeaderLen]byte
+				putHeader(hdr[:], h)
+				if !bytes.Equal(re[:frameHeaderLen], hdr[:]) || !bytes.Equal(re[frameHeaderLen:], body) {
+					t.Fatalf("re-encode of decoded response frame differs")
+				}
+			case frameError:
+				sf := ServeFrame{Type: h.typ, Flags: h.flags, ID: h.tag, Count: h.count}
+				DecodeServeError(sf, body) // must not panic on any payload
 			}
 		}
 	})

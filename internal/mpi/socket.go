@@ -62,18 +62,25 @@ const dialRetryInterval = 25 * time.Millisecond
 // forever, violating the "abort unblocks everything" contract.
 const teardownFlushTimeout = 5 * time.Second
 
-// wireConn is one framed socket: buffered, mutex-serialized writes with a
+// wireConn is one framed socket: mutex-serialized writes with a
 // connection-owned encode buffer, so concurrent senders interleave whole
-// frames and steady-state sends allocate nothing. The buffered reader is
-// owned by the connection too — handshake and read loop must share it, or
-// bytes buffered by one would be invisible to the other.
+// frames and steady-state sends allocate nothing. Data frames go out as
+// vectored writes — header+checksums in a small fixed prefix, the element
+// payload in its own buffer, handed to the kernel as one writev — so the
+// payload is never copied a second time to coalesce it with the header.
+// The buffered reader is owned by the connection too — handshake and read
+// loop must share it, or bytes buffered by one would be invisible to the
+// other.
 type wireConn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
 
-	mu  sync.Mutex
-	enc []byte
+	mu   sync.Mutex
+	enc  []byte
+	pre  [frameHeaderLen + checksumLen]byte
+	vec  [2][]byte
+	bufs net.Buffers
 }
 
 func newWireConn(c net.Conn) *wireConn {
@@ -81,19 +88,47 @@ func newWireConn(c net.Conn) *wireConn {
 }
 
 // writeData encodes and writes m as one data frame, applying wf (if any) to
-// the serialized payload region first.
+// the serialized payload region first. Header and checksums are encoded into
+// the fixed prefix, elements into the reusable payload buffer, and both go
+// down in a single vectored write.
 func (wc *wireConn) writeData(dst, src int, m Message, wf WireFault) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
-	frame, off := encodeDataFrame(wc.enc, dst, src, m)
-	wc.enc = frame
-	if wf != nil && len(m.Data) > 0 {
-		wf(dst, src, m.Tag, frame[off:])
+	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data)}
+	pre := wc.pre[:frameHeaderLen]
+	if m.HasCS {
+		h.flags = flagHasCS
+		pre = wc.pre[:frameHeaderLen+checksumLen]
+		putComplex(pre, frameHeaderLen, m.CS[0])
+		putComplex(pre, frameHeaderLen+elemLen, m.CS[1])
 	}
-	if _, err := wc.bw.Write(frame); err != nil {
-		return err
+	putHeader(pre, h)
+	need := len(m.Data) * elemLen
+	if cap(wc.enc) < need {
+		wc.enc = make([]byte, need)
 	}
-	return wc.bw.Flush()
+	payload := wc.enc[:need]
+	for i, z := range m.Data {
+		putComplex(payload, i*elemLen, z)
+	}
+	if wf != nil && len(payload) > 0 {
+		wf(dst, src, m.Tag, payload)
+	}
+	return wc.writeVectored(pre, payload)
+}
+
+// writeVectored sends prefix+payload as one writev syscall, bypassing the
+// buffered writer — safe because every write path flushes before releasing
+// the connection mutex, so bw is always empty here. WriteTo consumes the
+// net.Buffers slice by advancing its pointer, so the slice header is rebuilt
+// from the connection-owned backing array each call — the steady-state send
+// path stays allocation-free.
+func (wc *wireConn) writeVectored(pre, payload []byte) error {
+	wc.vec[0], wc.vec[1] = pre, payload
+	wc.bufs = net.Buffers(wc.vec[:])
+	_, err := wc.bufs.WriteTo(wc.c)
+	wc.vec[0], wc.vec[1] = nil, nil
+	return err
 }
 
 // writeControl writes one control frame.
@@ -107,17 +142,13 @@ func (wc *wireConn) writeControl(typ byte, payload []byte) error {
 	return wc.bw.Flush()
 }
 
-// writeRaw relays an already-serialized frame (header + body) verbatim.
+// writeRaw relays an already-serialized frame (header + body) verbatim, as
+// one vectored write (the relay hot path: worker↔worker frames through the
+// hub are forwarded without a coalescing copy).
 func (wc *wireConn) writeRaw(hdr, body []byte) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
-	if _, err := wc.bw.Write(hdr); err != nil {
-		return err
-	}
-	if _, err := wc.bw.Write(body); err != nil {
-		return err
-	}
-	return wc.bw.Flush()
+	return wc.writeVectored(hdr, body)
 }
 
 // RemoteAbortError is an abort cause relayed over the wire from another

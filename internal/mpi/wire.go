@@ -32,13 +32,13 @@ import (
 	"math"
 )
 
-// Frame types.
+// Frame types. The service frames (6–8) live in servewire.go.
 const (
 	frameData    = 1 // a tagged rank-to-rank message
 	frameAbort   = 2 // poison pill; payload is the cause, as UTF-8
 	frameGoodbye = 3 // clean shutdown from the root process
 	frameConfig  = 4 // hub → worker: rank assignment + WorldMeta
-	frameHello   = 5 // worker → hub: protocol magic
+	frameHello   = 5 // worker → hub (or client → server): protocol magic
 )
 
 const (
@@ -118,6 +118,26 @@ func parseHeader(buf []byte, p, maxElems int) (frameHeader, error) {
 		if h.count < 0 || h.count > maxControlPayload {
 			return h, fmt.Errorf("mpi: control frame payload %d bytes exceeds limit %d", h.count, maxControlPayload)
 		}
+	case frameRequest, frameResponse:
+		if h.src != 0 || h.dst != 0 {
+			return h, fmt.Errorf("mpi: service frame with nonzero ranks %d→%d", h.src, h.dst)
+		}
+		if h.flags&^(flagHasCS|flagReal) != 0 {
+			return h, fmt.Errorf("mpi: unknown service frame flags %#x", h.flags)
+		}
+		if h.count < 1 || serveElems(h.flags, h.count) > maxElems {
+			return h, fmt.Errorf("mpi: service frame payload %d elements outside [1,%d]", h.count, maxElems)
+		}
+	case frameError:
+		if h.src != 0 || h.dst != 0 {
+			return h, fmt.Errorf("mpi: service frame with nonzero ranks %d→%d", h.src, h.dst)
+		}
+		if h.flags&^(flagUncorrectable|flagUnavailable) != 0 {
+			return h, fmt.Errorf("mpi: unknown error frame flags %#x", h.flags)
+		}
+		if h.count < 0 || h.count > maxControlPayload {
+			return h, fmt.Errorf("mpi: control frame payload %d bytes exceeds limit %d", h.count, maxControlPayload)
+		}
 	default:
 		return h, fmt.Errorf("mpi: unknown frame type %d", h.typ)
 	}
@@ -127,10 +147,25 @@ func parseHeader(buf []byte, p, maxElems int) (frameHeader, error) {
 // payloadBytes returns the number of bytes following the header for h.
 func (h frameHeader) payloadBytes() int {
 	n := h.count
-	if h.typ == frameData {
+	switch h.typ {
+	case frameData:
 		n *= elemLen
 		if h.flags&flagHasCS != 0 {
 			n += checksumLen
+		}
+	case frameRequest, frameResponse:
+		if h.flags&flagReal != 0 {
+			n *= 8
+		} else {
+			n *= elemLen
+		}
+		if h.flags&flagHasCS != 0 {
+			n += checksumLen
+		}
+		if h.typ == frameRequest {
+			n += serveReqMetaLen
+		} else {
+			n += serveRespMetaLen
 		}
 	}
 	return n

@@ -1,0 +1,174 @@
+// cache.go implements the server's bounded plan cache: transform plans are
+// expensive to build (twiddle tables, checksum weight vectors, protection
+// scaffolding), so the server keeps the most recently used ones, keyed by
+// the full geometry+scheme identity (n, dims, protection, real/complex).
+// The cache is a plain LRU — a map for the hit path, an intrusive
+// doubly-linked list for recency — bounded so a hostile or merely diverse
+// request mix cannot grow plan state without limit. Entries evicted while a
+// request is still executing on them stay valid (the entry is unhooked, not
+// destroyed); they are simply no longer findable and fall to the collector
+// when the last request finishes.
+//
+// Each entry also owns the per-plan wire-checksum weight vectors and a
+// small freelist of scratch output buffers, so the cache-hit path allocates
+// no per-request plan state: the plan, the weights, and (steady-state) the
+// destination buffer are all reused.
+package serve
+
+import (
+	"sync"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/mpi"
+)
+
+// planKey is the cache identity: every field that changes the built plan or
+// the wire checksum algebra. The dims array is fixed-size so the key is
+// comparable without allocation.
+type planKey struct {
+	n    int
+	dims [mpi.MaxServeDims]int32
+	prot byte
+	real bool
+}
+
+// scratch is one request's output buffers, recycled through the owning
+// entry's freelist.
+type scratch struct {
+	c []complex128
+	f []float64
+}
+
+// planEntry is one cached plan plus its wire-protection state. Exactly one
+// of t / rt is set, matching key.real.
+type planEntry struct {
+	key planKey
+
+	t  Transformer
+	rt RealTransformer
+
+	// Wire checksum weights. Complex plans: wC over the n-element payload.
+	// Real plans: wPairs over the n/2 sample pairs of a float64 payload,
+	// wSpec over the n/2+1 spectrum bins.
+	wC     []complex128
+	wPairs []complex128
+	wSpec  []complex128
+
+	bufs chan *scratch
+
+	prev, next *planEntry
+}
+
+// newPlanEntry builds the protection state around a freshly built plan.
+func newPlanEntry(key planKey, t Transformer, rt RealTransformer) *planEntry {
+	e := &planEntry{key: key, t: t, rt: rt, bufs: make(chan *scratch, scratchPerPlan)}
+	if key.real {
+		e.wPairs = checksum.Weights(key.n / 2)
+		e.wSpec = checksum.Weights(key.n/2 + 1)
+	} else {
+		e.wC = checksum.Weights(key.n)
+	}
+	return e
+}
+
+// scratchPerPlan bounds each entry's buffer freelist; beyond it, concurrent
+// requests for one plan fall back to allocating (and the extras are dropped
+// on return, not hoarded).
+const scratchPerPlan = 8
+
+func (e *planEntry) getScratch() *scratch {
+	select {
+	case s := <-e.bufs:
+		return s
+	default:
+	}
+	s := &scratch{}
+	if e.key.real {
+		s.c = make([]complex128, e.key.n/2+1)
+		s.f = make([]float64, e.key.n)
+	} else {
+		s.c = make([]complex128, e.key.n)
+	}
+	return s
+}
+
+func (e *planEntry) putScratch(s *scratch) {
+	select {
+	case e.bufs <- s:
+	default:
+	}
+}
+
+// planCache is the bounded LRU described in the file comment.
+type planCache struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[planKey]*planEntry
+	root      planEntry // sentinel: root.next = MRU, root.prev = LRU
+	builds    int
+	evictions int
+}
+
+func newPlanCache(capacity int) *planCache {
+	c := &planCache{cap: capacity, m: make(map[planKey]*planEntry, capacity)}
+	c.root.next = &c.root
+	c.root.prev = &c.root
+	return c
+}
+
+func (c *planCache) unhook(e *planEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *planCache) pushFront(e *planEntry) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// get returns the cached entry for key, building (via build) and inserting
+// it on a miss. The builder runs outside the cache lock — a slow plan build
+// must not stall hits on other keys — so two concurrent first requests for
+// one key may both build; the loser's entry is discarded in favor of the
+// winner's.
+func (c *planCache) get(key planKey, build func() (*planEntry, error)) (*planEntry, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.unhook(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+
+	e, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.builds++
+	if raced, ok := c.m[key]; ok {
+		return raced, nil
+	}
+	c.m[key] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		lru := c.root.prev
+		c.unhook(lru)
+		delete(c.m, lru.key)
+		c.evictions++
+	}
+	return e, nil
+}
+
+// stats reports lifetime build and eviction counts plus the current size.
+func (c *planCache) stats() (builds, evictions, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.evictions, len(c.m)
+}

@@ -1,0 +1,381 @@
+// client.go implements the service client: one connection multiplexing any
+// number of concurrent in-flight requests, each matched to its response by
+// the frame's request id. Requests travel with §5 block checksums attached;
+// responses are verified (and single-element-repaired) on receipt, so the
+// wire is protected in both directions independently of whatever transform
+// scheme the server runs.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/mpi"
+)
+
+// ErrClientClosed is returned by calls issued (or still in flight) after
+// Close, or after the connection failed.
+var ErrClientClosed = errors.New("serve: client closed")
+
+// Request is one transform submission. N is the logical transform size;
+// exactly one of Data / Real carries the payload, matching Op.
+type Request struct {
+	Op         mpi.ServeOp
+	Protection byte
+	N          int
+	Dims       []int
+	Data       []complex128
+	Real       []float64
+}
+
+// call is one in-flight request's rendezvous state.
+type call struct {
+	dst  []complex128
+	rdst []float64
+	rep  core.Report
+	err  error
+	done chan struct{}
+}
+
+// Client is a connection to a serve.Server. It is safe for concurrent use;
+// requests from many goroutines interleave on the single connection and
+// responses are dispatched back by id.
+type Client struct {
+	c        net.Conn
+	br       *bufio.Reader
+	maxElems int
+
+	wmu sync.Mutex
+	enc []byte
+
+	mu      sync.Mutex
+	pending map[int]*call
+	nextID  int
+	err     error // terminal: set once the read loop exits
+
+	wfMu sync.Mutex
+	wf   func(payload []byte)
+
+	weightsMu sync.Mutex
+	weights   map[int][]complex128
+
+	readDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// Dial connects to a server at network/addr and completes the service
+// handshake.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s %s: %w", network, addr, err)
+	}
+	c := &Client{
+		c:        conn,
+		br:       bufio.NewReader(conn),
+		pending:  make(map[int]*call),
+		weights:  make(map[int][]complex128),
+		readDone: make(chan struct{}),
+	}
+	if err := c.write(func(buf []byte) []byte { return mpi.AppendServeHello(buf) }); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: hello: %w", err)
+	}
+	f, body, err := mpi.ReadServeFrame(c.br, nil, 0)
+	if err != nil || f.Type != mpi.ServeFrameHello {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake (frame type %d): %v", f.Type, err)
+	}
+	c.maxElems, err = mpi.DecodeServeWelcome(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// MaxElems returns the per-request element limit the server advertised.
+func (c *Client) MaxElems() int { return c.maxElems }
+
+// InjectWireFaults installs a hook over the serialized element payload of
+// every outgoing request — the wire-level fault site, below the codec,
+// which the §5 checksums must detect and repair server-side. A nil hook
+// removes it.
+func (c *Client) InjectWireFaults(f func(payload []byte)) {
+	c.wfMu.Lock()
+	c.wf = f
+	c.wfMu.Unlock()
+}
+
+func (c *Client) getWireFault() func(payload []byte) {
+	c.wfMu.Lock()
+	defer c.wfMu.Unlock()
+	return c.wf
+}
+
+// write serializes one frame into the connection-owned encode buffer and
+// writes it, mutex-serialized against concurrent senders.
+func (c *Client) write(build func(buf []byte) []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.enc = build(c.enc[:0])
+	_, err := c.c.Write(c.enc)
+	return err
+}
+
+// weightsFor returns the cached checksum weight vector of length n.
+func (c *Client) weightsFor(n int) []complex128 {
+	c.weightsMu.Lock()
+	defer c.weightsMu.Unlock()
+	w, ok := c.weights[n]
+	if !ok {
+		w = checksum.Weights(n)
+		c.weights[n] = w
+	}
+	return w
+}
+
+// Do submits req and blocks until the response arrives, ctx is canceled, or
+// the connection fails. The transformed payload is written into dst
+// (complex results: Forward, Inverse, RealForward) or rdst (RealInverse),
+// which must be sized for the op's output. The returned report aggregates
+// the server's transform report with any wire-level repairs performed on
+// either side.
+func (c *Client) Do(ctx context.Context, req Request, dst []complex128, rdst []float64) (core.Report, error) {
+	if err := c.checkRequest(req, dst, rdst); err != nil {
+		return core.Report{}, err
+	}
+
+	wreq := mpi.ServeRequest{
+		Op:         req.Op,
+		Protection: req.Protection,
+		N:          req.N,
+		Dims:       req.Dims,
+		Data:       req.Data,
+		Real:       req.Real,
+		HasCS:      true,
+	}
+	// Attach the §5 request checksums: over the complex payload directly,
+	// or over the real payload viewed as adjacent sample pairs.
+	var pr checksum.Pair
+	if req.Real != nil {
+		pr = floatPair(c.weightsFor(req.N/2), req.Real)
+	} else {
+		pr = checksum.GeneratePair(c.weightsFor(len(req.Data)), req.Data)
+	}
+	wreq.CS = [2]complex128{pr.D1, pr.D2}
+
+	cl := &call{dst: dst, rdst: rdst, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return core.Report{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	wreq.ID = id
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	wf := c.getWireFault()
+	err := func() error {
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		frame, payloadOff := mpi.AppendServeRequest(c.enc[:0], &wreq)
+		c.enc = frame
+		if wf != nil {
+			wf(frame[payloadOff:])
+		}
+		_, werr := c.c.Write(frame)
+		return werr
+	}()
+	if err != nil {
+		c.forget(id)
+		return core.Report{}, fmt.Errorf("serve: sending request: %w", err)
+	}
+
+	select {
+	case <-cl.done:
+		return cl.rep, cl.err
+	case <-ctx.Done():
+		c.forget(id)
+		return core.Report{}, ctx.Err()
+	case <-c.readDone:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return core.Report{}, err
+	}
+}
+
+// checkRequest validates a submission against the op's structural
+// invariants and the server's advertised element limit, so malformed calls
+// fail fast client-side instead of travelling.
+func (c *Client) checkRequest(req Request, dst []complex128, rdst []float64) error {
+	if req.N < 1 {
+		return fmt.Errorf("serve: transform size %d", req.N)
+	}
+	var elems int
+	switch req.Op {
+	case mpi.OpForward, mpi.OpInverse:
+		if len(req.Data) != req.N || req.Real != nil {
+			return fmt.Errorf("serve: %s wants a %d-element complex payload", req.Op, req.N)
+		}
+		if len(dst) < req.N {
+			return fmt.Errorf("serve: %s destination of %d elements, want %d", req.Op, len(dst), req.N)
+		}
+		elems = len(req.Data)
+	case mpi.OpRealForward:
+		if req.N%2 != 0 || len(req.Real) != req.N || req.Data != nil {
+			return fmt.Errorf("serve: real-forward wants an even-length real payload of %d samples", req.N)
+		}
+		if len(dst) < req.N/2+1 {
+			return fmt.Errorf("serve: real-forward destination of %d bins, want %d", len(dst), req.N/2+1)
+		}
+		elems = req.N / 2
+	case mpi.OpRealInverse:
+		if req.N%2 != 0 || len(req.Data) != req.N/2+1 || req.Real != nil {
+			return fmt.Errorf("serve: real-inverse wants a %d-bin spectrum payload", req.N/2+1)
+		}
+		if len(rdst) < req.N {
+			return fmt.Errorf("serve: real-inverse destination of %d samples, want %d", len(rdst), req.N)
+		}
+		elems = len(req.Data)
+	default:
+		return fmt.Errorf("serve: unknown op %d", byte(req.Op))
+	}
+	if c.maxElems > 0 && elems > c.maxElems {
+		return fmt.Errorf("serve: payload of %d elements exceeds the server's limit %d", elems, c.maxElems)
+	}
+	return nil
+}
+
+// forget deregisters a canceled or failed call; a late response for its id
+// is discarded by the read loop.
+func (c *Client) forget(id int) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// take claims the pending call for id, or nil if it was canceled.
+func (c *Client) take(id int) *call {
+	c.mu.Lock()
+	cl := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	return cl
+}
+
+// readLoop drains the connection, dispatching responses and error frames to
+// their pending calls. It exits — failing every remaining call — on
+// connection loss, protocol violation, or a server goodbye.
+func (c *Client) readLoop() {
+	var body []byte
+	var f mpi.ServeFrame
+	var err error
+	for {
+		f, body, err = mpi.ReadServeFrame(c.br, body, c.maxElems)
+		if err != nil {
+			c.fail(fmt.Errorf("serve: connection lost: %w", err))
+			return
+		}
+		switch f.Type {
+		case mpi.ServeFrameResponse:
+			cl := c.take(f.ID)
+			if cl == nil {
+				continue // canceled: discard the late response
+			}
+			c.finish(cl, f, body)
+		case mpi.ServeFrameError:
+			cl := c.take(f.ID)
+			if cl == nil {
+				continue
+			}
+			msg, uncorrectable, unavailable := mpi.DecodeServeError(f, body)
+			switch {
+			case uncorrectable:
+				cl.err = fmt.Errorf("serve: rejected: %s: %w", msg, core.ErrUncorrectable)
+				cl.rep.Uncorrectable = true
+			case unavailable:
+				cl.err = fmt.Errorf("%w: %s", ErrUnavailable, msg)
+			default:
+				cl.err = errors.New("serve: rejected: " + msg)
+			}
+			close(cl.done)
+		case mpi.ServeFrameGoodbye:
+			c.fail(ErrClientClosed)
+			return
+		default:
+			c.fail(fmt.Errorf("serve: unexpected frame type %d from server", f.Type))
+			return
+		}
+	}
+}
+
+// finish decodes a response into its call's destination buffers, verifies
+// the response-side wire checksums (repairing a single corrupted element),
+// and completes the call.
+func (c *Client) finish(cl *call, f mpi.ServeFrame, body []byte) {
+	defer close(cl.done)
+	resp, err := mpi.DecodeServeResponseInto(f, body, cl.dst, cl.rdst)
+	if err != nil {
+		cl.err = err
+		return
+	}
+	cl.rep = fromServeReport(resp.Report)
+	if resp.HasCS {
+		if resp.Real != nil {
+			err = verifyFloats(c.weightsFor(len(resp.Real)/2), resp.Real, resp.CS, &cl.rep)
+		} else {
+			err = verifyComplex(c.weightsFor(len(resp.Data)), resp.Data, resp.CS, &cl.rep)
+		}
+		if err != nil {
+			cl.err = err
+			return
+		}
+	}
+	if resp.Report.Uncorrectable {
+		cl.err = fmt.Errorf("serve: response flagged uncorrectable: %w", core.ErrUncorrectable)
+	}
+}
+
+// fail poisons the client: every pending and future call returns err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[int]*call)
+	c.mu.Unlock()
+	for _, cl := range pending {
+		cl.err = err
+		close(cl.done)
+	}
+	close(c.readDone)
+}
+
+// Close sends a goodbye and tears the connection down. In-flight calls fail
+// with ErrClientClosed. Idempotent.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = ErrClientClosed
+		}
+		c.mu.Unlock()
+		c.write(mpi.AppendServeGoodbye)
+		c.c.Close()
+		<-c.readDone // read loop exits on the closed conn, failing pending calls
+	})
+	return nil
+}

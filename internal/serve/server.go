@@ -1,0 +1,633 @@
+// Package serve implements FFT-as-a-service: a long-lived server that
+// accepts transform requests over the framed codec of internal/mpi and
+// answers with the transformed payload plus the aggregated fault-tolerance
+// report — or an explicit error frame when the request (or its transform)
+// was corrupted beyond repair. It is the paper's ABFT contract extended to
+// the wire: a response is repaired or rejected, never silently wrong.
+//
+// Three layers of protection compose per request:
+//
+//  1. Wire §5 block checksums: the client attaches a weighted checksum pair
+//     to the request payload; the server verifies it on receipt, repairing
+//     a single corrupted element in place. The response travels the same
+//     way, verified (and single-element-repaired) by the client.
+//  2. Transform ABFT: the plan runs whatever protection scheme the request
+//     names, and its core.Report rides back as response metadata.
+//  3. Repair-or-reject: an uncorrectable payload or transform failure
+//     produces an error frame carrying the cause, flagged so the client
+//     surfaces core.ErrUncorrectable.
+//
+// Concurrency: each connection gets one reader goroutine; every admitted
+// request gets a handler goroutine bounded by the MaxInFlight semaphore
+// (excess requests queue in the kernel's socket buffers — QPS bursts
+// degrade by queuing, not goroutine explosion), and actual transform
+// execution is admitted FIFO through the shared internal/exec pool. Plans
+// are multiplexed across clients through the bounded LRU plan cache.
+//
+// The package does not import the public ftfft package (which wraps it) —
+// plan construction is injected through Config.NewTransform/NewReal, and
+// the Transformer/RealTransformer interfaces match the public Transform/
+// RealTransform method sets exactly.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/cmplx"
+	"net"
+	"sync"
+
+	"ftfft/internal/checksum"
+	"ftfft/internal/core"
+	"ftfft/internal/exec"
+	"ftfft/internal/mpi"
+)
+
+// Transformer is the subset of the public Transform interface the server
+// drives; any ftfft.Transform satisfies it.
+type Transformer interface {
+	Forward(ctx context.Context, dst, src []complex128) (core.Report, error)
+	Inverse(ctx context.Context, dst, src []complex128) (core.Report, error)
+}
+
+// RealTransformer is the subset of the public RealTransform interface the
+// server drives; any ftfft.RealTransform satisfies it.
+type RealTransformer interface {
+	Forward(ctx context.Context, dst []complex128, src []float64) (core.Report, error)
+	Inverse(ctx context.Context, dst []float64, src []complex128) (core.Report, error)
+}
+
+// ErrUnavailable is returned for requests refused while the server drains.
+var ErrUnavailable = errors.New("serve: server unavailable (draining)")
+
+// Config parameterizes a Server. NewTransform and NewReal are required:
+// they build the plan for a cache miss (the public package injects
+// ftfft.New / ftfft.NewReal here, keeping this package free of an upward
+// import).
+type Config struct {
+	// NewTransform builds a complex plan for n total elements with the
+	// given geometry (nil dims = 1-D) and protection scheme.
+	NewTransform func(n int, dims []int, protection byte) (Transformer, error)
+	// NewReal builds a real-input plan for n samples (n even).
+	NewReal func(n int, protection byte) (RealTransformer, error)
+
+	// PlanCache bounds the number of cached plans (default 64).
+	PlanCache int
+	// MaxInFlight bounds concurrently executing requests (default
+	// 2×workers, minimum 4).
+	MaxInFlight int
+	// MaxElems bounds one request's payload in complex128-equivalent
+	// elements (default 1<<20, 16 MiB).
+	MaxElems int
+	// Workers sizes a server-owned exec pool; 0 uses the process-wide
+	// shared pool.
+	Workers int
+}
+
+// Server is one listening FFT service instance.
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	cache    *planCache
+	pool     *exec.Pool
+	ownPool  bool
+	maxElems int
+	sem      chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[*serverConn]struct{}
+	draining bool
+	reqWG    sync.WaitGroup // in-flight request handlers
+	connWG   sync.WaitGroup // connection reader goroutines + accept loop
+
+	closeOnce sync.Once
+}
+
+// Listen opens a server on network ("unix" or "tcp") and addr and starts
+// accepting clients. Use Addr to recover the bound address.
+func Listen(network, addr string, cfg Config) (*Server, error) {
+	if cfg.NewTransform == nil || cfg.NewReal == nil {
+		return nil, fmt.Errorf("serve: Config must provide NewTransform and NewReal builders")
+	}
+	if cfg.PlanCache <= 0 {
+		cfg.PlanCache = 64
+	}
+	if cfg.MaxElems <= 0 {
+		cfg.MaxElems = 1 << 20
+	}
+	pool, own := exec.Default(), false
+	if cfg.Workers > 0 {
+		pool, own = exec.New(cfg.Workers), true
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = max(4, 2*pool.Workers())
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s %s: %w", network, addr, err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		cache:    newPlanCache(cfg.PlanCache),
+		pool:     pool,
+		ownPool:  own,
+		maxElems: cfg.MaxElems,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		conns:    make(map[*serverConn]struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// CacheStats reports the plan cache's lifetime builds and evictions and its
+// current size — observability for tests and operators.
+func (s *Server) CacheStats() (builds, evictions, size int) { return s.cache.stats() }
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain or shutdown
+		}
+		sc := &serverConn{c: c, br: bufio.NewReader(c)}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[sc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(sc)
+	}
+}
+
+// serverConn is one client connection: a buffered reader owned by the
+// reader goroutine and mutex-serialized frame writes shared by the handler
+// goroutines, with a connection-owned encode buffer so steady-state
+// responses allocate nothing.
+type serverConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	enc []byte
+}
+
+func (sc *serverConn) writeFrame(build func(buf []byte) []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.enc = build(sc.enc[:0])
+	_, err := sc.c.Write(sc.enc)
+	return err
+}
+
+func (sc *serverConn) writeResponse(resp *mpi.ServeResponse) error {
+	return sc.writeFrame(func(buf []byte) []byte {
+		frame, _ := mpi.AppendServeResponse(buf, resp)
+		return frame
+	})
+}
+
+func (sc *serverConn) writeError(id int, uncorrectable, unavailable bool, msg string) error {
+	return sc.writeFrame(func(buf []byte) []byte {
+		return mpi.AppendServeError(buf, id, uncorrectable, unavailable, msg)
+	})
+}
+
+// serveConn runs one connection: handshake, then a read loop that admits
+// requests through the in-flight semaphore and hands them to handler
+// goroutines. A protocol violation (bad handshake, malformed frame,
+// oversized payload) terminates the connection; per-request problems answer
+// with error frames and keep it alive.
+func (s *Server) serveConn(sc *serverConn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+		sc.c.Close()
+	}()
+
+	f, body, err := mpi.ReadServeFrame(sc.br, nil, s.maxElems)
+	if err != nil || f.Type != mpi.ServeFrameHello || !mpi.IsServeHello(body) {
+		return
+	}
+	if err := sc.writeFrame(func(buf []byte) []byte {
+		return mpi.AppendServeWelcome(buf, s.maxElems)
+	}); err != nil {
+		return
+	}
+
+	for {
+		f, body, err = mpi.ReadServeFrame(sc.br, body, s.maxElems)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case mpi.ServeFrameRequest:
+			req, derr := mpi.DecodeServeRequest(f, body)
+			if derr != nil {
+				if sc.writeError(f.ID, false, false, derr.Error()) != nil {
+					return
+				}
+				continue
+			}
+			if !s.admit() {
+				req.Release()
+				if sc.writeError(f.ID, false, true, ErrUnavailable.Error()) != nil {
+					return
+				}
+				continue
+			}
+			go s.handle(sc, req)
+		case mpi.ServeFrameGoodbye:
+			return
+		default:
+			return // hello mid-stream or a response from a client: protocol violation
+		}
+	}
+}
+
+// admit blocks on the in-flight semaphore (the QPS-burst backpressure
+// point: while every handler slot is busy, connection read loops stall here
+// and further requests queue in the kernel) and registers the request with
+// the drain waitgroup. It refuses — returning false — when the server is
+// draining or closed.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.ctx.Done():
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		<-s.sem
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
+}
+
+// handle runs one admitted request to completion: execute, then answer
+// with a response or error frame.
+func (s *Server) handle(sc *serverConn, req *mpi.ServeRequest) {
+	defer s.reqWG.Done()
+	defer func() { <-s.sem }()
+	id := req.ID
+	resp, entry, scr, err := s.execute(s.ctx, req)
+	req.Release()
+	if err != nil {
+		sc.writeError(id, errors.Is(err, core.ErrUncorrectable), false, err.Error())
+		return
+	}
+	sc.writeResponse(&resp)
+	entry.putScratch(scr)
+}
+
+// keyOf builds the cache key for a validated request.
+func keyOf(req *mpi.ServeRequest) planKey {
+	key := planKey{n: req.N, prot: req.Protection}
+	switch req.Op {
+	case mpi.OpRealForward, mpi.OpRealInverse:
+		key.real = true
+	}
+	for i, d := range req.Dims {
+		key.dims[i] = int32(d)
+	}
+	return key
+}
+
+// validate enforces the request's structural invariants before any plan is
+// built: op known, geometry consistent, payload length matching the op.
+func (s *Server) validate(req *mpi.ServeRequest) error {
+	if req.N < 1 || req.N > s.maxElems {
+		return fmt.Errorf("serve: transform size %d outside [1,%d]", req.N, s.maxElems)
+	}
+	if len(req.Dims) > 0 {
+		prod := 1
+		for _, d := range req.Dims {
+			if d < 1 {
+				return fmt.Errorf("serve: non-positive dim %d", d)
+			}
+			if prod > s.maxElems/d {
+				return fmt.Errorf("serve: dims product overflows the %d-element bound", s.maxElems)
+			}
+			prod *= d
+		}
+		if prod != req.N {
+			return fmt.Errorf("serve: dims %v product %d != n %d", req.Dims, prod, req.N)
+		}
+	}
+	switch req.Op {
+	case mpi.OpForward, mpi.OpInverse:
+		if len(req.Data) != req.N {
+			return fmt.Errorf("serve: %s payload of %d elements, want %d", req.Op, len(req.Data), req.N)
+		}
+	case mpi.OpRealForward:
+		if req.N%2 != 0 {
+			return fmt.Errorf("serve: real transform size %d must be even", req.N)
+		}
+		if len(req.Dims) > 0 {
+			return fmt.Errorf("serve: real transforms are 1-D")
+		}
+		if len(req.Real) != req.N {
+			return fmt.Errorf("serve: real payload of %d samples, want %d", len(req.Real), req.N)
+		}
+	case mpi.OpRealInverse:
+		if req.N%2 != 0 {
+			return fmt.Errorf("serve: real transform size %d must be even", req.N)
+		}
+		if len(req.Dims) > 0 {
+			return fmt.Errorf("serve: real transforms are 1-D")
+		}
+		if len(req.Data) != req.N/2+1 {
+			return fmt.Errorf("serve: spectrum payload of %d bins, want %d", len(req.Data), req.N/2+1)
+		}
+	default:
+		return fmt.Errorf("serve: unknown op %d", byte(req.Op))
+	}
+	return nil
+}
+
+// build constructs the plan entry for a cache miss.
+func (s *Server) build(req *mpi.ServeRequest, key planKey) (*planEntry, error) {
+	if key.real {
+		rt, err := s.cfg.NewReal(req.N, req.Protection)
+		if err != nil {
+			return nil, err
+		}
+		return newPlanEntry(key, nil, rt), nil
+	}
+	t, err := s.cfg.NewTransform(req.N, req.Dims, req.Protection)
+	if err != nil {
+		return nil, err
+	}
+	return newPlanEntry(key, t, nil), nil
+}
+
+// execute runs one request end to end: validate, plan lookup, wire-checksum
+// verify/repair, pool-admitted transform, response checksums. On success
+// the response payload aliases the returned scratch, which the caller
+// returns to the entry after the response is written.
+func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest) (mpi.ServeResponse, *planEntry, *scratch, error) {
+	fail := func(err error) (mpi.ServeResponse, *planEntry, *scratch, error) {
+		return mpi.ServeResponse{}, nil, nil, err
+	}
+	if err := s.validate(req); err != nil {
+		return fail(err)
+	}
+	key := keyOf(req)
+	e, err := s.cache.get(key, func() (*planEntry, error) { return s.build(req, key) })
+	if err != nil {
+		return fail(fmt.Errorf("serve: building plan: %w", err))
+	}
+
+	// Wire-level §5 verification of the request payload: repair a single
+	// corrupted element, reject anything worse.
+	var rep core.Report
+	if req.HasCS {
+		if req.Real != nil {
+			err = verifyFloats(e.wPairs, req.Real, req.CS, &rep)
+		} else {
+			w := e.wC
+			if key.real {
+				w = e.wSpec // real-inverse request: spectrum payload
+			}
+			err = verifyComplex(w, req.Data, req.CS, &rep)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("%w (request payload, %d detected)", err, rep.Detections))
+		}
+	}
+
+	scr := e.getScratch()
+	res, err := s.pool.Reserve(ctx, 1)
+	if err != nil {
+		e.putScratch(scr)
+		return fail(fmt.Errorf("serve: admission: %w", err))
+	}
+	var trep core.Report
+	g := res.Launch(ctx, func(ctx context.Context, _ int) error {
+		var terr error
+		switch req.Op {
+		case mpi.OpForward:
+			trep, terr = e.t.Forward(ctx, scr.c, req.Data)
+		case mpi.OpInverse:
+			trep, terr = e.t.Inverse(ctx, scr.c, req.Data)
+		case mpi.OpRealForward:
+			trep, terr = e.rt.Forward(ctx, scr.c, req.Real)
+		case mpi.OpRealInverse:
+			trep, terr = e.rt.Inverse(ctx, scr.f, req.Data)
+		}
+		return terr
+	})
+	err = g.Wait()
+	rep.Add(trep)
+	if err != nil {
+		e.putScratch(scr)
+		return fail(fmt.Errorf("serve: transform failed after %d detections, %d corrections: %w",
+			rep.Detections, rep.MemCorrections, err))
+	}
+
+	resp := mpi.ServeResponse{ID: req.ID, Report: toServeReport(rep), HasCS: true}
+	switch req.Op {
+	case mpi.OpForward, mpi.OpInverse:
+		resp.Data = scr.c
+		pr := checksum.GeneratePair(e.wC, resp.Data)
+		resp.CS = [2]complex128{pr.D1, pr.D2}
+	case mpi.OpRealForward:
+		resp.Data = scr.c
+		pr := checksum.GeneratePair(e.wSpec, resp.Data)
+		resp.CS = [2]complex128{pr.D1, pr.D2}
+	case mpi.OpRealInverse:
+		resp.Real = scr.f
+		pr := floatPair(e.wPairs, resp.Real)
+		resp.CS = [2]complex128{pr.D1, pr.D2}
+	}
+	return resp, e, scr, nil
+}
+
+// Shutdown drains the server gracefully: the listener closes, requests not
+// yet admitted are refused with unavailable error frames, in-flight
+// requests finish and their responses are written, then every connection
+// gets a goodbye frame and closes. ctx bounds the wait for in-flight work;
+// on expiry the remaining handlers are cut off by a hard close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.ln.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.closeConns(err == nil)
+	s.cancel()
+	s.connWG.Wait()
+	if s.ownPool {
+		s.pool.Close()
+	}
+	return err
+}
+
+// Close shuts the server down immediately: in-flight requests are abandoned
+// (their connections close under them). Idempotent, as is Shutdown after
+// Close.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.ln.Close()
+		s.cancel()
+		s.closeConns(false)
+		s.connWG.Wait()
+		if s.ownPool {
+			s.pool.Close()
+		}
+	})
+	return nil
+}
+
+// closeConns sends each live connection a goodbye (when polite) and closes
+// it, unblocking its reader goroutine.
+func (s *Server) closeConns(polite bool) {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		if polite {
+			sc.writeFrame(mpi.AppendServeGoodbye)
+		}
+		sc.c.Close()
+	}
+}
+
+// toServeReport converts the aggregated core report to its wire form.
+func toServeReport(r core.Report) mpi.ServeReport {
+	return mpi.ServeReport{
+		Detections:         r.Detections,
+		CompRecomputations: r.CompRecomputations,
+		MemCorrections:     r.MemCorrections,
+		TwiddleCorrections: r.TwiddleCorrections,
+		FullRestarts:       r.FullRestarts,
+		Uncorrectable:      r.Uncorrectable,
+	}
+}
+
+// fromServeReport converts a wire report back to the core form.
+func fromServeReport(r mpi.ServeReport) core.Report {
+	return core.Report{
+		Detections:         r.Detections,
+		CompRecomputations: r.CompRecomputations,
+		MemCorrections:     r.MemCorrections,
+		TwiddleCorrections: r.TwiddleCorrections,
+		FullRestarts:       r.FullRestarts,
+		Uncorrectable:      r.Uncorrectable,
+	}
+}
+
+// verifyComplex checks a complex payload against its carried checksum pair,
+// repairing a single corrupted element in place (the §5 single-error
+// algebra: j = Re(ΔD2/ΔD1), x[j] += ΔD1/w[j]). Both ends generate the pair
+// with the same weights in the same summation order, so a clean transfer
+// compares exactly; any difference is transit or memory corruption.
+//
+// The pair is a single-error-correcting code, so a multi-element corruption
+// can alias to a plausible single-error syndrome and mis-locate. The repair
+// is therefore re-verified: the recomputed pair must cancel against the
+// stored one down to round-off, or the payload is rejected — the
+// repair-or-reject contract, never a silently mis-repaired payload the
+// algebra could have caught.
+func verifyComplex(w, x []complex128, cs [2]complex128, rep *core.Report) error {
+	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
+	cur := checksum.GeneratePair(w, x)
+	d := stored.Sub(cur)
+	if d.D1 == 0 && d.D2 == 0 {
+		return nil
+	}
+	rep.Detections++
+	j, ok := checksum.Locate(d, len(x))
+	if ok {
+		x[j] += d.D1 / w[j]
+		if residualOK(stored, checksum.GeneratePair(w, x)) {
+			rep.MemCorrections++
+			return nil
+		}
+	}
+	rep.Uncorrectable = true
+	return fmt.Errorf("serve: unrecoverable payload corruption: %w", core.ErrUncorrectable)
+}
+
+// verifyFloats is verifyComplex over a float64 payload viewed as len(w)
+// adjacent sample pairs; a repair heals one pair.
+func verifyFloats(w []complex128, x []float64, cs [2]complex128, rep *core.Report) error {
+	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
+	cur := floatPair(w, x)
+	d := stored.Sub(cur)
+	if d.D1 == 0 && d.D2 == 0 {
+		return nil
+	}
+	rep.Detections++
+	j, ok := checksum.Locate(d, len(w))
+	if ok {
+		z := complex(x[2*j], x[2*j+1]) + d.D1/w[j]
+		x[2*j], x[2*j+1] = real(z), imag(z)
+		if residualOK(stored, floatPair(w, x)) {
+			rep.MemCorrections++
+			return nil
+		}
+	}
+	rep.Uncorrectable = true
+	return fmt.Errorf("serve: unrecoverable payload corruption: %w", core.ErrUncorrectable)
+}
+
+// residualOK reports whether a post-repair checksum pair matches the stored
+// one down to round-off. A genuine single-element repair cancels exactly up
+// to the one rounding in w[j]·(ΔD1/w[j]); a mis-located repair leaves the
+// other corrupted element's contribution behind, far above this bound.
+func residualOK(stored, cur checksum.Pair) bool {
+	const rel = 1e-9
+	return cmplx.Abs(stored.D1-cur.D1) <= rel*(cmplx.Abs(stored.D1)+cmplx.Abs(cur.D1)+1) &&
+		cmplx.Abs(stored.D2-cur.D2) <= rel*(cmplx.Abs(stored.D2)+cmplx.Abs(cur.D2)+1)
+}
+
+// floatPair is checksum.GeneratePair over a float64 vector viewed as
+// len(w) complex sample pairs. Client and server share this exact
+// summation order, so clean transfers compare exactly.
+func floatPair(w []complex128, x []float64) checksum.Pair {
+	var d1, d2 complex128
+	for j := range w {
+		t := w[j] * complex(x[2*j], x[2*j+1])
+		d1 += t
+		d2 += complex(float64(j), 0) * t
+	}
+	return checksum.Pair{D1: d1, D2: d2}
+}

@@ -1,0 +1,161 @@
+package ftfft_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ftfft"
+	"ftfft/internal/workload"
+)
+
+var (
+	serveBinOnce sync.Once
+	serveBin     string
+	serveBinErr  error
+)
+
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	serveBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ftfft-serve-bin")
+		if err != nil {
+			serveBinErr = err
+			return
+		}
+		serveBin = filepath.Join(dir, "ftserve")
+		out, err := exec.Command("go", "build", "-o", serveBin, "./cmd/ftserve").CombinedOutput()
+		if err != nil {
+			serveBinErr = err
+			t.Logf("go build ./cmd/ftserve: %v\n%s", err, out)
+		}
+	})
+	if serveBinErr != nil {
+		t.Skipf("cannot build cmd/ftserve binary: %v", serveBinErr)
+	}
+	return serveBin
+}
+
+// TestServeCLISmoke is the deployment smoke test: the real ftserve binary
+// serves concurrent library clients over a Unix socket — clean requests,
+// a wire-corrupted request the server repairs, an uncorrectable one it
+// rejects — then drains cleanly on SIGTERM with a zero exit status.
+func TestServeCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildServeBinary(t)
+	sock := filepath.Join(t.TempDir(), "ftserve.sock")
+
+	var output bytes.Buffer
+	srv := exec.Command(bin, "-listen", sock, "-plan-cache", "8", "-drain-timeout", "20s")
+	srv.Stdout = &output
+	srv.Stderr = &output
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The service is up once a handshake completes.
+	var c *ftfft.Client
+	var err error
+	for i := 0; ; i++ {
+		c, err = ftfft.Dial("unix", sock)
+		if err == nil {
+			break
+		}
+		if i > 500 {
+			t.Fatalf("ftserve did not come up: %v\n%s", err, output.Bytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	const n = 1 << 12
+	x := workload.Uniform(3, n)
+
+	// Concurrent clients with mixed schemes against the spawned binary.
+	var wg sync.WaitGroup
+	cerrs := make(chan error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cc, err := ftfft.Dial("unix", sock)
+			if err != nil {
+				cerrs <- err
+				return
+			}
+			defer cc.Close()
+			prot := []ftfft.Protection{ftfft.None, ftfft.OnlineABFT, ftfft.OnlineABFTMemory}[k%3]
+			dst := make([]complex128, n)
+			for r := 0; r < 4; r++ {
+				if _, err := cc.Forward(ctx, dst, x, ftfft.WithProtection(prot)); err != nil {
+					cerrs <- err
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(cerrs)
+	for err := range cerrs {
+		t.Fatalf("concurrent client against ftserve: %v\n%s", err, output.Bytes())
+	}
+
+	// Repair-or-reject against the real binary.
+	dst := make([]complex128, n)
+	c.InjectWireFaults(func(payload []byte) {
+		payload[16] ^= 0x40
+		payload[23] ^= 0x01
+	})
+	rep, err := c.Forward(ctx, dst, x, ftfft.WithProtection(ftfft.OnlineABFTMemory))
+	if err != nil || rep.MemCorrections != 1 {
+		t.Fatalf("wire repair through ftserve: err=%v rep=%+v", err, rep)
+	}
+	c.InjectWireFaults(func(payload []byte) {
+		for _, e := range []int{1, 1000, 3000} {
+			payload[e*16] ^= 0x40
+			payload[e*16+7] ^= 0x01
+		}
+	})
+	if _, err := c.Forward(ctx, dst, x, ftfft.WithProtection(ftfft.OnlineABFTMemory)); !errors.Is(err, ftfft.ErrUncorrectable) {
+		t.Fatalf("uncorrectable through ftserve: err=%v", err)
+	}
+	c.InjectWireFaults(nil)
+	if _, err := c.Forward(ctx, dst, x); err != nil {
+		t.Fatalf("clean request after reject: %v", err)
+	}
+	c.Close()
+
+	// SIGTERM: graceful drain, zero exit.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ftserve exit after SIGTERM: %v\n%s", err, output.Bytes())
+		}
+	case <-time.After(30 * time.Second):
+		srv.Process.Kill()
+		t.Fatalf("ftserve did not drain after SIGTERM\n%s", output.Bytes())
+	}
+	if !bytes.Contains(output.Bytes(), []byte("drained cleanly")) {
+		t.Fatalf("ftserve output missing drain confirmation:\n%s", output.Bytes())
+	}
+	// New connections are refused once drained.
+	if _, err := ftfft.Dial("unix", sock); err == nil {
+		t.Fatal("dial succeeded after server drained")
+	}
+}
