@@ -15,11 +15,12 @@ benchtime="${BENCHTIME:-2s}"
 out="BENCH_$(date +%Y%m%d).json"
 
 # Root package: the paper's figure/table families, the public kernel pair
-# (BenchmarkKernelRFFT vs BenchmarkKernelComplexSameLength), and the
+# (BenchmarkKernelRFFT vs BenchmarkKernelComplexSameLength), the
 # BenchmarkServe* service family (sustained multi-client QPS with p50/p99
 # request latencies, mixed-traffic plan-cache multiplexing, unloaded round
-# trip vs the in-process local baseline); then the fft engine's
-# BenchmarkKernel* micro family (flat vs recursive, in-place, Bluestein
-# convolution-length chooser).
+# trip vs the in-process local baseline), and the BenchmarkWire* transport
+# family (chan shared/message vs the unix-socket codec vs the shm ring
+# wire); then the fft engine's BenchmarkKernel* micro family (flat vs
+# recursive, in-place, Bluestein convolution-length chooser).
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . ./internal/fft/ | tee "$out"
 echo "wrote $out" >&2

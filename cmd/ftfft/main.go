@@ -16,18 +16,21 @@
 // inverts the spectrum and checks the round trip; injected faults strike the
 // inner complex transform's sites and are repaired by the same machinery.
 //
-// Distributed execution (real OS processes over sockets):
+// Distributed execution (real OS processes over sockets or shared memory):
 //
 //	ftfft -n 16 -parallel 4 -listen /tmp/ftfft.sock -spawn-workers
 //	ftfft -n 16 -parallel 4 -listen /tmp/ftfft.sock   # plus, in 3 shells:
 //	ftfft -worker -connect /tmp/ftfft.sock
+//	ftfft -n 16 -parallel 4 -transport shm -listen /tmp/ftfft.ring -spawn-workers
 //
 // -listen makes this process rank 0 of a p-rank socket world (Unix-domain
 // when the address contains a path separator or no colon, TCP otherwise)
 // and blocks until the p-1 workers dial in; -spawn-workers forks them
 // automatically. -worker -connect turns the process into one rank: it takes
 // its geometry and protection from the hub's handshake and serves transforms
-// until the driver exits.
+// until the driver exits. -transport shm swaps the sockets for same-host
+// memory-mapped ring buffers (the -listen/-connect address is the ring-file
+// path, created by the driver and removed on exit).
 //
 // -inject takes a mix like "2m+1c": m = memory faults, c = computational
 // faults. -dims runs the N-dimensional axis-pass engine over the given
@@ -72,13 +75,21 @@ func main() {
 	connectAddr := flag.String("connect", "", "worker mode: hub address to dial")
 	listenAddr := flag.String("listen", "", "driver mode: run -parallel ranks as OS processes; listen for workers here")
 	spawnWorkers := flag.Bool("spawn-workers", false, "with -listen: fork the worker processes automatically")
+	transport := flag.String("transport", "socket", "distributed wire: socket (unix/tcp, inferred from the address) or shm (same-host memory-mapped rings; -listen/-connect is the ring-file path)")
 	flag.Parse()
 
+	if *transport != "socket" && *transport != "shm" {
+		fatalf("unknown -transport %q (want socket or shm)", *transport)
+	}
 	if *worker {
 		if *connectAddr == "" {
 			fatalf("-worker requires -connect")
 		}
-		if err := ftfft.ServeWorker(context.Background(), networkFor(*connectAddr), *connectAddr); err != nil {
+		network := networkFor(*connectAddr)
+		if *transport == "shm" {
+			network = "shm"
+		}
+		if err := ftfft.ServeWorker(context.Background(), network, *connectAddr); err != nil {
 			fatalf("worker: %v", err)
 		}
 		return
@@ -171,12 +182,27 @@ func main() {
 			fatalf("-listen needs a 1-D transform with -parallel ≥ 2")
 		}
 		network := networkFor(*listenAddr)
-		if network == "unix" {
-			os.Remove(*listenAddr)
+		var hub interface {
+			ftfft.Transport
+			Close() error
 		}
-		hub, err := ftfft.ListenHub(network, *listenAddr, *parallelRanks)
-		if err != nil {
-			fatalf("%v", err)
+		if *transport == "shm" {
+			network = "shm"
+			os.Remove(*listenAddr)
+			h, err := ftfft.ListenShmHub(*listenAddr, *parallelRanks)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			hub = h
+		} else {
+			if network == "unix" {
+				os.Remove(*listenAddr)
+			}
+			h, err := ftfft.ListenHub(network, *listenAddr, *parallelRanks)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			hub = h
 		}
 		defer hub.Close()
 		opts = append(opts, ftfft.WithTransport(hub))
@@ -187,7 +213,7 @@ func main() {
 				fatalf("%v", err)
 			}
 			for i := 1; i < *parallelRanks; i++ {
-				w := exec.Command(self, "-worker", "-connect", *listenAddr)
+				w := exec.Command(self, "-worker", "-transport", *transport, "-connect", *listenAddr)
 				w.Stderr = os.Stderr
 				if err := w.Start(); err != nil {
 					fatalf("spawning worker %d: %v", i, err)

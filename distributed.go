@@ -37,6 +37,31 @@ func ListenHub(network, addr string, ranks int) (*Hub, error) {
 	return mpi.ListenHub(network, addr, ranks)
 }
 
+// ShmHub is the root process's side of a same-host shared-memory world: rank
+// 0 runs in the caller's process, the remaining ranks are worker processes
+// attached to the same memory-mapped ring file. Like Hub it is passed to New
+// via WithTransport and Closed when the Transform is retired (which also
+// removes the ring file); InjectWireFaults corrupts serialized payload bytes
+// in the rings, the same wire-level fault site the socket hub exposes.
+type ShmHub = mpi.ShmHubTransport
+
+// ListenShmHub opens the root side of a same-host shared-memory world for
+// ranks ranks, backed by per-rank-pair ring buffers in a memory-mapped file
+// at path (which must not exist — it is created here and removed on Close).
+// Start ranks-1 worker processes on the same path (ServeWorker with network
+// "shm", or `ftfft -worker -transport shm -connect path`); the handshake —
+// sizing the rings from the plan geometry, publishing it in the file header,
+// and waiting for every worker to claim a rank — completes inside New, which
+// therefore blocks until all workers attach (bounded by a 120 s timeout).
+//
+// Unlike the socket wire, the shared-memory world is a full mesh: every rank
+// pair has its own ring, so worker↔worker traffic never relays through the
+// root. Frames are serialized directly into the destination ring and copied
+// out exactly once on receipt — no per-message syscalls or kernel copies.
+func ListenShmHub(path string, ranks int) (*ShmHub, error) {
+	return mpi.CreateShmHub(path, ranks)
+}
+
 // MessageOnlyTransport is an in-process channel wire for ranks ranks with
 // the shared-memory fast path masked: rank bodies must use the explicit
 // root-rank scatter/gather message exchanges, exactly as over sockets, while
@@ -65,6 +90,8 @@ func WithTransport(t Transport) Option {
 // the handshake — which assigns the rank and delivers the root plan's
 // geometry and protection parameters, so both sides provably run the same
 // scheme — and serves its slice of every transform the root initiates.
+// Network "shm" attaches to the shared-memory world at the ring-file path
+// addr (see ListenShmHub) instead of dialing a socket.
 //
 // ServeWorker returns nil when the root closes the hub (clean shutdown) and
 // the wire or transform failure otherwise. Accepted options: WithInjector
@@ -98,11 +125,23 @@ func ServeWorker(ctx context.Context, network, addr string, opts ...Option) erro
 		pool = exec.New(c.workers)
 		defer pool.Close()
 	}
-	tr, meta, err := mpi.DialWorker(network, addr)
-	if err != nil {
-		return err
+	var tr mpi.Transport
+	var meta mpi.WorldMeta
+	if network == "shm" {
+		wt, m, err := mpi.DialShmWorker(addr)
+		if err != nil {
+			return err
+		}
+		defer wt.Close()
+		tr, meta = wt, m
+	} else {
+		wt, m, err := mpi.DialWorker(network, addr)
+		if err != nil {
+			return err
+		}
+		defer wt.Close()
+		tr, meta = wt, m
 	}
-	defer tr.Close()
 	pl, err := parallel.NewPlan(meta.N, meta.P, parallel.Config{
 		Protected:  meta.Protected,
 		Optimized:  meta.Optimized,

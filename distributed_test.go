@@ -43,13 +43,14 @@ func buildWorkerBinary(t *testing.T) string {
 	return workerBin
 }
 
-// spawnWorkers starts count `ftfft -worker -connect sock` OS processes and
-// returns a reaper that asserts every one of them exited cleanly.
-func spawnWorkers(t *testing.T, bin, sock string, count int) func() {
+// spawnWorkers starts count `ftfft -worker -transport transport -connect
+// addr` OS processes and returns a reaper that asserts every one of them
+// exited cleanly.
+func spawnWorkers(t *testing.T, bin, transport, addr string, count int) func() {
 	t.Helper()
 	procs := make([]*exec.Cmd, count)
 	for i := range procs {
-		w := exec.Command(bin, "-worker", "-connect", sock)
+		w := exec.Command(bin, "-worker", "-transport", transport, "-connect", addr)
 		w.Stderr = os.Stderr
 		if err := w.Start(); err != nil {
 			t.Fatalf("starting worker %d: %v", i, err)
@@ -75,10 +76,12 @@ func spawnWorkers(t *testing.T, bin, sock string, count int) func() {
 
 // TestDistributedBitIdentical is the multi-process acceptance test: a p-rank
 // transform whose ranks 1..p-1 are real OS processes (cmd/ftfft worker mode,
-// Unix-domain sockets) must produce bit-for-bit the output of the in-process
-// run over the message-only chan wire — the same message sequence, so the
-// comparison holds with injected faults too — and, transform for transform,
-// identical fault Reports. Forward and Inverse both cross the wire.
+// over Unix-domain sockets and over the shared-memory ring file) must
+// produce bit-for-bit the output of the in-process run over the message-only
+// chan wire — the same message sequence, so the comparison holds with
+// injected faults too — and, transform for transform, identical fault
+// Reports. Forward and Inverse both cross the wire, and the reaper asserts
+// every worker process exits 0 after the hub closes.
 func TestDistributedBitIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns OS processes")
@@ -104,13 +107,17 @@ func TestDistributedBitIdentical(t *testing.T) {
 	}
 
 	for _, tc := range []struct {
-		name   string
-		prot   ftfft.Protection
-		faulty bool
+		name      string
+		transport string
+		prot      ftfft.Protection
+		faulty    bool
 	}{
-		{"plain", ftfft.None, false},
-		{"online-memory", ftfft.OnlineABFTMemory, false},
-		{"online-memory-faulty", ftfft.OnlineABFTMemory, true},
+		{"plain", "socket", ftfft.None, false},
+		{"online-memory", "socket", ftfft.OnlineABFTMemory, false},
+		{"online-memory-faulty", "socket", ftfft.OnlineABFTMemory, true},
+		{"shm-plain", "shm", ftfft.None, false},
+		{"shm-online-memory", "shm", ftfft.OnlineABFTMemory, false},
+		{"shm-online-memory-faulty", "shm", ftfft.OnlineABFTMemory, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			refOpts := []ftfft.Option{
@@ -128,12 +135,27 @@ func TestDistributedBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			sock := filepath.Join(t.TempDir(), "hub.sock")
-			hub, err := ftfft.ListenHub("unix", sock, p)
-			if err != nil {
-				t.Fatal(err)
+			var hub interface {
+				ftfft.Transport
+				Close() error
 			}
-			reap := spawnWorkers(t, bin, sock, p-1)
+			var addr string
+			if tc.transport == "shm" {
+				addr = filepath.Join(t.TempDir(), "hub.ring")
+				h, err := ftfft.ListenShmHub(addr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hub = h
+			} else {
+				addr = filepath.Join(t.TempDir(), "hub.sock")
+				h, err := ftfft.ListenHub("unix", addr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hub = h
+			}
+			reap := spawnWorkers(t, bin, tc.transport, addr, p-1)
 			distOpts := []ftfft.Option{
 				ftfft.WithRanks(p), ftfft.WithProtection(tc.prot), ftfft.WithTransport(hub),
 			}

@@ -142,6 +142,25 @@
 // deadlocking it; the failed Transform's wire is then retired and later
 // calls fail fast.
 //
+// Four wires carry the identical frames; they differ only in reach and in
+// the cost of moving bytes. The default in-process chan wire grants the
+// zero-copy scatter/gather fast path; MessageOnlyTransport(p) masks it to
+// price (and pin) the explicit message path; ListenHub("unix"/"tcp", …)
+// crosses process — and with tcp, host — boundaries through sockets, worker↔
+// worker frames relaying through the hub; ListenShmHub(path, p) is the
+// same-host wire: a memory-mapped ring file of p×p single-producer
+// single-consumer rings, where a send serializes its frame directly into
+// the destination ring and publishes it with one atomic store — no
+// syscalls, no kernel copies, no hub relay — and workers dial by path with
+// ServeWorker(ctx, "shm", path).
+//
+// Protected payloads carry their §5 checksum pair without a separate
+// generation pass: the pair accumulates inside the serialization loop on
+// send and inside the decode loop on receive (fused sweeps), and the fusion
+// is bit-identical to running checksum generation as its own pass — same
+// element order, same rounding — on the rank wire and the service wire
+// alike.
+//
 // The shared-memory fast-path guarantee: without WithTransport, ranks run
 // in-process over a channel wire that grants the SharedMemory capability,
 // and rank bodies copy their slices of the caller's arrays directly instead

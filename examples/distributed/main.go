@@ -1,17 +1,25 @@
 // Distributed: the six-step parallel FFT (paper §5) over real OS processes.
 // The driver is rank 0; it re-executes itself ranks-1 times as worker
-// processes, which dial the Unix-domain hub, take their rank and plan
-// parameters from the wire handshake, and serve their slice of every
-// transform — the same message-passing rank bodies that run in-process, now
-// with every block crossing a socket through the byte-level codec. A soft
-// error is injected into a message payload in the driver; the receiving
-// worker process detects and repairs it from the block checksums.
+// processes, which dial the hub, take their rank and plan parameters from
+// the wire handshake, and serve their slice of every transform — the same
+// message-passing rank bodies that run in-process, now with every block
+// crossing a process boundary through the byte-level codec. A soft error is
+// injected into a message payload in the driver; the receiving worker
+// process detects and repairs it from the block checksums.
 //
-//	go run ./examples/distributed
+// The -transport flag picks the wire:
+//
+//	go run ./examples/distributed                  # Unix-domain socket hub
+//	go run ./examples/distributed -transport shm   # mmap shared-memory rings
+//
+// Both runs produce bit-identical output — the transports move the same
+// frames, so the repair story and the arithmetic are unchanged; only the
+// cost of moving bytes between processes differs.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/cmplx"
@@ -28,26 +36,53 @@ const (
 	n     = 1 << 16
 	ranks = 4
 
-	workerEnv = "FTFFT_DISTRIBUTED_WORKER"
+	workerEnv          = "FTFFT_DISTRIBUTED_WORKER"
+	workerTransportEnv = "FTFFT_DISTRIBUTED_TRANSPORT"
 )
 
 func main() {
+	transport := flag.String("transport", "socket", "wire between processes: socket (Unix-domain hub) or shm (mmap ring file)")
+	flag.Parse()
 	if addr := os.Getenv(workerEnv); addr != "" {
 		// Worker process: one rank, geometry and protection from the hub.
-		if err := ftfft.ServeWorker(context.Background(), "unix", addr); err != nil {
+		network := "unix"
+		if os.Getenv(workerTransportEnv) == "shm" {
+			network = "shm"
+		}
+		if err := ftfft.ServeWorker(context.Background(), network, addr); err != nil {
 			log.Fatalf("worker: %v", err)
 		}
 		return
 	}
-
-	sock := filepath.Join(os.TempDir(), fmt.Sprintf("ftfft-distributed-%d.sock", os.Getpid()))
-	os.Remove(sock)
-	defer os.Remove(sock)
-
-	hub, err := ftfft.ListenHub("unix", sock, ranks)
-	if err != nil {
-		log.Fatal(err)
+	if *transport != "socket" && *transport != "shm" {
+		log.Fatalf("unknown -transport %q (want socket or shm)", *transport)
 	}
+
+	var (
+		hub interface {
+			ftfft.Transport
+			Close() error
+		}
+		addr string
+	)
+	if *transport == "shm" {
+		addr = filepath.Join(os.TempDir(), fmt.Sprintf("ftfft-distributed-%d.ring", os.Getpid()))
+		os.Remove(addr)
+		h, err := ftfft.ListenShmHub(addr, ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hub = h
+	} else {
+		addr = filepath.Join(os.TempDir(), fmt.Sprintf("ftfft-distributed-%d.sock", os.Getpid()))
+		os.Remove(addr)
+		h, err := ftfft.ListenHub("unix", addr, ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hub = h
+	}
+	defer os.Remove(addr)
 	defer hub.Close()
 
 	self, err := os.Executable()
@@ -57,7 +92,7 @@ func main() {
 	var workers []*exec.Cmd
 	for i := 1; i < ranks; i++ {
 		w := exec.Command(self)
-		w.Env = append(os.Environ(), workerEnv+"="+sock)
+		w.Env = append(os.Environ(), workerEnv+"="+addr, workerTransportEnv+"="+*transport)
 		w.Stderr = os.Stderr
 		if err := w.Start(); err != nil {
 			log.Fatal(err)
@@ -113,7 +148,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("distributed FT-FFT: %d points over %d OS processes (unix socket hub)\n", n, ranks)
+	wire := "unix socket hub"
+	if *transport == "shm" {
+		wire = "shared-memory rings"
+	}
+	fmt.Printf("distributed FT-FFT: %d points over %d OS processes (%s)\n", n, ranks, wire)
 	fmt.Printf("forward+inverse   : %v\n", took)
 	for _, r := range sched.Records() {
 		fmt.Printf("injected          : %s at %s (driver) -> repaired by the receiving worker\n", r.Fault.Mode, r.Site)

@@ -109,3 +109,48 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShmFrame feeds arbitrary ring bytes and counter states to the
+// shared-memory record decoder: whatever another process scribbled into the
+// mapping — torn records, hostile lengths, runaway counters, misaligned
+// heads — must come back as an error or a validated record, never a panic.
+// Accepted records must stay inside the published region and re-parse to the
+// same frame header (the decoder aliases, it does not copy).
+func FuzzShmFrame(f *testing.F) {
+	seedHdr := frameHeader{typ: frameData, flags: flagHasCS, tag: 3, src: 1, dst: 0, count: 2}
+	seed := make([]byte, 256)
+	seed[0] = byte(frameHeaderLen + checksumLen + 2*elemLen)
+	seed[4] = 5 // seq
+	putHeader(seed[shmRecHdrBytes:], seedHdr)
+	f.Add(seed, uint64(0), uint64(96), uint32(5))
+	wrap := make([]byte, 64)
+	wrap[0], wrap[1], wrap[2], wrap[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(wrap, uint64(0), uint64(64), uint32(0))
+	f.Add([]byte{}, uint64(0), uint64(0), uint32(0))
+	f.Add(bytes.Repeat([]byte{0xA5}, 128), uint64(1<<40), uint64(1<<40+64), uint32(9))
+
+	const p, maxElems = 8, 1 << 10
+	f.Fuzz(func(t *testing.T, data []byte, head, tail uint64, seq uint32) {
+		advance, isWrap, h, body, err := decodeShmRecord(data, head, tail, seq, p, maxElems)
+		if err != nil {
+			return
+		}
+		if advance == 0 || advance > uint64(len(data)) || advance > tail-head {
+			t.Fatalf("accepted advance %d outside ring of %d (published %d)", advance, len(data), tail-head)
+		}
+		if isWrap {
+			return
+		}
+		// The body must sit inside the record the advance spans, and the
+		// header must re-encode to the bytes the decoder validated.
+		if uint64(shmRecHdrBytes+frameHeaderLen+len(body)) > advance+7 {
+			t.Fatalf("body of %d bytes overruns the %d-byte record", len(body), advance)
+		}
+		var hdr [frameHeaderLen]byte
+		putHeader(hdr[:], h)
+		pos := head % uint64(len(data))
+		if !bytes.Equal(hdr[:], data[pos+shmRecHdrBytes:pos+shmRecHdrBytes+frameHeaderLen]) {
+			t.Fatalf("accepted header does not re-encode to the ring bytes")
+		}
+	})
+}

@@ -46,6 +46,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"ftfft/internal/checksum"
 	"ftfft/internal/exec"
 	"ftfft/internal/fault"
 )
@@ -93,6 +94,17 @@ type Message struct {
 	// pb is the pooled backing buffer, recycled when the matching receive
 	// completes; nil for messages materialized by an external transport.
 	pb *payload
+
+	// raw, when non-nil, holds the message's count elements still in their
+	// serialized wire form (count × 16 little-endian bytes): socket and
+	// shared-memory read loops hand frames over undecoded, and the matching
+	// receive decodes the bytes directly into its destination buffer
+	// (decode-in-place) instead of materializing an intermediate complex128
+	// slice. rb is the pooled byte buffer backing raw, recycled at the
+	// receive like pb.
+	raw   []byte
+	count int
+	rb    *wireBuf
 }
 
 // Transport moves tagged messages between ranks — the wire beneath the
@@ -521,7 +533,9 @@ type RecvRequest struct {
 	src   int
 	tag   int
 	buf   []complex128
+	w     []complex128 // fused §5 weights (IrecvPair); nil for plain receives
 	cs    [2]complex128
+	pair  checksum.Pair
 	hasCS bool
 	done  bool
 }
@@ -547,6 +561,30 @@ func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRe
 	return sendDone
 }
 
+// IsendPair is Isend with the §5 block-checksum pair generated during the
+// payload capture — one fused pass over data produces both the wire copy and
+// the checksums, instead of a checksum.GeneratePair sweep followed by a
+// copy. The summation order matches GeneratePair exactly, so the attached
+// pair is bit-identical to the separate-pass value; w must have len(data)
+// weights. The pair is computed over the caller's data before the transit
+// fault injector touches the copy, so a wire fault is detectable downstream.
+func (c *Comm) IsendPair(dst, tag int, data, w []complex128) *SendRequest {
+	pb := getPayload(len(data))
+	var d1, d2 complex128
+	for j, v := range data {
+		pb.data[j] = v
+		t := w[j] * v
+		d1 += t
+		d2 += complex(float64(j), 0) * t
+	}
+	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
+	m := Message{Tag: tag, Data: pb.data, pb: pb, CS: [2]complex128{d1, d2}, HasCS: true}
+	if !c.w.tr.Send(dst, c.rank, m, c.w.done) {
+		payloads.Put(pb)
+	}
+	return sendDone
+}
+
 // Send is a blocking send (buffered, so it completes immediately).
 func (c *Comm) Send(dst, tag int, data []complex128, cs *[2]complex128) {
 	c.Isend(dst, tag, data, cs)
@@ -555,6 +593,16 @@ func (c *Comm) Send(dst, tag int, data []complex128, cs *[2]complex128) {
 // Irecv posts a receive of exactly len(buf) elements from src under tag.
 // Completion happens in Wait.
 func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
+	return c.IrecvPair(src, tag, buf, nil)
+}
+
+// IrecvPair is Irecv with a fused §5 verification sweep: completion computes
+// the weighted checksum pair over the received elements during the single
+// decode/copy pass (bit-identical to checksum.GeneratePair(w, buf) over the
+// completed buffer), so the receiver can compare it against the carried pair
+// without a second pass over the payload. Join with WaitPair. w must have
+// len(buf) weights; nil degrades to a plain Irecv.
+func (c *Comm) IrecvPair(src, tag int, buf, w []complex128) *RecvRequest {
 	var r *RecvRequest
 	if k := len(c.freeReqs); k > 0 {
 		r = c.freeReqs[k-1]
@@ -562,16 +610,58 @@ func (c *Comm) Irecv(src, tag int, buf []complex128) *RecvRequest {
 	} else {
 		r = new(RecvRequest)
 	}
-	*r = RecvRequest{c: c, src: src, tag: tag, buf: buf}
+	*r = RecvRequest{c: c, src: src, tag: tag, buf: buf, w: w}
 	return r
 }
 
-// complete copies the matched message into the receive buffer, recycles the
-// pooled payload (if any) and the request, and records the carried checksums.
+// complete lands the matched message in the receive buffer — decoding raw
+// wire bytes directly into it, or copying an in-process payload — fused,
+// when the receive posted weights, with the §5 pair generation over the
+// received elements. The pooled backing buffer (bytes or complex128s) is
+// recycled, the request returns to the freelist, and the carried checksums
+// are recorded.
 func (r *RecvRequest) complete(m Message) {
-	copy(r.buf, m.Data)
-	if m.pb != nil {
-		payloads.Put(m.pb)
+	if m.raw != nil {
+		n := min(len(r.buf), m.count)
+		if r.w != nil && n == len(r.buf) && len(r.w) >= n {
+			var d1, d2 complex128
+			for i := 0; i < n; i++ {
+				z := getComplex(m.raw, i*elemLen)
+				r.buf[i] = z
+				t := r.w[i] * z
+				d1 += t
+				d2 += complex(float64(i), 0) * t
+			}
+			r.pair = checksum.Pair{D1: d1, D2: d2}
+		} else {
+			for i := 0; i < n; i++ {
+				r.buf[i] = getComplex(m.raw, i*elemLen)
+			}
+			if r.w != nil {
+				r.pair = checksum.GeneratePair(r.w, r.buf)
+			}
+		}
+		putWireBuf(m.rb)
+	} else {
+		if r.w != nil && len(m.Data) >= len(r.buf) && len(r.w) >= len(r.buf) {
+			var d1, d2 complex128
+			for i := range r.buf {
+				z := m.Data[i]
+				r.buf[i] = z
+				t := r.w[i] * z
+				d1 += t
+				d2 += complex(float64(i), 0) * t
+			}
+			r.pair = checksum.Pair{D1: d1, D2: d2}
+		} else {
+			copy(r.buf, m.Data)
+			if r.w != nil {
+				r.pair = checksum.GeneratePair(r.w, r.buf)
+			}
+		}
+		if m.pb != nil {
+			payloads.Put(m.pb)
+		}
 	}
 	r.cs, r.hasCS, r.done = m.CS, m.HasCS, true
 	r.c.freeReqs = append(r.c.freeReqs, r)
@@ -583,8 +673,17 @@ func (r *RecvRequest) complete(m Message) {
 // untouched. Wait must be called at most once per posted receive: completion
 // returns the request to the endpoint's freelist for reuse by a later Irecv.
 func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
+	cs, hasCS, _, err = r.WaitPair()
+	return cs, hasCS, err
+}
+
+// WaitPair is Wait, additionally returning the locally computed §5 pair of a
+// receive posted with IrecvPair (the fused verification sweep). The pair is
+// meaningful only on a successful completion of a weighted receive; plain
+// Irecv receives return a zero pair.
+func (r *RecvRequest) WaitPair() (cs [2]complex128, hasCS bool, pair checksum.Pair, err error) {
 	if r.done {
-		return r.cs, r.hasCS, nil
+		return r.cs, r.hasCS, r.pair, nil
 	}
 	c := r.c
 	// First scan messages already popped for other tags.
@@ -593,7 +692,7 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
 		if m.Tag == r.tag {
 			c.pending[r.src] = append(q[:i], q[i+1:]...)
 			r.complete(m)
-			return r.cs, r.hasCS, nil
+			return r.cs, r.hasCS, r.pair, nil
 		}
 	}
 	for {
@@ -605,11 +704,11 @@ func (r *RecvRequest) Wait() (cs [2]complex128, hasCS bool, err error) {
 			err := c.w.abortError()
 			r.done = true
 			c.freeReqs = append(c.freeReqs, r)
-			return cs, false, err
+			return cs, false, pair, err
 		}
 		if m.Tag == r.tag {
 			r.complete(m)
-			return r.cs, r.hasCS, nil
+			return r.cs, r.hasCS, r.pair, nil
 		}
 		c.pending[r.src] = append(c.pending[r.src], m)
 	}

@@ -37,6 +37,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"ftfft/internal/checksum"
 )
 
 // Service frame types, continuing the wire.go enum.
@@ -289,17 +291,110 @@ func AppendServeRequest(buf []byte, req *ServeRequest) (frame []byte, payloadOff
 	return buf, payloadOff
 }
 
+// AppendServeRequestPair is AppendServeRequest with the §5 block-checksum
+// pair generated during payload serialization — one fused pass produces both
+// the wire bytes and the checksums, in checksum.GeneratePair's (complex) or
+// the sample-pair (real) summation order exactly, so the attached pair is
+// bit-identical to the separate-pass value. w must hold len(Data) weights
+// for a complex payload or len(Real)/2 for a real one. req.CS and req.HasCS
+// are set to the generated pair.
+func AppendServeRequestPair(buf []byte, req *ServeRequest, w []complex128) (frame []byte, payloadOff int) {
+	req.HasCS = true
+	flags := byte(flagHasCS)
+	count := len(req.Data)
+	if req.Real != nil {
+		flags |= flagReal
+		count = len(req.Real)
+	}
+	start := len(buf)
+	total := serveFrameSize(frameRequest, flags, count)
+	buf = appendZeros(buf, total)
+	b := buf[start:]
+	putHeader(b, frameHeader{typ: frameRequest, flags: flags, tag: req.ID, count: count})
+	off := frameHeaderLen
+	b[off] = byte(req.Op)
+	b[off+1] = req.Protection
+	b[off+2] = byte(len(req.Dims))
+	binary.LittleEndian.PutUint32(b[off+4:], uint32(req.N))
+	for i, d := range req.Dims {
+		binary.LittleEndian.PutUint32(b[off+8+4*i:], uint32(d))
+	}
+	off += serveReqMetaLen
+	csOff := off
+	off += checksumLen
+	payloadOff = start + off
+	var pr checksum.Pair
+	if flags&flagReal != 0 {
+		pr = putFloatsPair(b, off, req.Real, w)
+	} else {
+		pr = putComplexPair(b, off, req.Data, w)
+	}
+	req.CS = [2]complex128{pr.D1, pr.D2}
+	putComplex(b, csOff, pr.D1)
+	putComplex(b, csOff+elemLen, pr.D2)
+	return buf, payloadOff
+}
+
+// putComplexPair serializes x at b[off:] while accumulating the §5 pair in
+// checksum.GeneratePair's exact summation order — the fused encode sweep.
+func putComplexPair(b []byte, off int, x, w []complex128) checksum.Pair {
+	var d1, d2 complex128
+	for j, z := range x {
+		putComplex(b, off, z)
+		off += elemLen
+		t := w[j] * z
+		d1 += t
+		d2 += complex(float64(j), 0) * t
+	}
+	return checksum.Pair{D1: d1, D2: d2}
+}
+
+// putFloatsPair serializes x at b[off:] while accumulating the pair over
+// adjacent sample pairs, in floatPair's exact summation order. len(x) must
+// be ≥ 2·len(w); a trailing unpaired sample (never present on valid
+// payloads) is serialized but not summed.
+func putFloatsPair(b []byte, off int, x []float64, w []complex128) checksum.Pair {
+	var d1, d2 complex128
+	for j := range w {
+		v0, v1 := x[2*j], x[2*j+1]
+		putFloat(b, off, v0)
+		putFloat(b, off+8, v1)
+		off += 16
+		t := w[j] * complex(v0, v1)
+		d1 += t
+		d2 += complex(float64(j), 0) * t
+	}
+	for k := 2 * len(w); k < len(x); k++ {
+		putFloat(b, off, x[k])
+		off += 8
+	}
+	return checksum.Pair{D1: d1, D2: d2}
+}
+
 // DecodeServeRequest materializes a request from a validated frame's body.
 // The payload is drawn from the shared pool; call Release when done.
 func DecodeServeRequest(f ServeFrame, body []byte) (*ServeRequest, error) {
+	req, _, _, err := DecodeServeRequestPair(f, body, nil)
+	return req, err
+}
+
+// DecodeServeRequestPair is DecodeServeRequest with the §5 verification
+// sweep fused into the payload decode: when the frame carries checksums (and
+// weightsFor is non-nil), the receiver-side pair is computed during the
+// single decode pass, bit-identical to a separate GeneratePair (complex) or
+// sample-pair (real) sweep over the decoded payload. weightsFor returns the
+// cached weight vector for a given length — called with the element count
+// for complex payloads, count/2 for real ones — and only when the frame
+// carries checksums. curOK reports whether cur was computed.
+func DecodeServeRequestPair(f ServeFrame, body []byte, weightsFor func(n int) []complex128) (req *ServeRequest, cur checksum.Pair, curOK bool, err error) {
 	h := frameHeader{typ: f.Type, flags: f.Flags, tag: f.ID, count: f.Count}
 	if f.Type != frameRequest || len(body) != h.payloadBytes() {
-		return nil, fmt.Errorf("mpi: request frame body %d bytes, want %d", len(body), h.payloadBytes())
+		return nil, cur, false, fmt.Errorf("mpi: request frame body %d bytes, want %d", len(body), h.payloadBytes())
 	}
 	if body[3] != 0 {
-		return nil, fmt.Errorf("mpi: request frame with nonzero reserved meta byte %#x", body[3])
+		return nil, cur, false, fmt.Errorf("mpi: request frame with nonzero reserved meta byte %#x", body[3])
 	}
-	req := &ServeRequest{
+	req = &ServeRequest{
 		ID:         f.ID,
 		Op:         ServeOp(body[0]),
 		Protection: body[1],
@@ -307,7 +402,7 @@ func DecodeServeRequest(f ServeFrame, body []byte) (*ServeRequest, error) {
 	}
 	nd := int(body[2])
 	if nd > MaxServeDims {
-		return nil, fmt.Errorf("mpi: request carries %d dims, limit %d", nd, MaxServeDims)
+		return nil, cur, false, fmt.Errorf("mpi: request carries %d dims, limit %d", nd, MaxServeDims)
 	}
 	if nd > 0 {
 		req.Dims = make([]int, nd)
@@ -317,7 +412,7 @@ func DecodeServeRequest(f ServeFrame, body []byte) (*ServeRequest, error) {
 	}
 	for i := nd; i < MaxServeDims; i++ {
 		if binary.LittleEndian.Uint32(body[8+4*i:]) != 0 {
-			return nil, fmt.Errorf("mpi: request frame with nonzero unused dim slot %d", i)
+			return nil, cur, false, fmt.Errorf("mpi: request frame with nonzero unused dim slot %d", i)
 		}
 	}
 	off := serveReqMetaLen
@@ -327,22 +422,71 @@ func DecodeServeRequest(f ServeFrame, body []byte) (*ServeRequest, error) {
 		req.HasCS = true
 		off += checksumLen
 	}
+	fuse := req.HasCS && weightsFor != nil
 	if f.Flags&flagReal != 0 {
 		req.fpb = getFloatPayload(f.Count)
 		req.Real = req.fpb.data
-		for i := range req.Real {
-			req.Real[i] = getFloat(body, off)
-			off += 8
+		if fuse {
+			cur = getFloatsPair(body, off, req.Real, weightsFor(f.Count/2))
+			curOK = true
+		} else {
+			for i := range req.Real {
+				req.Real[i] = getFloat(body, off)
+				off += 8
+			}
 		}
 	} else {
 		req.pb = getPayload(f.Count)
 		req.Data = req.pb.data
-		for i := range req.Data {
-			req.Data[i] = getComplex(body, off)
-			off += elemLen
+		if fuse {
+			cur = getComplexPair(body, off, req.Data, weightsFor(f.Count))
+			curOK = true
+		} else {
+			for i := range req.Data {
+				req.Data[i] = getComplex(body, off)
+				off += elemLen
+			}
 		}
 	}
-	return req, nil
+	return req, cur, curOK, nil
+}
+
+// getComplexPair decodes len(x) elements from body[off:] into x while
+// accumulating the §5 pair in checksum.GeneratePair's exact summation order
+// — the fused decode sweep.
+func getComplexPair(body []byte, off int, x, w []complex128) checksum.Pair {
+	var d1, d2 complex128
+	for i := range x {
+		z := getComplex(body, off)
+		off += elemLen
+		x[i] = z
+		t := w[i] * z
+		d1 += t
+		d2 += complex(float64(i), 0) * t
+	}
+	return checksum.Pair{D1: d1, D2: d2}
+}
+
+// getFloatsPair decodes len(x) samples from body[off:] into x while
+// accumulating the pair over adjacent sample pairs, in floatPair's exact
+// summation order. A trailing unpaired sample (odd count — rejected later by
+// request validation) is decoded but not summed.
+func getFloatsPair(body []byte, off int, x []float64, w []complex128) checksum.Pair {
+	var d1, d2 complex128
+	for j := range w {
+		v0 := getFloat(body, off)
+		v1 := getFloat(body, off+8)
+		off += 16
+		x[2*j], x[2*j+1] = v0, v1
+		t := w[j] * complex(v0, v1)
+		d1 += t
+		d2 += complex(float64(j), 0) * t
+	}
+	for k := 2 * len(w); k < len(x); k++ {
+		x[k] = getFloat(body, off)
+		off += 8
+	}
+	return checksum.Pair{D1: d1, D2: d2}
 }
 
 // AppendServeResponse appends resp as one response frame to buf, returning
@@ -396,14 +540,72 @@ func AppendServeResponse(buf []byte, resp *ServeResponse) (frame []byte, payload
 	return buf, payloadOff
 }
 
+// AppendServeResponsePair is AppendServeResponse with the §5 pair generated
+// during payload serialization (the fused encode sweep; see
+// AppendServeRequestPair for the bit-identity contract). w must hold
+// len(Data) weights for a complex payload or len(Real)/2 for a real one.
+// resp.CS and resp.HasCS are set to the generated pair.
+func AppendServeResponsePair(buf []byte, resp *ServeResponse, w []complex128) (frame []byte, payloadOff int) {
+	resp.HasCS = true
+	flags := byte(flagHasCS)
+	count := len(resp.Data)
+	if resp.Real != nil {
+		flags |= flagReal
+		count = len(resp.Real)
+	}
+	start := len(buf)
+	total := serveFrameSize(frameResponse, flags, count)
+	buf = appendZeros(buf, total)
+	b := buf[start:]
+	putHeader(b, frameHeader{typ: frameResponse, flags: flags, tag: resp.ID, count: count})
+	off := frameHeaderLen
+	putCounter := func(v int) {
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+		off += 4
+	}
+	putCounter(resp.Report.Detections)
+	putCounter(resp.Report.CompRecomputations)
+	putCounter(resp.Report.MemCorrections)
+	putCounter(resp.Report.TwiddleCorrections)
+	putCounter(resp.Report.FullRestarts)
+	if resp.Report.Uncorrectable {
+		b[off] = 1
+	}
+	off += 4
+	csOff := off
+	off += checksumLen
+	payloadOff = start + off
+	var pr checksum.Pair
+	if flags&flagReal != 0 {
+		pr = putFloatsPair(b, off, resp.Real, w)
+	} else {
+		pr = putComplexPair(b, off, resp.Data, w)
+	}
+	resp.CS = [2]complex128{pr.D1, pr.D2}
+	putComplex(b, csOff, pr.D1)
+	putComplex(b, csOff+elemLen, pr.D2)
+	return buf, payloadOff
+}
+
 // DecodeServeResponseInto parses a response frame's body, writing the
 // element payload directly into data (complex responses, len ≥ Count) or
 // rdata (real responses, len ≥ Count) — the client decodes straight into
 // the caller's destination buffer, allocation-free.
 func DecodeServeResponseInto(f ServeFrame, body []byte, data []complex128, rdata []float64) (ServeResponse, error) {
+	resp, _, _, err := DecodeServeResponseIntoPair(f, body, data, rdata, nil)
+	return resp, err
+}
+
+// DecodeServeResponseIntoPair is DecodeServeResponseInto with the §5
+// verification sweep fused into the payload decode (see
+// DecodeServeRequestPair). weightsFor is called with the element count for
+// complex payloads, count/2 for real ones, and only when the frame carries
+// checksums; curOK reports whether cur was computed.
+func DecodeServeResponseIntoPair(f ServeFrame, body []byte, data []complex128, rdata []float64, weightsFor func(n int) []complex128) (ServeResponse, checksum.Pair, bool, error) {
+	var cur checksum.Pair
 	h := frameHeader{typ: f.Type, flags: f.Flags, tag: f.ID, count: f.Count}
 	if f.Type != frameResponse || len(body) != h.payloadBytes() {
-		return ServeResponse{}, fmt.Errorf("mpi: response frame body %d bytes, want %d", len(body), h.payloadBytes())
+		return ServeResponse{}, cur, false, fmt.Errorf("mpi: response frame body %d bytes, want %d", len(body), h.payloadBytes())
 	}
 	resp := ServeResponse{ID: f.ID}
 	off := 0
@@ -422,7 +624,7 @@ func DecodeServeResponseInto(f ServeFrame, body []byte, data []complex128, rdata
 	case 1:
 		resp.Report.Uncorrectable = true
 	default:
-		return ServeResponse{}, fmt.Errorf("mpi: response frame with invalid report flags word")
+		return ServeResponse{}, cur, false, fmt.Errorf("mpi: response frame with invalid report flags word")
 	}
 	off += 4
 	if f.Flags&flagHasCS != 0 {
@@ -431,26 +633,38 @@ func DecodeServeResponseInto(f ServeFrame, body []byte, data []complex128, rdata
 		resp.HasCS = true
 		off += checksumLen
 	}
+	fuse := resp.HasCS && weightsFor != nil
+	curOK := false
 	if f.Flags&flagReal != 0 {
 		if len(rdata) < f.Count {
-			return ServeResponse{}, fmt.Errorf("mpi: real response of %d samples into buffer of %d", f.Count, len(rdata))
+			return ServeResponse{}, cur, false, fmt.Errorf("mpi: real response of %d samples into buffer of %d", f.Count, len(rdata))
 		}
 		resp.Real = rdata[:f.Count]
-		for i := range resp.Real {
-			resp.Real[i] = getFloat(body, off)
-			off += 8
+		if fuse {
+			cur = getFloatsPair(body, off, resp.Real, weightsFor(f.Count/2))
+			curOK = true
+		} else {
+			for i := range resp.Real {
+				resp.Real[i] = getFloat(body, off)
+				off += 8
+			}
 		}
 	} else {
 		if len(data) < f.Count {
-			return ServeResponse{}, fmt.Errorf("mpi: response of %d elements into buffer of %d", f.Count, len(data))
+			return ServeResponse{}, cur, false, fmt.Errorf("mpi: response of %d elements into buffer of %d", f.Count, len(data))
 		}
 		resp.Data = data[:f.Count]
-		for i := range resp.Data {
-			resp.Data[i] = getComplex(body, off)
-			off += elemLen
+		if fuse {
+			cur = getComplexPair(body, off, resp.Data, weightsFor(f.Count))
+			curOK = true
+		} else {
+			for i := range resp.Data {
+				resp.Data[i] = getComplex(body, off)
+				off += elemLen
+			}
 		}
 	}
-	return resp, nil
+	return resp, cur, curOK, nil
 }
 
 // AppendServeError appends an error frame: the reject arm of the service

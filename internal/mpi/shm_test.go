@@ -1,0 +1,289 @@
+package mpi
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startShmWorld builds a p-rank shared-memory world inside this test
+// process: the hub hosts rank 0 and the workers attach to the same ring
+// file, so the mapping, record framing, and handshake are exactly what the
+// real multi-process run exercises (the root package's distributed tests
+// cover that). Workers are returned sorted by rank.
+func startShmWorld(t *testing.T, p int, meta WorldMeta) (hub *ShmHubTransport, hubW *World, workers []*ShmWorkerTransport, workerWs []*World) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "world.ring")
+	hub, err := CreateShmHub(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubW = NewWorldTransport(p, nil, hub)
+	workers = make([]*ShmWorkerTransport, p)
+	workerWs = make([]*World, p)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wt, m, err := DialShmWorker(path)
+			if err != nil {
+				t.Errorf("worker dial: %v", err)
+				return
+			}
+			w := NewWorldTransport(m.P, nil, wt)
+			mu.Lock()
+			workers[wt.Rank()] = wt
+			workerWs[wt.Rank()] = w
+			mu.Unlock()
+		}()
+	}
+	if err := hub.ConfigureWorld(meta); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	return hub, hubW, workers[1:], workerWs[1:]
+}
+
+// TestShmPointToPoint sends checksummed payloads hub→worker and worker→hub
+// through the rings and checks data, checksums, and tag matching survive.
+func TestShmPointToPoint(t *testing.T) {
+	hub, hubW, _, workerWs := startShmWorld(t, 2, WorldMeta{N: 64, P: 2})
+	defer hub.Close()
+	c0 := hubW.Endpoint(0)
+	c1 := workerWs[0].Endpoint(1)
+
+	data := []complex128{1 + 2i, -3, 4i}
+	cs := [2]complex128{5, 6i}
+	c0.Send(1, 7, data, &cs)
+	buf := make([]complex128, 3)
+	gotCS, has, err := c1.Recv(0, 7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has || gotCS != cs {
+		t.Fatalf("checksums lost in transit: %v has=%v", gotCS, has)
+	}
+	for i, want := range data {
+		if buf[i] != want {
+			t.Fatalf("payload[%d] = %v, want %v", i, buf[i], want)
+		}
+	}
+
+	c1.Send(0, 9, []complex128{42}, nil)
+	back := make([]complex128, 1)
+	if _, _, err := c0.Recv(1, 9, back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 42 {
+		t.Fatalf("return payload %v", back[0])
+	}
+}
+
+// TestShmRingWrap pushes far more traffic through one ring than it holds, so
+// records wrap the ring edge many times; every payload must arrive intact
+// and in order.
+func TestShmRingWrap(t *testing.T) {
+	hub, hubW, _, workerWs := startShmWorld(t, 2, WorldMeta{N: 64, P: 2})
+	defer hub.Close()
+	c0 := hubW.Endpoint(0)
+	c1 := workerWs[0].Endpoint(1)
+
+	const msgs = 4096 // ≫ ring capacity / max frame: many wraps
+	rng := rand.New(rand.NewSource(11))
+	sizes := make([]int, msgs)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(63)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A failed receive aborts the sender's world too, so the send loop
+		// unparks instead of wedging the test on a full ring.
+		defer func() {
+			if t.Failed() {
+				hubW.Abort(errors.New("receiver failed"))
+			}
+		}()
+		buf := make([]complex128, 64)
+		for i := 0; i < msgs; i++ {
+			b := buf[:sizes[i]]
+			if _, _, err := c1.Recv(0, i, b); err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			for j := range b {
+				if b[j] != complex(float64(i), float64(j)) {
+					t.Errorf("msg %d elem %d = %v", i, j, b[j])
+					return
+				}
+			}
+		}
+	}()
+	data := make([]complex128, 64)
+	for i := 0; i < msgs; i++ {
+		b := data[:sizes[i]]
+		for j := range b {
+			b[j] = complex(float64(i), float64(j))
+		}
+		c0.Send(1, i, b, nil)
+	}
+	wg.Wait()
+}
+
+// TestShmAbortPropagates: poisoning one process's world must poison every
+// other attached world with a RemoteAbortError carrying the cause.
+func TestShmAbortPropagates(t *testing.T) {
+	hub, hubW, _, workerWs := startShmWorld(t, 3, WorldMeta{N: 64, P: 3})
+	defer hub.Close()
+	workerWs[0].Abort(errors.New("boom at rank 1"))
+	for name, w := range map[string]*World{"hub": hubW, "worker2": workerWs[1]} {
+		deadline := time.Now().Add(10 * time.Second)
+		for !w.Aborted() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s world not poisoned by remote abort", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		var remote *RemoteAbortError
+		if err := w.AbortCause(); !errors.As(err, &remote) || !strings.Contains(err.Error(), "boom at rank 1") {
+			t.Fatalf("%s abort cause = %v", name, err)
+		}
+	}
+}
+
+// TestShmCloseShutsDownWorkers: the hub's Close sends goodbye frames — each
+// worker world aborts with ErrShutdown (a clean exit for Plan.Serve) — and
+// removes the ring file.
+func TestShmCloseShutsDownWorkers(t *testing.T) {
+	hub, _, workers, workerWs := startShmWorld(t, 3, WorldMeta{N: 64, P: 3})
+	path := hub.Path()
+	hub.Close()
+	for i, w := range workerWs {
+		deadline := time.Now().Add(10 * time.Second)
+		for !w.Aborted() {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d world did not observe the goodbye", i+1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := w.AbortCause(); !errors.Is(err, ErrShutdown) {
+			t.Fatalf("worker %d abort cause = %v, want ErrShutdown", i+1, err)
+		}
+	}
+	for _, wt := range workers {
+		wt.Close()
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("ring file not removed on Close: %v", err)
+	}
+}
+
+// TestShmRankExhaustion: a p-rank world admits exactly p-1 workers; a late
+// attacher is turned away instead of corrupting the claim counter's world.
+func TestShmRankExhaustion(t *testing.T) {
+	hub, _, workers, _ := startShmWorld(t, 2, WorldMeta{N: 64, P: 2})
+	defer hub.Close()
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	if _, _, err := DialShmWorker(hub.Path()); err == nil || !strings.Contains(err.Error(), "claimed") {
+		t.Fatalf("extra worker attached: %v", err)
+	}
+}
+
+// shmTestRecord hand-assembles one ring record for the decoder tests.
+func shmTestRecord(ringBytes int, seq uint32, h frameHeader, payload []byte) (data []byte, tail uint64) {
+	data = make([]byte, ringBytes)
+	frameLen := frameHeaderLen + len(payload)
+	putU32 := func(off int, v uint32) {
+		data[off] = byte(v)
+		data[off+1] = byte(v >> 8)
+		data[off+2] = byte(v >> 16)
+		data[off+3] = byte(v >> 24)
+	}
+	putU32(0, uint32(frameLen))
+	putU32(4, seq)
+	putHeader(data[shmRecHdrBytes:], h)
+	copy(data[shmRecHdrBytes+frameHeaderLen:], payload)
+	rec := (uint64(shmRecHdrBytes) + uint64(frameLen) + 7) &^ 7
+	return data, rec
+}
+
+// TestDecodeShmRecord pins the ring record decoder: a well-formed record
+// round-trips, and every malformed shape — torn publishes, bad sequence
+// numbers, boundary-straddling records, header/length disagreements, wrap
+// markers overrunning the tail — is rejected with an error, not a panic.
+func TestDecodeShmRecord(t *testing.T) {
+	const ringBytes = 512
+	h := frameHeader{typ: frameAbort, src: 1, dst: 0, count: 4}
+	data, tail := shmTestRecord(ringBytes, 3, h, []byte("boom"))
+
+	adv, wrap, got, body, err := decodeShmRecord(data, 0, tail, 3, 4, 64)
+	if err != nil || wrap || adv != tail {
+		t.Fatalf("valid record: adv=%d wrap=%v err=%v", adv, wrap, err)
+	}
+	if got.typ != frameAbort || string(body) != "boom" {
+		t.Fatalf("decoded %+v body %q", got, body)
+	}
+
+	for _, tc := range []struct {
+		name             string
+		head, tail       uint64
+		seq              uint32
+		mutate           func([]byte)
+		wantErrSubstring string
+	}{
+		{"bad seq", 0, tail, 7, nil, "sequence"},
+		{"torn record", 0, 4, 3, nil, "torn"},
+		{"head past tail", tail, 0, 3, nil, "out of range"},
+		{"runaway counters", 0, uint64(ringBytes) + 8, 3, nil, "out of range"},
+		{"misaligned head", 4, tail + 4, 3, nil, "torn"},
+		{"length out of range", 0, tail, 3, func(d []byte) { d[0], d[1] = 0xF0, 0xFF }, "out of range"},
+		{"length below header", 0, tail, 3, func(d []byte) { d[0], d[1], d[2], d[3] = 1, 0, 0, 0 }, "out of range"},
+		{"header/length mismatch", 0, tail, 3, func(d []byte) { d[0]++ }, "header implies"},
+		{"wrap marker overruns tail", 0, 8, 3, func(d []byte) {
+			d[0], d[1], d[2], d[3] = 0xFF, 0xFF, 0xFF, 0xFF
+		}, "overruns"},
+	} {
+		d := append([]byte(nil), data...)
+		if tc.mutate != nil {
+			tc.mutate(d)
+		}
+		_, _, _, _, err := decodeShmRecord(d, tc.head, tc.tail, tc.seq, 4, 64)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErrSubstring) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErrSubstring)
+		}
+	}
+
+	// A record that would straddle the ring edge must be refused even when
+	// the counters claim it is published.
+	big, bigTail := shmTestRecord(ringBytes, 0, h, []byte("boom"))
+	copy(big[ringBytes-8:], big[:8]) // record header at the last slot
+	if _, _, _, _, err := decodeShmRecord(big, uint64(ringBytes)-8, uint64(ringBytes)-8+bigTail, 0, 4, 64); err == nil || !strings.Contains(err.Error(), "straddles") {
+		t.Errorf("straddling record: err = %v", err)
+	}
+
+	// A wrap marker inside the published region skips to the ring start.
+	wrapData := make([]byte, ringBytes)
+	wrapData[ringBytes-8] = 0xFF
+	wrapData[ringBytes-7] = 0xFF
+	wrapData[ringBytes-6] = 0xFF
+	wrapData[ringBytes-5] = 0xFF
+	adv, wrap, _, _, err = decodeShmRecord(wrapData, uint64(ringBytes)-8, uint64(ringBytes)+8, 5, 4, 64)
+	if err != nil || !wrap || adv != 8 {
+		t.Fatalf("wrap marker: adv=%d wrap=%v err=%v", adv, wrap, err)
+	}
+}

@@ -103,18 +103,21 @@ func (wc *wireConn) writeData(dst, src int, m Message, wf WireFault) error {
 		putComplex(pre, frameHeaderLen+elemLen, m.CS[1])
 	}
 	putHeader(pre, h)
-	need := len(m.Data) * elemLen
-	if cap(wc.enc) < need {
-		wc.enc = make([]byte, need)
-	}
-	payload := wc.enc[:need]
+	// The payload slab comes from the shared size-classed pool rather than a
+	// per-connection buffer: connections that once carried a large frame no
+	// longer pin a max-sized slab forever (the BENCH_PR7 bytes_per_op creep),
+	// and idle slabs are reclaimable by the GC through sync.Pool.
+	rb := getWireBuf(len(m.Data) * elemLen)
+	payload := rb.data
 	for i, z := range m.Data {
 		putComplex(payload, i*elemLen, z)
 	}
 	if wf != nil && len(payload) > 0 {
 		wf(dst, src, m.Tag, payload)
 	}
-	return wc.writeVectored(pre, payload)
+	err := wc.writeVectored(pre, payload)
+	putWireBuf(rb)
+	return err
 }
 
 // writeVectored sends prefix+payload as one writev syscall, bypassing the
@@ -294,13 +297,37 @@ func (t *HubTransport) acceptWorkers() error {
 	return nil
 }
 
-// readLoop drains one worker connection: local deliveries decode into the
-// inbox, frames for other workers relay verbatim, aborts poison the world.
+// readLoop drains one worker connection: local deliveries carry the frame's
+// serialized element bytes into the inbox in a pooled buffer (decoded into
+// the posted receive buffer by RecvRequest — decode-in-place), frames for
+// other workers relay verbatim, aborts poison the world.
 func (t *HubTransport) readLoop(src int) {
 	r := t.conns[src].br
 	var body []byte
+	hdr := make([]byte, frameHeaderLen)
 	for {
-		h, b, err := readFrame(r, body, t.p, t.maxElems)
+		h, err := readHeader(r, hdr, t.p, t.maxElems)
+		if err != nil {
+			t.connLost(src, err)
+			return
+		}
+		if h.typ == frameData && h.dst == 0 {
+			if h.src != src {
+				t.connLost(src, fmt.Errorf("mpi: worker %d forged src %d", src, h.src))
+				return
+			}
+			m, err := readDataBody(r, h)
+			if err != nil {
+				t.connLost(src, err)
+				return
+			}
+			if !deliver(t.inbox[h.src], m, t.w.done) {
+				putWireBuf(m.rb)
+				return
+			}
+			continue
+		}
+		b, err := readBody(r, body, h)
 		body = b
 		if err != nil {
 			t.connLost(src, err)
@@ -312,17 +339,7 @@ func (t *HubTransport) readLoop(src int) {
 				t.connLost(src, fmt.Errorf("mpi: worker %d forged src %d", src, h.src))
 				return
 			}
-			if h.dst == 0 {
-				m, err := decodeDataBody(h, body)
-				if err != nil {
-					t.connLost(src, err)
-					return
-				}
-				if !deliver(t.inbox[h.src], m, t.w.done) {
-					payloads.Put(m.pb)
-					return
-				}
-			} else if t.conns[h.dst] != nil {
+			if t.conns[h.dst] != nil {
 				var hdr [frameHeaderLen]byte
 				putHeader(hdr[:], h)
 				if err := t.conns[h.dst].writeRaw(hdr[:], body); err != nil {
@@ -536,12 +553,34 @@ func (t *WorkerTransport) Bind(w *World) {
 	go t.readLoop()
 }
 
-// readLoop drains the hub connection into the local rank's inbox.
+// readLoop drains the hub connection into the local rank's inbox. Data
+// frames carry their serialized element bytes in a pooled buffer and are
+// decoded directly into the posted receive buffer (decode-in-place).
 func (t *WorkerTransport) readLoop() {
 	r := t.wc.br
 	var body []byte
+	hdr := make([]byte, frameHeaderLen)
 	for {
-		h, b, err := readFrame(r, body, t.p, t.maxElems)
+		h, err := readHeader(r, hdr, t.p, t.maxElems)
+		if err != nil {
+			if !t.shutdown.Load() && !t.w.Aborted() {
+				t.w.Abort(fmt.Errorf("mpi: hub connection lost: %w", err))
+			}
+			return
+		}
+		if h.typ == frameData && h.dst == t.rank {
+			m, err := readDataBody(r, h)
+			if err != nil {
+				t.w.Abort(err)
+				return
+			}
+			if !deliver(t.inbox[h.src], m, t.w.done) {
+				putWireBuf(m.rb)
+				return
+			}
+			continue
+		}
+		b, err := readBody(r, body, h)
 		body = b
 		if err != nil {
 			if !t.shutdown.Load() && !t.w.Aborted() {
@@ -551,18 +590,7 @@ func (t *WorkerTransport) readLoop() {
 		}
 		switch h.typ {
 		case frameData:
-			if h.dst != t.rank {
-				continue // misrouted; drop
-			}
-			m, err := decodeDataBody(h, body)
-			if err != nil {
-				t.w.Abort(err)
-				return
-			}
-			if !deliver(t.inbox[h.src], m, t.w.done) {
-				payloads.Put(m.pb)
-				return
-			}
+			// Misrouted (dst is another rank); drop.
 		case frameAbort:
 			t.remote.Store(true)
 			t.w.Abort(&RemoteAbortError{Msg: string(body)})

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
+	"sync"
 )
 
 // Frame types. The service frames (6–8) live in servewire.go.
@@ -184,6 +186,104 @@ func getComplex(buf []byte, off int) complex128 {
 	return complex(re, im)
 }
 
+// wireBuf is a pooled frame-byte buffer. Buffers are pooled by size class
+// (power-of-two capacities), so a frame of any size aliases a recycled
+// buffer of the next class up instead of allocating — the byte-level
+// counterpart of the complex128 payload pool.
+type wireBuf struct {
+	data []byte
+}
+
+// wireBufMinShift is the smallest size class (64 bytes); classes above it
+// double. Class i holds buffers of capacity 1 << (wireBufMinShift + i).
+const (
+	wireBufMinShift = 6
+	wireBufClasses  = 26 // up to 2 GiB, far beyond any validated frame
+)
+
+var wireBufPools [wireBufClasses]sync.Pool
+
+// wireBufClass returns the size class whose capacity holds n bytes.
+func wireBufClass(n int) int {
+	if n <= 1<<wireBufMinShift {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - wireBufMinShift
+}
+
+// getWireBuf returns a pooled byte buffer with at least n bytes of capacity,
+// sliced to length n.
+func getWireBuf(n int) *wireBuf {
+	c := wireBufClass(n)
+	wb, _ := wireBufPools[c].Get().(*wireBuf)
+	if wb == nil {
+		wb = &wireBuf{data: make([]byte, 1<<(wireBufMinShift+c))}
+	}
+	wb.data = wb.data[:n]
+	return wb
+}
+
+// putWireBuf recycles a buffer into its size class. nil is a no-op, so
+// callers can release unconditionally.
+func putWireBuf(wb *wireBuf) {
+	if wb == nil {
+		return
+	}
+	wb.data = wb.data[:cap(wb.data)]
+	wireBufPools[wireBufClass(len(wb.data))].Put(wb)
+}
+
+// readHeader reads and validates one frame header from r into the
+// caller-owned scratch buffer (≥ frameHeaderLen bytes); see parseHeader for
+// the bounds p and maxElems enforce. The scratch parameter exists because a
+// function-local array would escape through the io.Reader interface call —
+// one heap allocation per frame on the receive hot path — whereas a buffer
+// hoisted outside the caller's read loop escapes once per connection.
+func readHeader(r io.Reader, scratch []byte, p, maxElems int) (frameHeader, error) {
+	hdr := scratch[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frameHeader{}, err
+	}
+	return parseHeader(hdr, p, maxElems)
+}
+
+// readBody reads h's body into body (grown as needed) and returns it.
+func readBody(r io.Reader, body []byte, h frameHeader) ([]byte, error) {
+	nb := h.payloadBytes()
+	if cap(body) < nb {
+		body = make([]byte, nb)
+	}
+	body = body[:nb]
+	_, err := io.ReadFull(r, body)
+	return body, err
+}
+
+// readDataBody reads a data frame's body into a pooled buffer and returns a
+// raw message: the checksums are split out, but the element bytes stay
+// serialized, owned by the message, and are decoded directly into the
+// destination workspace at the matching receive (decode-in-place) — the
+// intermediate complex128 materialization and its copy are gone. The pooled
+// buffer is recycled when the receive completes; a caller that cannot
+// deliver m must release it with putWireBuf(m.rb).
+func readDataBody(r io.Reader, h frameHeader) (Message, error) {
+	rb := getWireBuf(h.payloadBytes())
+	body := rb.data
+	if _, err := io.ReadFull(r, body); err != nil {
+		putWireBuf(rb)
+		return Message{}, err
+	}
+	m := Message{Tag: h.tag, count: h.count, rb: rb}
+	off := 0
+	if h.flags&flagHasCS != 0 {
+		m.CS[0] = getComplex(body, 0)
+		m.CS[1] = getComplex(body, elemLen)
+		m.HasCS = true
+		off = checksumLen
+	}
+	m.raw = body[off:]
+	return m, nil
+}
+
 // encodeDataFrame serializes m as a data frame from src to dst into buf
 // (grown as needed) and returns the full frame. The payload region starts at
 // payloadOff, so wire-level fault hooks can corrupt the serialized elements
@@ -293,25 +393,19 @@ func decodeConfig(buf []byte) (rank int, meta WorldMeta, err error) {
 }
 
 // readFrame reads one complete frame (header + body) from r, reusing body
-// (grown as needed). p and maxElems bound data frames; see parseHeader.
-// It never panics on arbitrary input and never allocates beyond the declared
-// (validated) payload size.
+// (grown as needed) as scratch for the header bytes too, so a caller that
+// threads body through a read loop stays allocation-free in steady state.
+// p and maxElems bound data frames; see parseHeader. It never panics on
+// arbitrary input and never allocates beyond the declared (validated)
+// payload size.
 func readFrame(r io.Reader, body []byte, p, maxElems int) (frameHeader, []byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frameHeader{}, body, err
+	if cap(body) < frameHeaderLen {
+		body = make([]byte, frameHeaderLen)
 	}
-	h, err := parseHeader(hdr[:], p, maxElems)
+	h, err := readHeader(r, body[:frameHeaderLen], p, maxElems)
 	if err != nil {
 		return h, body, err
 	}
-	nb := h.payloadBytes()
-	if cap(body) < nb {
-		body = make([]byte, nb)
-	}
-	body = body[:nb]
-	if _, err := io.ReadFull(r, body); err != nil {
-		return h, body, err
-	}
-	return h, body, nil
+	b, err := readBody(r, body, h)
+	return h, b, err
 }

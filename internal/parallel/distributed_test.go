@@ -108,11 +108,72 @@ func startSocketWorld(t *testing.T, p int, workerInj func(rank int) fault.Inject
 	return hub, &wg
 }
 
+// startShmWorld spins up a p-rank shared-memory world inside this test
+// process, the ring-file twin of startSocketWorld: the hub hosts rank 0 and
+// p-1 goroutines attach as workers, so the mmap rings, record framing, and
+// fused checksum sweeps run under the race detector.
+func startShmWorld(t *testing.T, p int, workerInj func(rank int) fault.Injector) (*mpi.ShmHubTransport, *sync.WaitGroup) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "world.ring")
+	hub, err := mpi.CreateShmHub(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, meta, err := mpi.DialShmWorker(path)
+			if err != nil {
+				t.Errorf("worker attach: %v", err)
+				return
+			}
+			defer tr.Close()
+			var inj fault.Injector
+			if workerInj != nil {
+				inj = workerInj(tr.Rank())
+			}
+			pl, err := NewPlan(meta.N, meta.P, Config{
+				Protected: meta.Protected, Optimized: meta.Optimized,
+				EtaScale: meta.EtaScale, MaxRetries: meta.MaxRetries,
+				Injector: inj, Transport: tr, Executor: exec.New(1),
+			})
+			if err != nil {
+				t.Errorf("worker plan: %v", err)
+				return
+			}
+			if err := pl.Serve(context.Background()); err != nil {
+				t.Errorf("worker rank %d serve: %v", tr.Rank(), err)
+			}
+		}()
+	}
+	return hub, &wg
+}
+
+// wireWorld abstracts the two real multi-endpoint wires (sockets, shm rings)
+// so the bit-identity and corruption-repair contracts run over both.
+type wireWorld interface {
+	mpi.Transport
+	InjectWireFaults(mpi.WireFault)
+	Close() error
+}
+
+// startWireWorld dispatches on the wire name CI and the test matrix use.
+func startWireWorld(t *testing.T, wire string, p int) (wireWorld, *sync.WaitGroup) {
+	t.Helper()
+	if wire == "shm" {
+		return startShmWorld(t, p, nil)
+	}
+	return startSocketWorld(t, p, nil)
+}
+
 // TestSocketTransportBitIdentical runs the protected-optimized pipeline over
-// real Unix-domain sockets (worker ranks served in-process, so the wire —
-// codec, relay, handshake — is exercised under the race detector) and
-// demands bit-for-bit the output of the equivalent message-only chan run,
-// with and without injected faults, across repeated transforms on one world.
+// real Unix-domain sockets and over the shared-memory rings (worker ranks
+// served in-process, so the wire — codec, relay or rings, handshake — is
+// exercised under the race detector) and demands bit-for-bit the output of
+// the equivalent message-only chan run, with and without injected faults,
+// across repeated transforms on one world.
 func TestSocketTransportBitIdentical(t *testing.T) {
 	const n, p = 4096, 4
 	rng := rand.New(rand.NewSource(33))
@@ -130,74 +191,77 @@ func TestSocketTransportBitIdentical(t *testing.T) {
 		)
 	}
 
-	for _, faulty := range []bool{false, true} {
-		name := "clean"
-		if faulty {
-			name = "faulty"
-		}
-		t.Run(name, func(t *testing.T) {
-			cfg := Config{Protected: true, Optimized: true}
-			var refSched, sockSched *fault.Schedule
+	for _, wire := range []string{"socket", "shm"} {
+		for _, faulty := range []bool{false, true} {
+			name := wire + "/clean"
 			if faulty {
-				refSched, sockSched = mkSched(), mkSched()
+				name = wire + "/faulty"
 			}
-
-			refCfg := cfg
-			refCfg.Transport = mpi.MessageOnly(mpi.NewChanTransport(p))
-			if refSched != nil {
-				refCfg.Injector = refSched
-			}
-			ref, err := NewPlan(n, p, refCfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			hub, wg := startSocketWorld(t, p, nil)
-			sockCfg := cfg
-			sockCfg.Transport = hub
-			if sockSched != nil {
-				sockCfg.Injector = sockSched
-			}
-			sock, err := NewPlan(n, p, sockCfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			want := make([]complex128, n)
-			got := make([]complex128, n)
-			for round := 0; round < 3; round++ {
-				wantRep, err := ref.Transform(want, x)
-				if err != nil {
-					t.Fatalf("round %d ref: %v", round, err)
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{Protected: true, Optimized: true}
+				var refSched, wireSched *fault.Schedule
+				if faulty {
+					refSched, wireSched = mkSched(), mkSched()
 				}
-				gotRep, err := sock.Transform(got, x)
-				if err != nil {
-					t.Fatalf("round %d socket: %v", round, err)
+
+				refCfg := cfg
+				refCfg.Transport = mpi.MessageOnly(mpi.NewChanTransport(p))
+				if refSched != nil {
+					refCfg.Injector = refSched
 				}
-				for i := range want {
-					if got[i] != want[i] {
-						t.Fatalf("round %d: socket output differs at %d: %v vs %v", round, i, got[i], want[i])
+				ref, err := NewPlan(n, p, refCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				hub, wg := startWireWorld(t, wire, p)
+				wireCfg := cfg
+				wireCfg.Transport = hub
+				if wireSched != nil {
+					wireCfg.Injector = wireSched
+				}
+				wpl, err := NewPlan(n, p, wireCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				want := make([]complex128, n)
+				got := make([]complex128, n)
+				for round := 0; round < 3; round++ {
+					wantRep, err := ref.Transform(want, x)
+					if err != nil {
+						t.Fatalf("round %d ref: %v", round, err)
+					}
+					gotRep, err := wpl.Transform(got, x)
+					if err != nil {
+						t.Fatalf("round %d %s: %v", round, wire, err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("round %d: %s output differs at %d: %v vs %v", round, wire, i, got[i], want[i])
+						}
+					}
+					if gotRep != wantRep {
+						t.Fatalf("round %d: reports differ: %s %+v vs ref %+v", round, wire, gotRep, wantRep)
 					}
 				}
-				if gotRep != wantRep {
-					t.Fatalf("round %d: reports differ: socket %+v vs ref %+v", round, gotRep, wantRep)
+				if faulty {
+					if !refSched.AllFired() || !wireSched.AllFired() {
+						t.Fatalf("faults did not all fire: ref=%v wire=%v", refSched.AllFired(), wireSched.AllFired())
+					}
 				}
-			}
-			if faulty {
-				if !refSched.AllFired() || !sockSched.AllFired() {
-					t.Fatalf("faults did not all fire: ref=%v sock=%v", refSched.AllFired(), sockSched.AllFired())
-				}
-			}
-			hub.Close()
-			wg.Wait()
-		})
+				hub.Close()
+				wg.Wait()
+			})
+		}
 	}
 }
 
 // TestSocketWireCorruptionRepaired injects a fault below the codec — a bit
-// flipped in the serialized payload bytes of an in-flight frame — and
-// demands the §5 block checksums detect and repair it: the ABFT protects
-// the wire representation itself, not just the in-memory arrays.
+// flipped in the serialized payload bytes of an in-flight frame (socket
+// buffer or shm ring alike) — and demands the §5 block checksums detect and
+// repair it: the ABFT protects the wire representation itself, not just the
+// in-memory arrays.
 func TestSocketWireCorruptionRepaired(t *testing.T) {
 	const n, p = 1024, 4
 	rng := rand.New(rand.NewSource(44))
@@ -212,33 +276,37 @@ func TestSocketWireCorruptionRepaired(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	hub, wg := startSocketWorld(t, p, nil)
-	defer func() { hub.Close(); wg.Wait() }()
-	pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true, Transport: hub, Executor: exec.New(1)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	flips := 0
-	hub.InjectWireFaults(func(dst, src, tag int, payload []byte) {
-		// One mantissa-bit flip in the first outbound transpose payload.
-		if flips == 0 && tag == tagTran1 && len(payload) >= 8 {
-			payload[3] ^= 0x10
-			flips++
-		}
-	})
-	dst := make([]complex128, n)
-	rep, err := pl.Transform(dst, x)
-	if err != nil {
-		t.Fatalf("%v (%+v)", err, rep)
-	}
-	if flips != 1 {
-		t.Fatalf("wire fault did not fire (flips=%d)", flips)
-	}
-	if rep.Detections == 0 || rep.MemCorrections == 0 {
-		t.Fatalf("wire corruption not detected/repaired: %+v", rep)
-	}
-	if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
-		t.Fatalf("repaired output off by %g", d)
+	for _, wire := range []string{"socket", "shm"} {
+		t.Run(wire, func(t *testing.T) {
+			hub, wg := startWireWorld(t, wire, p)
+			defer func() { hub.Close(); wg.Wait() }()
+			pl, err := NewPlan(n, p, Config{Protected: true, Optimized: true, Transport: hub, Executor: exec.New(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			flips := 0
+			hub.InjectWireFaults(func(dst, src, tag int, payload []byte) {
+				// One mantissa-bit flip in the first outbound transpose payload.
+				if flips == 0 && tag == tagTran1 && len(payload) >= 8 {
+					payload[3] ^= 0x10
+					flips++
+				}
+			})
+			dst := make([]complex128, n)
+			rep, err := pl.Transform(dst, x)
+			if err != nil {
+				t.Fatalf("%v (%+v)", err, rep)
+			}
+			if flips != 1 {
+				t.Fatalf("wire fault did not fire (flips=%d)", flips)
+			}
+			if rep.Detections == 0 || rep.MemCorrections == 0 {
+				t.Fatalf("wire corruption not detected/repaired: %+v", rep)
+			}
+			if d := maxAbsDiff(dst, want); d > 1e-7*float64(n)*(1+maxAbs(want)) {
+				t.Fatalf("repaired output off by %g", d)
+			}
+		})
 	}
 }
 

@@ -503,8 +503,8 @@ func (pl *Plan) scatterInput(rs *rankState, local, src []complex128, rep *core.R
 	if c.Rank() == 0 {
 		for j := 1; j < pl.p; j++ {
 			blk := src[j*q : (j+1)*q]
-			if cs, has := pl.sliceChecksum(pl.weightsQ, blk); has {
-				c.Send(j, tagScatter, blk, &cs)
+			if pl.weightsQ != nil {
+				c.IsendPair(j, tagScatter, blk, pl.weightsQ)
 			} else {
 				c.Send(j, tagScatter, blk, nil)
 			}
@@ -512,11 +512,11 @@ func (pl *Plan) scatterInput(rs *rankState, local, src []complex128, rep *core.R
 		copy(local, src[:q])
 		return nil
 	}
-	cs, has, err := c.Recv(0, tagScatter, local)
+	cs, has, cur, err := c.IrecvPair(0, tagScatter, local, pl.weightsQ).WaitPair()
 	if err != nil {
 		return err
 	}
-	return pl.verifySlice(c.Rank(), 0, local, pl.weightsQ, cs, has, rep)
+	return pl.verifySlice(c.Rank(), 0, local, pl.weightsQ, cs, has, cur, rep)
 }
 
 // gatherOutput is the explicit output collection of message mode: every
@@ -528,15 +528,15 @@ func (pl *Plan) gatherOutput(rs *rankState, out, dst []complex128, rep *core.Rep
 	c := rs.comm
 	q := pl.q
 	if c.Rank() != 0 {
-		if cs, has := pl.sliceChecksum(pl.weightsQ, out); has {
-			c.Send(0, tagGather, out, &cs)
+		if pl.weightsQ != nil {
+			c.IsendPair(0, tagGather, out, pl.weightsQ)
 		} else {
 			c.Send(0, tagGather, out, nil)
 		}
 		if rs.dist {
 			encodeReport(rs.repBuf, *rep)
-			if cs, has := pl.sliceChecksum(pl.weightsR, rs.repBuf); has {
-				c.Send(0, tagReport, rs.repBuf, &cs)
+			if pl.weightsR != nil {
+				c.IsendPair(0, tagReport, rs.repBuf, pl.weightsR)
 			} else {
 				c.Send(0, tagReport, rs.repBuf, nil)
 			}
@@ -545,21 +545,21 @@ func (pl *Plan) gatherOutput(rs *rankState, out, dst []complex128, rep *core.Rep
 	}
 	for j := 1; j < pl.p; j++ {
 		slot := dst[j*q : (j+1)*q]
-		cs, has, err := c.Recv(j, tagGather, slot)
+		cs, has, cur, err := c.IrecvPair(j, tagGather, slot, pl.weightsQ).WaitPair()
 		if err != nil {
 			return err
 		}
-		if err := pl.verifySlice(0, j, slot, pl.weightsQ, cs, has, rep); err != nil {
+		if err := pl.verifySlice(0, j, slot, pl.weightsQ, cs, has, cur, rep); err != nil {
 			return err
 		}
 	}
 	if rs.dist {
 		for j := 1; j < pl.p; j++ {
-			cs, has, err := c.Recv(j, tagReport, rs.repBuf)
+			cs, has, cur, err := c.IrecvPair(j, tagReport, rs.repBuf, pl.weightsR).WaitPair()
 			if err != nil {
 				return err
 			}
-			if err := pl.verifySlice(0, j, rs.repBuf, pl.weightsR, cs, has, rep); err != nil {
+			if err := pl.verifySlice(0, j, rs.repBuf, pl.weightsR, cs, has, cur, rep); err != nil {
 				return err
 			}
 			rep.Add(decodeReport(rs.repBuf))
@@ -568,25 +568,15 @@ func (pl *Plan) gatherOutput(rs *rankState, out, dst []complex128, rep *core.Rep
 	return nil
 }
 
-// sliceChecksum computes the weighted checksum pair a protected
-// scatter/gather/report message travels with; has is false on unprotected
-// plans (and on shared-memory plans, which never build the weights).
-func (pl *Plan) sliceChecksum(weights, slice []complex128) (cs [2]complex128, has bool) {
-	if weights == nil {
-		return cs, false
-	}
-	pr := checksum.GeneratePair(weights, slice)
-	return [2]complex128{pr.D1, pr.D2}, true
-}
-
 // verifySlice checks a received scatter/gather/report message against its
-// carried checksums, repairing a single corrupted element in place.
-func (pl *Plan) verifySlice(rank, from int, slice, weights []complex128, cs [2]complex128, hasCS bool, rep *core.Report) error {
+// carried checksums, repairing a single corrupted element in place. cur is
+// the receiver-side pair, computed during the fused decode sweep
+// (mpi.WaitPair) — bit-identical to a separate checksum.GeneratePair pass.
+func (pl *Plan) verifySlice(rank, from int, slice, weights []complex128, cs [2]complex128, hasCS bool, cur checksum.Pair, rep *core.Report) error {
 	if weights == nil || !hasCS {
 		return nil
 	}
 	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
-	cur := checksum.GeneratePair(weights, slice)
 	d := stored.Sub(cur)
 	if d.D1 == 0 && d.D2 == 0 {
 		return nil
@@ -634,24 +624,14 @@ func decodeReport(buf []complex128) core.Report {
 	}
 }
 
-// blockChecksum computes the weighted checksum pair a protected block
-// travels with; has is false on unprotected plans.
-func (pl *Plan) blockChecksum(block []complex128) (cs [2]complex128, has bool) {
-	if !pl.cfg.Protected {
-		return cs, false
-	}
-	pr := checksum.GeneratePair(pl.weightsB, block)
-	return [2]complex128{pr.D1, pr.D2}, true
-}
-
 // deliver verifies (and single-element-repairs) a received block, then
 // either scatters it with stride p into scatterOut (transpose 3's fused
-// local adjustment) or copies it to its slot in dest.
-func (pl *Plan) deliver(rank, s int, block []complex128, cs [2]complex128, hasCS bool, dest, scatterOut []complex128, rep *core.Report) error {
+// local adjustment) or copies it to its slot in dest. cur is the
+// receiver-side pair from the fused decode sweep (mpi.WaitPair).
+func (pl *Plan) deliver(rank, s int, block []complex128, cs [2]complex128, hasCS bool, cur checksum.Pair, dest, scatterOut []complex128, rep *core.Report) error {
 	b := pl.b
 	if pl.cfg.Protected && hasCS {
 		stored := checksum.Pair{D1: cs[0], D2: cs[1]}
-		cur := checksum.GeneratePair(pl.weightsB, block)
 		d := stored.Sub(cur)
 		// Same data, same summation order: clean transfers compare
 		// exactly; any difference is a transit/memory corruption.
@@ -694,23 +674,32 @@ func (pl *Plan) transpose(rs *rankState, send, dest, scatterOut []complex128, ta
 	rank := c.Rank()
 	sched := rs.sched
 
+	// Protected blocks fuse §5 checksum generation into the send-side payload
+	// capture and verification into the receive-side decode (mpi.IsendPair /
+	// WaitPair): one pass over each block where the separate-pass scheme took
+	// two, with bit-identical checksum values.
+	var wB []complex128
+	if pl.cfg.Protected {
+		wB = pl.weightsB
+	}
+
 	if !pl.cfg.Optimized {
 		// Blocking transpose: send everything, then drain in order.
 		for _, dstRank := range sched {
 			blk := send[dstRank*b : (dstRank+1)*b]
-			if cs, has := pl.blockChecksum(blk); has {
-				c.Send(dstRank, tag, blk, &cs)
+			if wB != nil {
+				c.IsendPair(dstRank, tag, blk, wB)
 			} else {
 				c.Send(dstRank, tag, blk, nil)
 			}
 		}
 		buf := rs.blockBuf
 		for _, s := range sched {
-			cs, has, err := c.Recv(s, tag, buf)
+			cs, has, cur, err := c.IrecvPair(s, tag, buf, wB).WaitPair()
 			if err != nil {
 				return err
 			}
-			if err := pl.deliver(rank, s, buf, cs, has, dest, scatterOut, rep); err != nil {
+			if err := pl.deliver(rank, s, buf, cs, has, cur, dest, scatterOut, rep); err != nil {
 				return err
 			}
 		}
@@ -726,29 +715,29 @@ func (pl *Plan) transpose(rs *rankState, send, dest, scatterOut []complex128, ta
 	for _, peer := range sched {
 		blk := send[peer*b : (peer+1)*b]
 		// Checksum generated while the previous exchange is in flight.
-		if cs, has := pl.blockChecksum(blk); has {
-			c.Isend(peer, tag, blk, &cs)
+		if wB != nil {
+			c.IsendPair(peer, tag, blk, wB)
 		} else {
 			c.Isend(peer, tag, blk, nil)
 		}
-		req := c.Irecv(peer, tag, nextBuf)
+		req := c.IrecvPair(peer, tag, nextBuf, wB)
 		if prevReq != nil {
-			pcs, phas, err := prevReq.Wait()
+			pcs, phas, pcur, err := prevReq.WaitPair()
 			if err != nil {
 				return err
 			}
-			if err := pl.deliver(rank, prevSrc, prevBuf, pcs, phas, dest, scatterOut, rep); err != nil {
+			if err := pl.deliver(rank, prevSrc, prevBuf, pcs, phas, pcur, dest, scatterOut, rep); err != nil {
 				return err
 			}
 		}
 		prevReq, prevSrc = req, peer
 		prevBuf, nextBuf = nextBuf, prevBuf
 	}
-	pcs, phas, err := prevReq.Wait()
+	pcs, phas, pcur, err := prevReq.WaitPair()
 	if err != nil {
 		return err
 	}
-	return pl.deliver(rank, prevSrc, prevBuf, pcs, phas, dest, scatterOut, rep)
+	return pl.deliver(rank, prevSrc, prevBuf, pcs, phas, pcur, dest, scatterOut, rep)
 }
 
 // fft1 runs the b p-point sub-FFTs over stride b, in place, with dual-use

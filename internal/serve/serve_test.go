@@ -532,14 +532,14 @@ func TestVerifyFloats(t *testing.T) {
 	cs := [2]complex128{stored.D1, stored.D2}
 
 	var rep core.Report
-	if err := verifyFloats(w, x, cs, &rep); err != nil || rep.Detections != 0 {
+	if err := verifyFloatsPair(w, x, cs, floatPair(w, x), &rep); err != nil || rep.Detections != 0 {
 		t.Fatalf("clean verify: %v %+v", err, rep)
 	}
 
 	orig := append([]float64(nil), x...)
 	x[6] += 3.25 // corrupt pair 3
 	rep = core.Report{}
-	if err := verifyFloats(w, x, cs, &rep); err != nil {
+	if err := verifyFloatsPair(w, x, cs, floatPair(w, x), &rep); err != nil {
 		t.Fatalf("single corruption not repaired: %v", err)
 	}
 	if rep.Detections != 1 || rep.MemCorrections != 1 {
@@ -554,7 +554,7 @@ func TestVerifyFloats(t *testing.T) {
 	x[6] += 1.5
 	x[20] -= 2.5
 	rep = core.Report{}
-	if err := verifyFloats(w, x, cs, &rep); !errors.Is(err, core.ErrUncorrectable) {
+	if err := verifyFloatsPair(w, x, cs, floatPair(w, x), &rep); !errors.Is(err, core.ErrUncorrectable) {
 		t.Fatalf("double corruption: %v", err)
 	}
 }

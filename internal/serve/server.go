@@ -105,7 +105,24 @@ type Server struct {
 	reqWG    sync.WaitGroup // in-flight request handlers
 	connWG   sync.WaitGroup // connection reader goroutines + accept loop
 
+	weightsMu sync.Mutex
+	weightsN  map[int][]complex128 // checksum weights by length, for fused decode
+
 	closeOnce sync.Once
+}
+
+// weightsFor returns the cached checksum weight vector of length n — the
+// fused request-decode sweep's weight source. checksum.Weights is
+// deterministic, so these are bit-identical to the plan entries' vectors.
+func (s *Server) weightsFor(n int) []complex128 {
+	s.weightsMu.Lock()
+	defer s.weightsMu.Unlock()
+	w, ok := s.weightsN[n]
+	if !ok {
+		w = checksum.Weights(n)
+		s.weightsN[n] = w
+	}
+	return w
 }
 
 // Listen opens a server on network ("unix" or "tcp") and addr and starts
@@ -140,6 +157,7 @@ func Listen(network, addr string, cfg Config) (*Server, error) {
 		maxElems: cfg.MaxElems,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		conns:    make(map[*serverConn]struct{}),
+		weightsN: make(map[int][]complex128),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.connWG.Add(1)
@@ -195,9 +213,12 @@ func (sc *serverConn) writeFrame(build func(buf []byte) []byte) error {
 	return err
 }
 
-func (sc *serverConn) writeResponse(resp *mpi.ServeResponse) error {
+// writeResponsePair serializes and writes resp with the §5 response
+// checksums generated during the payload serialization sweep (fused encode,
+// bit-identical to a separate GeneratePair pass over the payload).
+func (sc *serverConn) writeResponsePair(resp *mpi.ServeResponse, w []complex128) error {
 	return sc.writeFrame(func(buf []byte) []byte {
-		frame, _ := mpi.AppendServeResponse(buf, resp)
+		frame, _ := mpi.AppendServeResponsePair(buf, resp, w)
 		return frame
 	})
 }
@@ -239,7 +260,10 @@ func (s *Server) serveConn(sc *serverConn) {
 		}
 		switch f.Type {
 		case mpi.ServeFrameRequest:
-			req, derr := mpi.DecodeServeRequest(f, body)
+			// Fused decode: the §5 receiver-side pair is computed during the
+			// single payload-decode pass, so execute's verification needs no
+			// second sweep over the payload.
+			req, cur, curOK, derr := mpi.DecodeServeRequestPair(f, body, s.weightsFor)
 			if derr != nil {
 				if sc.writeError(f.ID, false, false, derr.Error()) != nil {
 					return
@@ -253,7 +277,7 @@ func (s *Server) serveConn(sc *serverConn) {
 				}
 				continue
 			}
-			go s.handle(sc, req)
+			go s.handle(sc, req, cur, curOK)
 		case mpi.ServeFrameGoodbye:
 			return
 		default:
@@ -284,19 +308,34 @@ func (s *Server) admit() bool {
 }
 
 // handle runs one admitted request to completion: execute, then answer
-// with a response or error frame.
-func (s *Server) handle(sc *serverConn, req *mpi.ServeRequest) {
+// with a response or error frame. cur is the fused-decode checksum pair of
+// the request payload (curOK false when the request carried none).
+func (s *Server) handle(sc *serverConn, req *mpi.ServeRequest, cur checksum.Pair, curOK bool) {
 	defer s.reqWG.Done()
 	defer func() { <-s.sem }()
-	id := req.ID
-	resp, entry, scr, err := s.execute(s.ctx, req)
+	id, op := req.ID, req.Op
+	resp, entry, scr, err := s.execute(s.ctx, req, cur, curOK)
 	req.Release()
 	if err != nil {
 		sc.writeError(id, errors.Is(err, core.ErrUncorrectable), false, err.Error())
 		return
 	}
-	sc.writeResponse(&resp)
+	sc.writeResponsePair(&resp, entry.respWeights(op))
 	entry.putScratch(scr)
+}
+
+// respWeights returns the checksum weight vector matching the response
+// payload of op: the spectrum weights for a real forward, the sample-pair
+// weights for a real inverse, the n-element weights otherwise.
+func (e *planEntry) respWeights(op mpi.ServeOp) []complex128 {
+	switch op {
+	case mpi.OpRealForward:
+		return e.wSpec
+	case mpi.OpRealInverse:
+		return e.wPairs
+	default:
+		return e.wC
+	}
 }
 
 // keyOf builds the cache key for a validated request.
@@ -381,10 +420,13 @@ func (s *Server) build(req *mpi.ServeRequest, key planKey) (*planEntry, error) {
 }
 
 // execute runs one request end to end: validate, plan lookup, wire-checksum
-// verify/repair, pool-admitted transform, response checksums. On success
-// the response payload aliases the returned scratch, which the caller
-// returns to the entry after the response is written.
-func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest) (mpi.ServeResponse, *planEntry, *scratch, error) {
+// verify/repair, pool-admitted transform. On success the response payload
+// aliases the returned scratch, which the caller returns to the entry after
+// the response is written (response checksums are generated by the fused
+// serialization sweep in writeResponsePair). cur is the fused-decode pair of
+// the request payload; when curOK is false (no weights were available at
+// decode time) the pair is recomputed here.
+func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest, cur checksum.Pair, curOK bool) (mpi.ServeResponse, *planEntry, *scratch, error) {
 	fail := func(err error) (mpi.ServeResponse, *planEntry, *scratch, error) {
 		return mpi.ServeResponse{}, nil, nil, err
 	}
@@ -398,17 +440,24 @@ func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest) (mpi.ServeR
 	}
 
 	// Wire-level §5 verification of the request payload: repair a single
-	// corrupted element, reject anything worse.
+	// corrupted element, reject anything worse. The receiver-side pair was
+	// already computed by the fused decode sweep.
 	var rep core.Report
 	if req.HasCS {
 		if req.Real != nil {
-			err = verifyFloats(e.wPairs, req.Real, req.CS, &rep)
+			if !curOK {
+				cur = floatPair(e.wPairs, req.Real)
+			}
+			err = verifyFloatsPair(e.wPairs, req.Real, req.CS, cur, &rep)
 		} else {
 			w := e.wC
 			if key.real {
 				w = e.wSpec // real-inverse request: spectrum payload
 			}
-			err = verifyComplex(w, req.Data, req.CS, &rep)
+			if !curOK {
+				cur = checksum.GeneratePair(w, req.Data)
+			}
+			err = verifyComplexPair(w, req.Data, req.CS, cur, &rep)
 		}
 		if err != nil {
 			return fail(fmt.Errorf("%w (request payload, %d detected)", err, rep.Detections))
@@ -444,20 +493,13 @@ func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest) (mpi.ServeR
 			rep.Detections, rep.MemCorrections, err))
 	}
 
-	resp := mpi.ServeResponse{ID: req.ID, Report: toServeReport(rep), HasCS: true}
-	switch req.Op {
-	case mpi.OpForward, mpi.OpInverse:
-		resp.Data = scr.c
-		pr := checksum.GeneratePair(e.wC, resp.Data)
-		resp.CS = [2]complex128{pr.D1, pr.D2}
-	case mpi.OpRealForward:
-		resp.Data = scr.c
-		pr := checksum.GeneratePair(e.wSpec, resp.Data)
-		resp.CS = [2]complex128{pr.D1, pr.D2}
-	case mpi.OpRealInverse:
+	// Response checksums are generated by writeResponsePair's fused
+	// serialization sweep over this payload, with respWeights(req.Op).
+	resp := mpi.ServeResponse{ID: req.ID, Report: toServeReport(rep)}
+	if req.Op == mpi.OpRealInverse {
 		resp.Real = scr.f
-		pr := floatPair(e.wPairs, resp.Real)
-		resp.CS = [2]complex128{pr.D1, pr.D2}
+	} else {
+		resp.Data = scr.c
 	}
 	return resp, e, scr, nil
 }
@@ -554,11 +596,13 @@ func fromServeReport(r mpi.ServeReport) core.Report {
 	}
 }
 
-// verifyComplex checks a complex payload against its carried checksum pair,
-// repairing a single corrupted element in place (the §5 single-error
-// algebra: j = Re(ΔD2/ΔD1), x[j] += ΔD1/w[j]). Both ends generate the pair
-// with the same weights in the same summation order, so a clean transfer
-// compares exactly; any difference is transit or memory corruption.
+// verifyComplexPair checks a complex payload against its carried checksum
+// pair, repairing a single corrupted element in place (the §5 single-error
+// algebra: j = Re(ΔD2/ΔD1), x[j] += ΔD1/w[j]). cur is the receiver-side
+// pair, computed by the fused decode sweep (or a separate GeneratePair pass
+// — the two are bit-identical); both ends generate it with the same weights
+// in the same summation order, so a clean transfer compares exactly and any
+// difference is transit or memory corruption.
 //
 // The pair is a single-error-correcting code, so a multi-element corruption
 // can alias to a plausible single-error syndrome and mis-locate. The repair
@@ -566,9 +610,8 @@ func fromServeReport(r mpi.ServeReport) core.Report {
 // stored one down to round-off, or the payload is rejected — the
 // repair-or-reject contract, never a silently mis-repaired payload the
 // algebra could have caught.
-func verifyComplex(w, x []complex128, cs [2]complex128, rep *core.Report) error {
+func verifyComplexPair(w, x []complex128, cs [2]complex128, cur checksum.Pair, rep *core.Report) error {
 	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
-	cur := checksum.GeneratePair(w, x)
 	d := stored.Sub(cur)
 	if d.D1 == 0 && d.D2 == 0 {
 		return nil
@@ -586,11 +629,10 @@ func verifyComplex(w, x []complex128, cs [2]complex128, rep *core.Report) error 
 	return fmt.Errorf("serve: unrecoverable payload corruption: %w", core.ErrUncorrectable)
 }
 
-// verifyFloats is verifyComplex over a float64 payload viewed as len(w)
-// adjacent sample pairs; a repair heals one pair.
-func verifyFloats(w []complex128, x []float64, cs [2]complex128, rep *core.Report) error {
+// verifyFloatsPair is verifyComplexPair over a float64 payload viewed as
+// len(w) adjacent sample pairs; a repair heals one pair.
+func verifyFloatsPair(w []complex128, x []float64, cs [2]complex128, cur checksum.Pair, rep *core.Report) error {
 	stored := checksum.Pair{D1: cs[0], D2: cs[1]}
-	cur := floatPair(w, x)
 	d := stored.Sub(cur)
 	if d.D1 == 0 && d.D2 == 0 {
 		return nil
