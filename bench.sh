@@ -19,8 +19,10 @@ out="BENCH_$(date +%Y%m%d).json"
 # BenchmarkServe* service family (sustained multi-client QPS with p50/p99
 # request latencies, mixed-traffic plan-cache multiplexing, unloaded round
 # trip vs the in-process local baseline), and the BenchmarkWire* transport
-# family (chan shared/message vs the unix-socket codec vs the shm ring
-# wire); then the fft engine's BenchmarkKernel* micro family (flat vs
-# recursive, in-place, Bluestein convolution-length chooser).
+# family (chan shared/message vs the unix-socket codec — star and mesh —
+# vs the shm ring wire, plus the BenchmarkWireBatch* rows pricing
+# epoch-pipelined ForwardBatch over each wire); then the fft engine's
+# BenchmarkKernel* micro family (flat vs recursive, in-place, Bluestein
+# convolution-length chooser).
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -json . ./internal/fft/ | tee "$out"
 echo "wrote $out" >&2

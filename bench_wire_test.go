@@ -123,6 +123,122 @@ func BenchmarkWireShm_Parallel4(b *testing.B) {
 	wg.Wait()
 }
 
+// benchWireBatch prices the epoch-pipelined batch path: batchItems transforms
+// in flight per op, windowed by the epoch ring and the root's executor budget.
+const batchItems = 8
+
+func benchWireBatch(b *testing.B, tr ftfft.Transform) {
+	b.Helper()
+	src := make([][]complex128, batchItems)
+	dst := make([][]complex128, batchItems)
+	for i := range src {
+		src[i] = workload.Uniform(int64(wireN+i), wireN)
+		dst[i] = make([]complex128, wireN)
+	}
+	ctx := context.Background()
+	b.SetBytes(int64(batchItems * 16 * wireN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.ForwardBatch(ctx, dst, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSocketWorld opens a socket hub (mesh or star) with in-process worker
+// ranks and returns the root transform plus a teardown func. rootWorkers
+// sizes the root's private pool — and with it the pipelined batch window.
+func benchSocketWorld(b *testing.B, mesh bool, rootWorkers, workerWorkers int) (ftfft.Transform, func()) {
+	b.Helper()
+	sock := filepath.Join(b.TempDir(), "bench.sock")
+	listen := ftfft.ListenHub
+	if mesh {
+		listen = ftfft.ListenMeshHub
+	}
+	hub, err := listen("unix", sock, wireP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 1; i < wireP; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ftfft.ServeWorker(ctx, "unix", sock, ftfft.WithWorkers(workerWorkers)); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	tr, err := ftfft.New(wireN, ftfft.WithRanks(wireP), ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(hub), ftfft.WithWorkers(rootWorkers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, func() {
+		hub.Close()
+		wg.Wait()
+		cancel()
+	}
+}
+
+// BenchmarkWireUnixMesh_Parallel4 is BenchmarkWireUnixSocket_Parallel4 under
+// a mesh hub: worker↔worker transpose frames go point-to-point, cutting the
+// relay hop (two syscall round trips through the hub) from every exchange.
+func BenchmarkWireUnixMesh_Parallel4(b *testing.B) {
+	tr, stop := benchSocketWorld(b, true, 1, 1)
+	benchWireForward(b, tr)
+	b.StopTimer()
+	stop()
+}
+
+// The BenchmarkWireBatch* family prices ForwardBatch over the real wires:
+// batch-of-8 at the family geometry, the root's 4 workers opening the epoch
+// ring's full window, so per-item cost shows how much of the wait bubbles the
+// pipeline fills. Star vs mesh isolates the relay hop under load.
+func BenchmarkWireBatchUnixSocketStar_Parallel4(b *testing.B) {
+	tr, stop := benchSocketWorld(b, false, 4, 2)
+	benchWireBatch(b, tr)
+	b.StopTimer()
+	stop()
+}
+
+func BenchmarkWireBatchUnixSocketMesh_Parallel4(b *testing.B) {
+	tr, stop := benchSocketWorld(b, true, 4, 2)
+	benchWireBatch(b, tr)
+	b.StopTimer()
+	stop()
+}
+
+func BenchmarkWireBatchShm_Parallel4(b *testing.B) {
+	ring := filepath.Join(b.TempDir(), "bench.ring")
+	hub, err := ftfft.ListenShmHub(ring, wireP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 1; i < wireP; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ftfft.ServeWorker(ctx, "shm", ring, ftfft.WithWorkers(2)); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	tr, err := ftfft.New(wireN, ftfft.WithRanks(wireP), ftfft.WithProtection(ftfft.OnlineABFTMemory),
+		ftfft.WithTransport(hub), ftfft.WithWorkers(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWireBatch(b, tr)
+	b.StopTimer()
+	hub.Close()
+	wg.Wait()
+}
+
 // TestWireRecvAllocs pins the per-transform allocation budget of the message
 // wires at the benchmark geometry. The chan wire's steady state allocates
 // only the report roll-up; decode-in-place must keep the socket wire within
@@ -141,12 +257,14 @@ func TestWireRecvAllocs(t *testing.T) {
 		bench  func(*testing.B)
 	}{
 		// Budgets are ceilings with slack over the measured steady state
-		// (chan ≈ 10, socket ≈ 52, shm ≈ 34 at 2^14, p = 4 — the remainder
+		// (chan ≈ 10, socket ≈ 62, shm ≈ 34 at 2^14, p = 4 — the remainder
 		// is per-transform plan contexts, shared by every wire), far below
 		// the pre-decode-in-place socket cost of ~117 plus one header
-		// allocation per frame.
+		// allocation per frame. The socket ceiling includes the in-process
+		// workers' epoch-lane serve rotation (one launch + reservation per
+		// lane round since PR 9).
 		{"chan", 20, BenchmarkWireChanMessage_Parallel4},
-		{"socket", 60, BenchmarkWireUnixSocket_Parallel4},
+		{"socket", 72, BenchmarkWireUnixSocket_Parallel4},
 		{"shm", 60, BenchmarkWireShm_Parallel4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

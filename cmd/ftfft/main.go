@@ -30,7 +30,10 @@
 // its geometry and protection from the hub's handshake and serves transforms
 // until the driver exits. -transport shm swaps the sockets for same-host
 // memory-mapped ring buffers (the -listen/-connect address is the ring-file
-// path, created by the driver and removed on exit).
+// path, created by the driver and removed on exit). -mesh on the driver has
+// socket workers dial each other directly, so worker↔worker transpose frames
+// skip the hub relay; -no-mesh on a worker keeps that one worker relay-only
+// (its peers fall back to the hub for pairs involving it).
 //
 // -inject takes a mix like "2m+1c": m = memory faults, c = computational
 // faults. -dims runs the N-dimensional axis-pass engine over the given
@@ -76,6 +79,8 @@ func main() {
 	listenAddr := flag.String("listen", "", "driver mode: run -parallel ranks as OS processes; listen for workers here")
 	spawnWorkers := flag.Bool("spawn-workers", false, "with -listen: fork the worker processes automatically")
 	transport := flag.String("transport", "socket", "distributed wire: socket (unix/tcp, inferred from the address) or shm (same-host memory-mapped rings; -listen/-connect is the ring-file path)")
+	mesh := flag.Bool("mesh", false, "with -listen: socket workers dial each other directly; worker↔worker frames skip the hub relay")
+	noMesh := flag.Bool("no-mesh", false, "with -worker: join relay-only, declining peer mesh connections")
 	flag.Parse()
 
 	if *transport != "socket" && *transport != "shm" {
@@ -89,10 +94,17 @@ func main() {
 		if *transport == "shm" {
 			network = "shm"
 		}
-		if err := ftfft.ServeWorker(context.Background(), network, *connectAddr); err != nil {
+		var wopts []ftfft.Option
+		if *noMesh {
+			wopts = append(wopts, ftfft.WithoutPeerMesh())
+		}
+		if err := ftfft.ServeWorker(context.Background(), network, *connectAddr, wopts...); err != nil {
 			fatalf("worker: %v", err)
 		}
 		return
+	}
+	if *noMesh {
+		fatalf("-no-mesh is a worker flag (use -mesh on the driver)")
 	}
 
 	n := 1 << *logN
@@ -187,6 +199,9 @@ func main() {
 			Close() error
 		}
 		if *transport == "shm" {
+			if *mesh {
+				fatalf("-mesh applies to the socket wire; the shm rings are already a full mesh")
+			}
 			network = "shm"
 			os.Remove(*listenAddr)
 			h, err := ftfft.ListenShmHub(*listenAddr, *parallelRanks)
@@ -198,7 +213,11 @@ func main() {
 			if network == "unix" {
 				os.Remove(*listenAddr)
 			}
-			h, err := ftfft.ListenHub(network, *listenAddr, *parallelRanks)
+			listen := ftfft.ListenHub
+			if *mesh {
+				listen = ftfft.ListenMeshHub
+			}
+			h, err := listen(network, *listenAddr, *parallelRanks)
 			if err != nil {
 				fatalf("%v", err)
 			}

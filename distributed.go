@@ -37,6 +37,27 @@ func ListenHub(network, addr string, ranks int) (*Hub, error) {
 	return mpi.ListenHub(network, addr, ranks)
 }
 
+// ListenMeshHub is ListenHub with the peer mesh enabled: after the handshake
+// the hub hands every worker its peers' listen addresses, workers dial each
+// other directly (lower rank dials higher, exactly one connection per pair),
+// and worker↔worker transpose frames travel point-to-point instead of taking
+// two hops through the hub. The hub connection remains the control channel
+// (abort, shutdown) and the relay fallback: a worker whose peer listener or
+// peer dial fails (bounded by a 5 s deadline) logs the degradation and keeps
+// running star-topology through the hub — mesh setup can slow a world down,
+// never wedge it. Observe the split with Hub.WireStats.
+func ListenMeshHub(network, addr string, ranks int) (*Hub, error) {
+	return mpi.ListenMeshHub(network, addr, ranks)
+}
+
+// WireStats is a point-in-time snapshot of a distributed wire's traffic
+// split: data frames/bytes sent peer-direct versus relayed through the hub,
+// the number of live peer connections, and the high-water mark of epochs
+// (pipelined transforms) simultaneously in flight on the world. Hub, ShmHub
+// and the worker transports expose it via their WireStats method; on the shm
+// wire every frame counts as direct (the rings are already a mesh).
+type WireStats = mpi.WireStats
+
 // ShmHub is the root process's side of a same-host shared-memory world: rank
 // 0 runs in the caller's process, the remaining ranks are worker processes
 // attached to the same memory-mapped ring file. Like Hub it is passed to New
@@ -85,6 +106,17 @@ func WithTransport(t Transport) Option {
 	return func(c *config) { c.transport = t }
 }
 
+// WithoutPeerMesh makes a ServeWorker join relay-only: it advertises no peer
+// listener and declines peer connections, so all of its traffic relays
+// through the hub even under a ListenMeshHub root. The mesh protocol
+// tolerates the mix — peers that cannot reach this worker fall back to the
+// hub per pair — which makes the option useful for pinning a worker behind a
+// NAT or for exercising the relay-fallback path deliberately. Only
+// ServeWorker accepts it.
+func WithoutPeerMesh() Option {
+	return func(c *config) { c.noPeerMesh = true }
+}
+
 // ServeWorker runs this process as one rank of a distributed world: it dials
 // the hub at network/addr (retrying while the listener comes up), completes
 // the handshake — which assigns the rank and delivers the root plan's
@@ -96,8 +128,9 @@ func WithTransport(t Transport) Option {
 // ServeWorker returns nil when the root closes the hub (clean shutdown) and
 // the wire or transform failure otherwise. Accepted options: WithInjector
 // (worker-local fault injection), WithWorkers / WithExecutor (this process's
-// dispatch budget); geometry and protection options are rejected — they
-// belong to the root.
+// dispatch budget), WithoutPeerMesh (decline peer connections under a mesh
+// hub); geometry and protection options are rejected — they belong to the
+// root.
 func ServeWorker(ctx context.Context, network, addr string, opts ...Option) error {
 	var c config
 	for _, o := range opts {
@@ -105,7 +138,7 @@ func ServeWorker(ctx context.Context, network, addr string, opts ...Option) erro
 	}
 	if c.ranks != 0 || c.dimsSet || c.rows != 0 || c.cols != 0 || c.protection != None ||
 		c.etaScale != 0 || c.maxRetries != 0 || c.transport != nil {
-		return fmt.Errorf("ftfft: ServeWorker takes its geometry and protection from the hub handshake; only WithInjector / WithWorkers / WithExecutor apply")
+		return fmt.Errorf("ftfft: ServeWorker takes its geometry and protection from the hub handshake; only WithInjector / WithWorkers / WithExecutor / WithoutPeerMesh apply")
 	}
 	// The executor options get New's validation, not a silent fallback.
 	if c.workers < 0 {
@@ -135,7 +168,11 @@ func ServeWorker(ctx context.Context, network, addr string, opts ...Option) erro
 		defer wt.Close()
 		tr, meta = wt, m
 	} else {
-		wt, m, err := mpi.DialWorker(network, addr)
+		dial := mpi.DialWorker
+		if c.noPeerMesh {
+			dial = mpi.DialWorkerNoMesh
+		}
+		wt, m, err := dial(network, addr)
 		if err != nil {
 			return err
 		}

@@ -45,12 +45,17 @@ func buildWorkerBinary(t *testing.T) string {
 
 // spawnWorkers starts count `ftfft -worker -transport transport -connect
 // addr` OS processes and returns a reaper that asserts every one of them
-// exited cleanly.
-func spawnWorkers(t *testing.T, bin, transport, addr string, count int) func() {
+// exited cleanly. extraFor (if non-nil) appends per-worker flags — the mesh
+// rows force one worker relay-only with -no-mesh through it.
+func spawnWorkers(t *testing.T, bin, transport, addr string, count int, extraFor func(i int) []string) func() {
 	t.Helper()
 	procs := make([]*exec.Cmd, count)
 	for i := range procs {
-		w := exec.Command(bin, "-worker", "-transport", transport, "-connect", addr)
+		args := []string{"-worker", "-transport", transport, "-connect", addr}
+		if extraFor != nil {
+			args = append(args, extraFor(i)...)
+		}
+		w := exec.Command(bin, args...)
 		w.Stderr = os.Stderr
 		if err := w.Start(); err != nil {
 			t.Fatalf("starting worker %d: %v", i, err)
@@ -108,21 +113,32 @@ func TestDistributedBitIdentical(t *testing.T) {
 
 	for _, tc := range []struct {
 		name      string
-		transport string
+		transport string // "socket", "mesh" (socket wire, ListenMeshHub), "shm"
 		prot      ftfft.Protection
 		faulty    bool
+		batch     bool // run a ForwardBatch over the pipelined window too
 	}{
-		{"plain", "socket", ftfft.None, false},
-		{"online-memory", "socket", ftfft.OnlineABFTMemory, false},
-		{"online-memory-faulty", "socket", ftfft.OnlineABFTMemory, true},
-		{"shm-plain", "shm", ftfft.None, false},
-		{"shm-online-memory", "shm", ftfft.OnlineABFTMemory, false},
-		{"shm-online-memory-faulty", "shm", ftfft.OnlineABFTMemory, true},
+		{"plain", "socket", ftfft.None, false, false},
+		{"online-memory", "socket", ftfft.OnlineABFTMemory, false, false},
+		{"online-memory-faulty", "socket", ftfft.OnlineABFTMemory, true, false},
+		{"mesh-online-memory", "mesh", ftfft.OnlineABFTMemory, false, false},
+		{"mesh-online-memory-faulty", "mesh", ftfft.OnlineABFTMemory, true, false},
+		{"shm-plain", "shm", ftfft.None, false, false},
+		{"shm-online-memory", "shm", ftfft.OnlineABFTMemory, false, false},
+		{"shm-online-memory-faulty", "shm", ftfft.OnlineABFTMemory, true, false},
+		{"batch-socket", "socket", ftfft.OnlineABFTMemory, false, true},
+		{"batch-mesh", "mesh", ftfft.OnlineABFTMemory, false, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			refOpts := []ftfft.Option{
 				ftfft.WithRanks(p), ftfft.WithProtection(tc.prot),
 				ftfft.WithTransport(ftfft.MessageOnlyTransport(p)),
+			}
+			if tc.batch {
+				// The reference chan plan's local gang is all p ranks, so it
+				// needs p·4 workers for the same 4-deep pipelined window the
+				// distributed root opens with 4.
+				refOpts = append(refOpts, ftfft.WithWorkers(4*p))
 			}
 			var refSched, distSched *ftfft.Schedule
 			if tc.faulty {
@@ -140,14 +156,34 @@ func TestDistributedBitIdentical(t *testing.T) {
 				Close() error
 			}
 			var addr string
-			if tc.transport == "shm" {
+			var extraFor func(i int) []string
+			workerTransport := tc.transport
+			switch tc.transport {
+			case "shm":
 				addr = filepath.Join(t.TempDir(), "hub.ring")
 				h, err := ftfft.ListenShmHub(addr, p)
 				if err != nil {
 					t.Fatal(err)
 				}
 				hub = h
-			} else {
+			case "mesh":
+				// Mesh is chosen hub-side; workers are plain socket dialers.
+				// One worker is forced relay-only, so the heterogeneous
+				// mesh/relay mix crosses real process boundaries here.
+				addr = filepath.Join(t.TempDir(), "hub.sock")
+				h, err := ftfft.ListenMeshHub("unix", addr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hub = h
+				workerTransport = "socket"
+				extraFor = func(i int) []string {
+					if i == 0 {
+						return []string{"-no-mesh"}
+					}
+					return nil
+				}
+			default:
 				addr = filepath.Join(t.TempDir(), "hub.sock")
 				h, err := ftfft.ListenHub("unix", addr, p)
 				if err != nil {
@@ -155,9 +191,14 @@ func TestDistributedBitIdentical(t *testing.T) {
 				}
 				hub = h
 			}
-			reap := spawnWorkers(t, bin, tc.transport, addr, p-1)
+			reap := spawnWorkers(t, bin, workerTransport, addr, p-1, extraFor)
 			distOpts := []ftfft.Option{
 				ftfft.WithRanks(p), ftfft.WithProtection(tc.prot), ftfft.WithTransport(hub),
+			}
+			if tc.batch {
+				// Four root workers open the pipelined window to the epoch
+				// ring's depth.
+				distOpts = append(distOpts, ftfft.WithWorkers(4))
 			}
 			if tc.faulty {
 				distOpts = append(distOpts, ftfft.WithInjector(distSched))
@@ -206,58 +247,236 @@ func TestDistributedBitIdentical(t *testing.T) {
 			if tc.faulty && (!refSched.AllFired() || !distSched.AllFired()) {
 				t.Fatalf("faults did not all fire: ref=%v dist=%v", refSched.AllFired(), distSched.AllFired())
 			}
+			if tc.batch {
+				// A pipelined batch across real worker processes: several
+				// items in flight on distinct epochs, each bit-for-bit the
+				// unbatched reference output.
+				const items = 5
+				bsrc := make([][]complex128, items)
+				bdst := make([][]complex128, items)
+				bwant := make([][]complex128, items)
+				for i := range bsrc {
+					bsrc[i] = make([]complex128, n)
+					for j := range bsrc[i] {
+						bsrc[i][j] = x[j] * complex(float64(i+1), 0)
+					}
+					bdst[i] = make([]complex128, n)
+					bwant[i] = make([]complex128, n)
+					if _, err := ref.Forward(ctx, bwant[i], bsrc[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rep, err := dist.ForwardBatch(ctx, bdst, bsrc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("fault-free batch not clean: %+v", rep)
+				}
+				for i := range bwant {
+					for j := range bwant[i] {
+						if bdst[i][j] != bwant[i][j] {
+							t.Fatalf("batch item %d differs at %d: %v vs %v", i, j, bdst[i][j], bwant[i][j])
+						}
+					}
+				}
+				if h, ok := hub.(*ftfft.Hub); ok {
+					if s := h.WireStats(); s.MaxEpochsInFlight < 2 {
+						t.Errorf("batch never overlapped epochs on the wire: %+v", s)
+					}
+				}
+			}
 			hub.Close()
 			reap()
 		})
 	}
 }
 
-// TestTransportBatchSerializes pins the exclusive-context batch contract: a
-// transport-backed plan owns one world, so ForwardBatch must reap each item
-// before beginning the next — the pipelined window would otherwise park the
-// second Begin on the context only reaping can return (a reproduced
-// deadlock). The batch must complete promptly and match unbatched output.
-func TestTransportBatchSerializes(t *testing.T) {
-	const n, p, items = 1024, 4, 3
+// batchWire is an in-process hub any pipelined batch can run over; every real
+// wire (socket star, socket mesh, shm rings) satisfies it.
+type batchWire interface {
+	ftfft.Transport
+	Close() error
+	WireStats() ftfft.WireStats
+}
+
+// startBatchWire opens a hub for wire and serves p-1 worker ranks as
+// in-process goroutines (private single-worker executors, like real worker
+// processes each with their own pool).
+func startBatchWire(t *testing.T, wire string, p int) (batchWire, *sync.WaitGroup) {
+	t.Helper()
+	var (
+		hub           batchWire
+		network, addr string
+	)
+	switch wire {
+	case "shm":
+		network, addr = "shm", filepath.Join(t.TempDir(), "batch.ring")
+		h, err := ftfft.ListenShmHub(addr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub = h
+	case "mesh":
+		network, addr = "unix", filepath.Join(t.TempDir(), "batch.sock")
+		h, err := ftfft.ListenMeshHub(network, addr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub = h
+	default:
+		network, addr = "unix", filepath.Join(t.TempDir(), "batch.sock")
+		h, err := ftfft.ListenHub(network, addr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub = h
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < p; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ftfft.ServeWorker(context.Background(), network, addr, ftfft.WithWorkers(1)); err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+		}()
+	}
+	return hub, &wg
+}
+
+// injectWireFault installs f on whichever hub type backs the wire.
+func injectWireFault(t *testing.T, hub batchWire, f func(dst, src, tag, epoch int, payload []byte)) {
+	t.Helper()
+	switch h := hub.(type) {
+	case *ftfft.Hub:
+		h.InjectWireFaults(f)
+	case *ftfft.ShmHub:
+		h.InjectWireFaults(f)
+	default:
+		t.Fatalf("wire %T has no fault hook", hub)
+	}
+}
+
+// TestTransportBatchPipelined pins the epoch-pipelined batch contract that
+// replaced the window=1 clamp: over every transport (in-process chan, socket
+// star, socket mesh, shm rings) ForwardBatch runs a multi-item in-flight
+// window — the wire's epoch high-water mark proves the overlap — and each
+// item's output is bit-for-bit the unbatched in-process result. The faulty
+// rows corrupt one serialized payload byte in two specific epochs; the §5
+// block checksums must repair exactly those items while their neighbors in
+// the same window stay untouched.
+func TestTransportBatchPipelined(t *testing.T) {
+	const n, p, items = 1024, 4, 6
 	rng := rand.New(rand.NewSource(79))
-	tr, err := ftfft.New(n, ftfft.WithRanks(p), ftfft.WithProtection(ftfft.OnlineABFTMemory),
-		ftfft.WithTransport(ftfft.MessageOnlyTransport(p)))
+	ctx := context.Background()
+
+	ref, err := ftfft.New(n, ftfft.WithRanks(p), ftfft.WithProtection(ftfft.OnlineABFTMemory))
 	if err != nil {
 		t.Fatal(err)
 	}
 	src := make([][]complex128, items)
-	dst := make([][]complex128, items)
 	want := make([][]complex128, items)
 	for i := range src {
 		src[i] = make([]complex128, n)
 		for j := range src[i] {
 			src[i][j] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
 		}
-		dst[i] = make([]complex128, n)
 		want[i] = make([]complex128, n)
-	}
-	ctx := context.Background()
-	done := make(chan error, 1)
-	go func() {
-		_, err := tr.ForwardBatch(ctx, dst, src)
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
+		if _, err := ref.Forward(ctx, want[i], src[i]); err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("ForwardBatch deadlocked on the exclusive transport context")
 	}
-	for i := range want {
-		if _, err := tr.Forward(ctx, want[i], src[i]); err != nil {
-			t.Fatal(err)
-		}
-		for j := range want[i] {
-			if dst[i][j] != want[i][j] {
-				t.Fatalf("item %d differs at %d", i, j)
+
+	for _, wire := range []string{"chan", "socket", "mesh", "shm"} {
+		for _, faulty := range []bool{false, true} {
+			if wire == "chan" && faulty {
+				continue // the chan wire has no serialized bytes to corrupt
 			}
+			name := wire + "/clean"
+			if faulty {
+				name = wire + "/faulty"
+			}
+			t.Run(name, func(t *testing.T) {
+				opts := []ftfft.Option{ftfft.WithRanks(p), ftfft.WithProtection(ftfft.OnlineABFTMemory)}
+				var hub batchWire
+				var wg *sync.WaitGroup
+				if wire == "chan" {
+					// Gang size is p in-process, so the window needs p·window
+					// workers to open up.
+					opts = append(opts, ftfft.WithTransport(ftfft.MessageOnlyTransport(p)), ftfft.WithWorkers(4*p))
+				} else {
+					hub, wg = startBatchWire(t, wire, p)
+					opts = append(opts, ftfft.WithTransport(hub), ftfft.WithWorkers(4))
+				}
+				tr, err := ftfft.New(n, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var (
+					mu   sync.Mutex
+					hits = map[int]int{}
+				)
+				if faulty {
+					// One mantissa-bit flip in the first outbound transpose
+					// frame (tag 1 = tran1) of epochs 1 and 3: two specific
+					// in-flight items are corrupted mid-window, the rest ride
+					// the same wire untouched.
+					injectWireFault(t, hub, func(dst, src, tag, epoch int, payload []byte) {
+						if tag != 1 || len(payload) < 8 || (epoch != 1 && epoch != 3) {
+							return
+						}
+						mu.Lock()
+						defer mu.Unlock()
+						if hits[epoch] == 0 {
+							payload[3] ^= 0x10
+						}
+						hits[epoch]++
+					})
+				}
+				dst := make([][]complex128, items)
+				for i := range dst {
+					dst[i] = make([]complex128, n)
+				}
+				rep, err := tr.ForwardBatch(ctx, dst, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if faulty {
+					mu.Lock()
+					fired := len(hits)
+					mu.Unlock()
+					if fired != 2 {
+						t.Fatalf("wire faults fired in %d epochs, want 2", fired)
+					}
+					if rep.Detections < 2 || rep.MemCorrections < 2 || rep.Uncorrectable {
+						t.Fatalf("wire corruption not repaired: %+v", rep)
+					}
+					for i := range want {
+						if d := maxAbsDiff(dst[i], want[i]); d > 1e-7*float64(n)*(1+maxAbs(want[i])) {
+							t.Fatalf("item %d repaired output off by %g", i, d)
+						}
+					}
+				} else {
+					if !rep.Clean() {
+						t.Fatalf("fault-free batch not clean: %+v", rep)
+					}
+					for i := range want {
+						for j := range want[i] {
+							if dst[i][j] != want[i][j] {
+								t.Fatalf("item %d differs at %d: %v vs %v", i, j, dst[i][j], want[i][j])
+							}
+						}
+					}
+				}
+				if hub != nil {
+					if s := hub.WireStats(); s.MaxEpochsInFlight < 2 {
+						t.Errorf("batch never overlapped epochs on the wire: %+v", s)
+					}
+					hub.Close()
+					wg.Wait()
+				}
+			})
 		}
 	}
 }

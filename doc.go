@@ -154,6 +154,36 @@
 // syscalls, no kernel copies, no hub relay — and workers dial by path with
 // ServeWorker(ctx, "shm", path).
 //
+// ListenMeshHub upgrades the socket star to a mesh: the handshake hands
+// each worker its peers' listen addresses, every worker pair establishes
+// one direct connection (lower rank dials higher), and worker↔worker
+// frames — the transpose exchanges at the heart of the six-step algorithm —
+// go point-to-point instead of relaying through the hub:
+//
+//	    star                         mesh
+//	      w1                          w1
+//	     /                           /  |
+//	hub — w2                   hub — w2 |
+//	     \                           \  | \
+//	      w3                          w3-'
+//	w↔w frames: 2 hops         w↔w frames: direct; hub keeps
+//	through the hub            scatter/gather, abort, goodbye
+//
+// The mesh is an optimization, never a requirement: peer dials are
+// deadline-bound, and an unreachable or lost peer — or a worker started
+// with DialWorkerNoMesh / -no-mesh — logs the reason and degrades that
+// pair to the hub relay without aborting the world. WireStats reports
+// frames and bytes moved direct vs relayed, live peer connections, and the
+// deepest epoch overlap observed.
+//
+// ForwardBatch over any transport is epoch-pipelined: each data frame's
+// header carries the epoch of the batch item it belongs to, ranks match
+// frames to per-epoch mailboxes, and a ring of pooled per-epoch contexts
+// keeps up to four transforms in flight over one world, windowed by the
+// root executor's reserve backpressure (WithWorkers sizes the window).
+// Results are reaped in order and are bit-identical to the unbatched loop
+// on every wire, clean or under injected faults.
+//
 // Protected payloads carry their §5 checksum pair without a separate
 // generation pass: the pair accumulates inside the serialization loop on
 // send and inside the decode loop on receive (fused sweeps), and the fusion

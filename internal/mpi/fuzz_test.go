@@ -57,8 +57,9 @@ func FuzzFrameDecode(f *testing.F) {
 				}
 				// decode∘encode must be the identity on accepted frames:
 				// compare header and body against a fresh encode (the codec
-				// rejects nonzero reserved fields, so the original header is
-				// fully determined by the parsed fields).
+				// rejects nonzero reserved fields and parses the data-frame
+				// epoch into the message, so the original header is fully
+				// determined by the parsed fields).
 				re, _ := encodeDataFrame(nil, h.dst, h.src, m)
 				var hdr [frameHeaderLen]byte
 				putHeader(hdr[:], h)

@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startMeshWorld builds a p-rank Unix-socket world under a mesh hub inside
+// this test process: the hub hosts rank 0, the workers dial in through the
+// real handshake (hello + advertised peer listener, config, framePeers), so
+// the peer-introduction protocol is exactly what a multi-process run
+// exercises. dials[i] is the dial function for the i-th worker connection
+// (nil entries mean DialWorker); results are indexed by assigned rank, so
+// workers[0]/workerWs[0] correspond to rank 1. tweak (if non-nil) runs on the
+// hub before the handshake — the black-hole test rewrites advertised peer
+// addresses through it.
+func startMeshWorld(t *testing.T, p int, tweak func(*HubTransport),
+	dials []func(network, addr string) (*WorkerTransport, WorldMeta, error)) (hub *HubTransport, hubW *World, workers []*WorkerTransport, workerWs []*World) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "hub.sock")
+	hub, err := ListenMeshHub("unix", sock, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tweak != nil {
+		tweak(hub)
+	}
+	hubW = NewWorldTransport(p, nil, hub)
+	workers = make([]*WorkerTransport, p)
+	workerWs = make([]*World, p)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 1; i < p; i++ {
+		dial := DialWorker
+		if dials != nil && dials[i-1] != nil {
+			dial = dials[i-1]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wt, m, err := dial("unix", sock)
+			if err != nil {
+				t.Errorf("worker dial: %v", err)
+				return
+			}
+			w := NewWorldTransport(m.P, nil, wt)
+			mu.Lock()
+			workers[wt.Rank()] = wt
+			workerWs[wt.Rank()] = w
+			mu.Unlock()
+		}()
+	}
+	if err := hub.ConfigureWorld(WorldMeta{N: 64, P: p}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	t.Cleanup(func() {
+		hub.Close()
+		for _, wt := range workers[1:] {
+			if wt != nil {
+				wt.Close()
+			}
+		}
+	})
+	return hub, hubW, workers, workerWs
+}
+
+// waitInMesh polls until wt's direct connection to peer is established; mesh
+// setup is asynchronous by design (early traffic relays through the hub).
+func waitInMesh(t *testing.T, wt *WorkerTransport, peer int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !wt.InMesh(peer) {
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d never established a peer conn to rank %d", wt.Rank(), peer)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// captureMeshLog swaps meshLogf for a recorder and returns (lines, restore).
+// The returned lines func snapshots what has been logged so far.
+func captureMeshLog() (lines func() []string, restore func()) {
+	var mu sync.Mutex
+	var got []string
+	prev := meshLogf
+	meshLogf = func(format string, args ...any) {
+		mu.Lock()
+		got = append(got, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	return func() []string {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]string(nil), got...)
+		}, func() {
+			meshLogf = prev
+		}
+}
+
+// TestMeshPeerDirect: under a mesh hub, workers exchange peer addresses and
+// dial each other (lower rank dials higher, one connection per pair);
+// worker↔worker payloads then travel point-to-point — the hub relays nothing
+// — and every side's WireStats reflects the split.
+func TestMeshPeerDirect(t *testing.T) {
+	hub, hubW, workers, workerWs := startMeshWorld(t, 3, nil, nil)
+	if !hub.PeerMesh() {
+		t.Fatal("ListenMeshHub hub does not report PeerMesh")
+	}
+	for r := 1; r < 3; r++ {
+		if !workers[r].PeerMesh() {
+			t.Fatalf("rank %d advertises no peer listener under a mesh hub", r)
+		}
+	}
+	waitInMesh(t, workers[1], 2)
+	waitInMesh(t, workers[2], 1)
+
+	// Worker↔worker both directions, with checksums, plus a hub leg each way.
+	c0 := hubW.Endpoint(0)
+	c1 := workerWs[1].Endpoint(1)
+	c2 := workerWs[2].Endpoint(2)
+	data := []complex128{1 + 2i, -3, 4i}
+	cs := [2]complex128{5, 6i}
+	c1.Send(2, 7, data, &cs)
+	buf := make([]complex128, 3)
+	gotCS, has, err := c2.Recv(1, 7, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has || gotCS != cs {
+		t.Fatalf("checksums lost on the peer conn: %v has=%v", gotCS, has)
+	}
+	for i, want := range data {
+		if buf[i] != want {
+			t.Fatalf("payload[%d] = %v, want %v", i, buf[i], want)
+		}
+	}
+	c2.Send(1, 8, []complex128{42}, nil)
+	back := make([]complex128, 1)
+	if _, _, err := c1.Recv(2, 8, back); err != nil || back[0] != 42 {
+		t.Fatalf("reverse peer payload %v err %v", back[0], err)
+	}
+	c0.Send(1, 9, []complex128{9}, nil)
+	if _, _, err := c1.Recv(0, 9, back); err != nil || back[0] != 9 {
+		t.Fatalf("hub→worker payload %v err %v", back[0], err)
+	}
+	c1.Send(0, 10, []complex128{10}, nil)
+	if _, _, err := c0.Recv(1, 10, back); err != nil || back[0] != 10 {
+		t.Fatalf("worker→hub payload %v err %v", back[0], err)
+	}
+
+	for r := 1; r < 3; r++ {
+		s := workers[r].WireStats()
+		if s.FramesRelayed != 0 {
+			t.Errorf("rank %d relayed %d frames despite an established mesh", r, s.FramesRelayed)
+		}
+		if s.FramesDirect == 0 {
+			t.Errorf("rank %d sent no direct frames", r)
+		}
+		if s.PeerConns != 1 {
+			t.Errorf("rank %d PeerConns = %d, want 1", r, s.PeerConns)
+		}
+	}
+	hs := hub.WireStats()
+	if hs.FramesRelayed != 0 {
+		t.Errorf("hub relayed %d frames despite an established mesh", hs.FramesRelayed)
+	}
+	if hs.FramesDirect == 0 || hs.BytesDirect == 0 {
+		t.Errorf("hub direct counters empty: %+v", hs)
+	}
+}
+
+// TestMeshBlackHoleFallsBackToRelay: an advertised peer address that accepts
+// the TCP/Unix connection but never answers the peer hello (a black hole)
+// costs at most meshDialTimeout, logs the degradation, and leaves the pair on
+// the hub relay — messages still arrive, through two hops.
+func TestMeshBlackHoleFallsBackToRelay(t *testing.T) {
+	prev := meshDialTimeout
+	meshDialTimeout = 200 * time.Millisecond
+	defer func() { meshDialTimeout = prev }()
+	lines, restore := captureMeshLog()
+	defer restore()
+
+	// A listener whose connections are never served: dials complete (kernel
+	// backlog), the peer hello is swallowed, no ack ever comes back.
+	dir := t.TempDir()
+	bh, err := net.Listen("unix", filepath.Join(dir, "blackhole.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bh.Close()
+
+	hub, _, workers, workerWs := startMeshWorld(t, 3, func(h *HubTransport) {
+		h.peerAddrOverride = func(rank int, addr string) string {
+			if rank == 2 && addr != "" {
+				return bh.Addr().String()
+			}
+			return addr
+		}
+	}, nil)
+
+	// Rank 1 (the dialer for the 1–2 pair) must give up within the deadline
+	// and log the fallback.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var fellBack bool
+		for _, l := range lines() {
+			if strings.Contains(l, "using hub relay") {
+				fellBack = true
+			}
+		}
+		if fellBack {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no relay-fallback log within deadline; got %q", lines())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if workers[1].InMesh(2) {
+		t.Fatal("rank 1 claims a peer conn to the black-holed rank 2")
+	}
+
+	// The pair still communicates — over the two-hop relay.
+	c1 := workerWs[1].Endpoint(1)
+	c2 := workerWs[2].Endpoint(2)
+	c1.Send(2, 7, []complex128{3 + 4i}, nil)
+	buf := make([]complex128, 1)
+	if _, _, err := c2.Recv(1, 7, buf); err != nil || buf[0] != 3+4i {
+		t.Fatalf("relayed payload %v err %v", buf[0], err)
+	}
+	if s := workers[1].WireStats(); s.FramesRelayed == 0 {
+		t.Errorf("rank 1 stats count no relayed frames: %+v", s)
+	}
+	if hs := hub.WireStats(); hs.FramesRelayed == 0 {
+		t.Errorf("hub forwarded no frames: %+v", hs)
+	}
+}
+
+// TestMeshNoMeshWorkerStaysRelay: a DialWorkerNoMesh worker under a mesh hub
+// neither accepts nor dials peer connections — all of its worker↔worker
+// traffic takes the hub relay, in both directions, while the world stays
+// fully functional.
+func TestMeshNoMeshWorkerStaysRelay(t *testing.T) {
+	hub, _, workers, workerWs := startMeshWorld(t, 3, nil,
+		[]func(string, string) (*WorkerTransport, WorldMeta, error){DialWorker, DialWorkerNoMesh})
+
+	// Rank assignment is connection order, so identify the relay-only worker
+	// by what it advertises rather than by dial order.
+	noMesh, meshed := 0, 0
+	for r := 1; r < 3; r++ {
+		if workers[r].PeerMesh() {
+			meshed = r
+		} else {
+			noMesh = r
+		}
+	}
+	if noMesh == 0 || meshed == 0 {
+		t.Fatalf("expected one mesh and one relay-only worker, got PeerMesh %v/%v",
+			workers[1].PeerMesh(), workers[2].PeerMesh())
+	}
+
+	// Exchange traffic both ways, then confirm no peer conn ever formed.
+	cm := workerWs[meshed].Endpoint(meshed)
+	cn := workerWs[noMesh].Endpoint(noMesh)
+	cm.Send(noMesh, 7, []complex128{1i}, nil)
+	buf := make([]complex128, 1)
+	if _, _, err := cn.Recv(meshed, 7, buf); err != nil || buf[0] != 1i {
+		t.Fatalf("mesh→no-mesh payload %v err %v", buf[0], err)
+	}
+	cn.Send(meshed, 8, []complex128{2i}, nil)
+	if _, _, err := cm.Recv(noMesh, 8, buf); err != nil || buf[0] != 2i {
+		t.Fatalf("no-mesh→mesh payload %v err %v", buf[0], err)
+	}
+	if workers[meshed].InMesh(noMesh) || workers[noMesh].InMesh(meshed) {
+		t.Fatal("a peer conn formed to a relay-only worker")
+	}
+	if s := workers[noMesh].WireStats(); s.PeerConns != 0 || s.FramesRelayed == 0 {
+		t.Errorf("relay-only worker stats %+v", s)
+	}
+	if hs := hub.WireStats(); hs.FramesRelayed < 2 {
+		t.Errorf("hub relayed %d frames, want ≥ 2", hs.FramesRelayed)
+	}
+}
+
+// TestMeshPeerLossFallsBack: a peer connection dying mid-run retires the pair
+// to the hub relay — logged, never fatal — and traffic keeps flowing.
+func TestMeshPeerLossFallsBack(t *testing.T) {
+	lines, restore := captureMeshLog()
+	defer restore()
+	hub, _, workers, workerWs := startMeshWorld(t, 3, nil, nil)
+	waitInMesh(t, workers[1], 2)
+	waitInMesh(t, workers[2], 1)
+
+	// Kill the established 1↔2 conn out from under both read loops.
+	workers[1].peers[2].Load().c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for workers[1].InMesh(2) || workers[2].InMesh(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("peer conn loss not observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var logged bool
+	for _, l := range lines() {
+		if strings.Contains(l, "falling back to hub relay") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Errorf("peer loss not logged: %q", lines())
+	}
+
+	c1 := workerWs[1].Endpoint(1)
+	c2 := workerWs[2].Endpoint(2)
+	c1.Send(2, 7, []complex128{5}, nil)
+	buf := make([]complex128, 1)
+	if _, _, err := c2.Recv(1, 7, buf); err != nil || buf[0] != 5 {
+		t.Fatalf("post-loss payload %v err %v", buf[0], err)
+	}
+	if hs := hub.WireStats(); hs.FramesRelayed == 0 {
+		t.Error("hub relayed nothing after the peer conn loss")
+	}
+}

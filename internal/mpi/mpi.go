@@ -86,7 +86,13 @@ func getPayload(n int) *payload {
 // pooled buffer when the message originated in this process; transports must
 // treat it as read-only and deliver messages from one source in send order.
 type Message struct {
-	Tag   int
+	Tag int
+	// Epoch stamps the transform round the message belongs to, so several
+	// rounds can be in flight on one world at once: receives match on
+	// (src, tag, epoch), and the wire codec carries the epoch in the frame
+	// header. Exactly one message exists per (src, dst, tag, epoch), which is
+	// what makes the matching order-tolerant across path and round switches.
+	Epoch uint32
 	Data  []complex128
 	CS    [2]complex128 // per-block checksums (D1, D2); zero when unused
 	HasCS bool
@@ -143,6 +149,57 @@ func IsShared(t Transport) bool {
 // process. Transports without it are fully local (all ranks).
 type RankPlacement interface {
 	LocalRanks() []int
+}
+
+// PeerMesh is an optional Transport capability: a wire whose worker
+// processes hold (or establish) direct point-to-point connections to each
+// other reports true — worker↔worker frames travel one hop instead of
+// relaying through the hub. The hub connection remains the control channel
+// (abort, goodbye) and the per-pair relay fallback either way.
+type PeerMesh interface {
+	PeerMesh() bool
+}
+
+// IsMesh reports whether t grants direct worker↔worker delivery.
+func IsMesh(t Transport) bool {
+	m, ok := t.(PeerMesh)
+	return ok && m.PeerMesh()
+}
+
+// InlineSerializer is an optional Transport capability: Send fully consumes
+// the message payload before returning (serializing it onto the wire or into
+// a ring), never retaining a reference. A World over such a wire skips the
+// pooled defensive payload copy in Isend/IsendPair — the caller's slice is
+// handed to Send directly — when no transit-fault injector is armed and the
+// send is not a self-delivery (self-sends are queued, so they still copy).
+type InlineSerializer interface {
+	SerializesInline() bool
+}
+
+func isInline(t Transport) bool {
+	s, ok := t.(InlineSerializer)
+	return ok && s.SerializesInline()
+}
+
+// WireStats is a point-in-time snapshot of a transport's traffic counters,
+// exposed by the socket and shared-memory wires so topology wins (mesh vs
+// relay) are observable rather than inferred. Counters cover data frames
+// only; control traffic is noise at steady state.
+type WireStats struct {
+	// FramesDirect / BytesDirect count data frames this process sent over a
+	// direct connection (peer mesh conn, shm ring, or a hub-adjacent leg).
+	FramesDirect int64
+	BytesDirect  int64
+	// FramesRelayed / BytesRelayed count data frames that took the two-hop
+	// hub relay: on workers, frames sent via the hub conn for another worker;
+	// on the hub, frames it forwarded between workers.
+	FramesRelayed int64
+	BytesRelayed  int64
+	// PeerConns is the number of live direct peer connections (mesh wires).
+	PeerConns int
+	// MaxEpochsInFlight is the bound world's high-water mark of concurrently
+	// active transform epochs (0 when no world is bound).
+	MaxEpochsInFlight int
 }
 
 // WorldBinder is an optional Transport capability: Bind is called exactly
@@ -270,9 +327,22 @@ type World struct {
 	inj    fault.Injector
 	local  []int // ranks whose bodies run in this process (placement capability)
 	shared bool  // transport grants the shared-memory fast path
+	inline bool  // transport serializes sends before returning (InlineSerializer)
 
 	barrier   *barrier
 	endpoints []*Comm
+
+	// mail holds the per-(dst,src) matching state shared by every endpoint of
+	// a rank: with epoch pipelining several Comms (one per in-flight epoch)
+	// receive from the same transport stream, so unmatched messages are
+	// parked centrally and waiters are woken on every deposit.
+	mail []mailbox
+
+	// Epoch accounting: how many transform epochs are live on this world
+	// right now, and the high-water mark (surfaced through WireStats).
+	epochMu    sync.Mutex
+	epochsLive int
+	epochsHigh int
 
 	// Abort support: the poison-pill broadcast that turns a stuck
 	// collective into an error. abortErr is written exactly once, before
@@ -281,6 +351,18 @@ type World struct {
 	done      chan struct{}
 	abortOnce sync.Once
 	abortErr  error
+}
+
+// mailbox is one (dst, src) lane's unmatched-message queue. At most one
+// goroutine pulls from the transport at a time (pulling); the rest wait on
+// the condition variable and re-scan on every deposit, so a message pulled by
+// one epoch's endpoint but destined for another is found without a second
+// transport read racing the first.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	pending []Message
+	pulling bool
 }
 
 // NewWorld creates a communicator with p ranks over the default in-process
@@ -303,6 +385,7 @@ func NewWorldTransport(p int, inj fault.Injector, tr Transport) *World {
 	}
 	w := &World{p: p, tr: tr, inj: inj, done: make(chan struct{})}
 	w.shared = IsShared(tr)
+	w.inline = isInline(tr)
 	if pl, ok := tr.(RankPlacement); ok {
 		w.local = append([]int(nil), pl.LocalRanks()...)
 	}
@@ -319,9 +402,13 @@ func NewWorldTransport(p int, inj fault.Injector, tr Transport) *World {
 	}
 	// The barrier is a local collective: it spans the ranks of this process.
 	w.barrier = newBarrier(len(w.local))
+	w.mail = make([]mailbox, p*p)
+	for i := range w.mail {
+		w.mail[i].cond.L = &w.mail[i].mu
+	}
 	w.endpoints = make([]*Comm, p)
 	for r := 0; r < p; r++ {
-		w.endpoints[r] = &Comm{w: w, rank: r, pending: make([][]Message, p)}
+		w.endpoints[r] = &Comm{w: w, rank: r}
 	}
 	if b, ok := tr.(WorldBinder); ok {
 		b.Bind(w)
@@ -365,6 +452,10 @@ func (w *World) Abort(cause error) {
 	})
 }
 
+// Done returns a channel closed when the world aborts (or shuts down):
+// callers staging work outside a Comm operation select on it to unwind.
+func (w *World) Done() <-chan struct{} { return w.done }
+
 // Aborted reports whether the world has been poisoned.
 func (w *World) Aborted() bool {
 	select {
@@ -390,12 +481,13 @@ func (w *World) AbortCause() error {
 // observing the closed done channel.
 func (w *World) abortError() error { return w.abortErr }
 
-// Comm is one rank's endpoint. A Comm must be used by a single goroutine.
+// Comm is one rank's endpoint. A Comm must be used by a single goroutine —
+// but several Comms for the same rank (one per in-flight epoch, see
+// NewEndpoint) may operate concurrently: matching state lives on the World.
 type Comm struct {
-	w    *World
-	rank int
-	// pending holds messages popped while searching for a tag match.
-	pending [][]Message
+	w     *World
+	rank  int
+	epoch uint32 // stamp on sends, filter on receives; see SetEpoch
 	// freeReqs recycles completed RecvRequests (single-goroutine freelist).
 	freeReqs []*RecvRequest
 }
@@ -405,6 +497,15 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.w.p }
+
+// SetEpoch pins the endpoint to a transform epoch: every subsequent send is
+// stamped with e and every receive matches only messages stamped e. Epoch
+// pipelining drivers call this once per round before launching rank bodies;
+// endpoints left at the zero epoch interoperate with pre-epoch peers.
+func (c *Comm) SetEpoch(e uint32) { c.epoch = e }
+
+// Epoch returns the endpoint's current epoch stamp.
+func (c *Comm) Epoch() uint32 { return c.epoch }
 
 // Run launches body on p ranks of a fresh world as one executor task group
 // and waits for all of them; the first error (lowest rank) is returned.
@@ -510,12 +611,98 @@ func (l *Launch) Wait() error {
 }
 
 // Endpoint returns rank r's Comm. Repeated calls return the same endpoint;
-// its pending-message state persists across communication rounds.
+// the world-level matching state persists across communication rounds.
 func (w *World) Endpoint(r int) *Comm {
 	if r < 0 || r >= w.p {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.p))
 	}
 	return w.endpoints[r]
+}
+
+// NewEndpoint returns a fresh Comm for rank r, independent of the cached
+// Endpoint(r) and of any other NewEndpoint comm. Distinct endpoints for one
+// rank may run concurrently as long as each is pinned to its own epoch
+// (SetEpoch): matching is per (src, tag, epoch) through the world's shared
+// mailboxes, so rounds in flight simultaneously never steal each other's
+// messages. This is what the epoch-pipelined execution ring is built from.
+func (w *World) NewEndpoint(r int) *Comm {
+	if r < 0 || r >= w.p {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.p))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// EpochBegin records a transform epoch going live on this world; EpochEnd
+// retires it. The running count's high-water mark is surfaced through the
+// transports' WireStats, making pipelining depth observable.
+func (w *World) EpochBegin() {
+	w.epochMu.Lock()
+	w.epochsLive++
+	if w.epochsLive > w.epochsHigh {
+		w.epochsHigh = w.epochsLive
+	}
+	w.epochMu.Unlock()
+}
+
+// EpochEnd retires one live epoch recorded by EpochBegin.
+func (w *World) EpochEnd() {
+	w.epochMu.Lock()
+	w.epochsLive--
+	w.epochMu.Unlock()
+}
+
+// EpochHighWater returns the maximum number of epochs ever simultaneously
+// live on this world.
+func (w *World) EpochHighWater() int {
+	w.epochMu.Lock()
+	defer w.epochMu.Unlock()
+	return w.epochsHigh
+}
+
+// recvMatch blocks until a message stamped (src → dst, tag, epoch) is
+// available, reporting ok = false when the world aborts first. At most one
+// goroutine per (dst, src) lane reads the transport at a time; others park on
+// the lane's condition variable and re-scan the parked queue on every
+// deposit, so a frame pulled by one epoch's endpoint reaches the endpoint
+// actually waiting for it. Exactly one message exists per (src, dst, tag,
+// epoch), so the matching is order-tolerant.
+func (w *World) recvMatch(dst, src int, epoch uint32, tag int) (Message, bool) {
+	mb := &w.mail[dst*w.p+src]
+	mb.mu.Lock()
+	for {
+		q := mb.pending
+		for i := range q {
+			if q[i].Tag == tag && q[i].Epoch == epoch {
+				m := q[i]
+				mb.pending = append(q[:i], q[i+1:]...)
+				mb.mu.Unlock()
+				return m, true
+			}
+		}
+		if mb.pulling {
+			mb.cond.Wait()
+			continue
+		}
+		mb.pulling = true
+		mb.mu.Unlock()
+		m, ok := w.tr.Recv(dst, src, w.done)
+		mb.mu.Lock()
+		mb.pulling = false
+		if !ok {
+			// Abort: wake every parked waiter; each will retry the pull and
+			// observe the poisoned world immediately.
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+			return Message{}, false
+		}
+		if m.Tag == tag && m.Epoch == epoch {
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+			return m, true
+		}
+		mb.pending = append(mb.pending, m)
+		mb.cond.Broadcast()
+	}
 }
 
 // SendRequest tracks an in-flight send.
@@ -544,12 +731,28 @@ type RecvRequest struct {
 // payload into a pooled buffer (and letting the world's injector corrupt the
 // copy in transit) before handing it to the transport. cs carries the
 // optional block checksums.
+//
+// Over a transport that serializes inline (InlineSerializer), the pooled copy
+// is skipped: the caller's slice rides straight into the wire encoder, which
+// finishes with it before Send returns. The fast path is disabled when a
+// transit-fault injector is armed (it must corrupt a copy, never the caller's
+// memory) and for self-sends (queued locally, so the payload must outlive the
+// call).
 func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRequest {
+	if c.w.inline && c.w.inj == nil && dst != c.rank {
+		m := Message{Tag: tag, Epoch: c.epoch, Data: data}
+		if cs != nil {
+			m.CS = *cs
+			m.HasCS = true
+		}
+		c.w.tr.Send(dst, c.rank, m, c.w.done)
+		return sendDone
+	}
 	pb := getPayload(len(data))
 	copy(pb.data, data)
 	// The wire is where transit faults strike.
 	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
-	m := Message{Tag: tag, Data: pb.data, pb: pb}
+	m := Message{Tag: tag, Epoch: c.epoch, Data: pb.data, pb: pb}
 	if cs != nil {
 		m.CS = *cs
 		m.HasCS = true
@@ -568,7 +771,21 @@ func (c *Comm) Isend(dst, tag int, data []complex128, cs *[2]complex128) *SendRe
 // pair is bit-identical to the separate-pass value; w must have len(data)
 // weights. The pair is computed over the caller's data before the transit
 // fault injector touches the copy, so a wire fault is detectable downstream.
+// On the inline-serializing fast path (see Isend) the sweep is read-only:
+// the checksums accumulate in the same order, and the wire encoder performs
+// the only copy.
 func (c *Comm) IsendPair(dst, tag int, data, w []complex128) *SendRequest {
+	if c.w.inline && c.w.inj == nil && dst != c.rank {
+		var d1, d2 complex128
+		for j, v := range data {
+			t := w[j] * v
+			d1 += t
+			d2 += complex(float64(j), 0) * t
+		}
+		m := Message{Tag: tag, Epoch: c.epoch, Data: data, CS: [2]complex128{d1, d2}, HasCS: true}
+		c.w.tr.Send(dst, c.rank, m, c.w.done)
+		return sendDone
+	}
 	pb := getPayload(len(data))
 	var d1, d2 complex128
 	for j, v := range data {
@@ -578,7 +795,7 @@ func (c *Comm) IsendPair(dst, tag int, data, w []complex128) *SendRequest {
 		d2 += complex(float64(j), 0) * t
 	}
 	fault.Visit(c.w.inj, fault.SiteMessage, c.rank, pb.data, len(pb.data), 1)
-	m := Message{Tag: tag, Data: pb.data, pb: pb, CS: [2]complex128{d1, d2}, HasCS: true}
+	m := Message{Tag: tag, Epoch: c.epoch, Data: pb.data, pb: pb, CS: [2]complex128{d1, d2}, HasCS: true}
 	if !c.w.tr.Send(dst, c.rank, m, c.w.done) {
 		payloads.Put(pb)
 	}
@@ -686,32 +903,18 @@ func (r *RecvRequest) WaitPair() (cs [2]complex128, hasCS bool, pair checksum.Pa
 		return r.cs, r.hasCS, r.pair, nil
 	}
 	c := r.c
-	// First scan messages already popped for other tags.
-	q := c.pending[r.src]
-	for i, m := range q {
-		if m.Tag == r.tag {
-			c.pending[r.src] = append(q[:i], q[i+1:]...)
-			r.complete(m)
-			return r.cs, r.hasCS, r.pair, nil
-		}
+	m, ok := c.w.recvMatch(c.rank, r.src, c.epoch, r.tag)
+	if !ok {
+		// Drain-then-abort would race the sender; the abort cause
+		// already carries the root failure, so just unwind. The
+		// request is recycled like a completed one.
+		err := c.w.abortError()
+		r.done = true
+		c.freeReqs = append(c.freeReqs, r)
+		return cs, false, pair, err
 	}
-	for {
-		m, ok := c.w.tr.Recv(c.rank, r.src, c.w.done)
-		if !ok {
-			// Drain-then-abort would race the sender; the abort cause
-			// already carries the root failure, so just unwind. The
-			// request is recycled like a completed one.
-			err := c.w.abortError()
-			r.done = true
-			c.freeReqs = append(c.freeReqs, r)
-			return cs, false, pair, err
-		}
-		if m.Tag == r.tag {
-			r.complete(m)
-			return r.cs, r.hasCS, r.pair, nil
-		}
-		c.pending[r.src] = append(c.pending[r.src], m)
-	}
+	r.complete(m)
+	return r.cs, r.hasCS, r.pair, nil
 }
 
 // Recv is a blocking receive. It returns the abort cause if the world is

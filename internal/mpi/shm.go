@@ -119,7 +119,7 @@ func shmRingBytes(meta WorldMeta) int {
 	if ctl := shmRecHdrBytes + frameHeaderLen + maxControlPayload; ctl > maxFrame {
 		maxFrame = ctl
 	}
-	rb := 4 * maxFrame
+	rb := 8 * maxFrame
 	if rb < shmMinRingBytes {
 		rb = shmMinRingBytes
 	}
@@ -156,6 +156,8 @@ type shmEndpoint struct {
 
 	sendMu []sync.Mutex // per-destination: PropagateAbort can race a data send
 	seqOut []uint64     // next sequence per destination ring; guarded by sendMu
+
+	stats wireCounters // every shm frame is peer-direct: the rings are a mesh
 }
 
 func (e *shmEndpoint) init(path string, f *os.File, p int) {
@@ -288,7 +290,7 @@ func (e *shmEndpoint) publishRecord(dst int, advance uint64) {
 // header, checksum block, elements — applies the wire-fault hook to the
 // in-ring payload bytes, and publishes.
 func (e *shmEndpoint) writeData(dst, src int, m Message, wf WireFault) error {
-	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data)}
+	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data), epoch: m.Epoch}
 	if m.HasCS {
 		h.flags = flagHasCS
 	}
@@ -311,7 +313,7 @@ func (e *shmEndpoint) writeData(dst, src int, m Message, wf WireFault) error {
 		putComplex(payload, i*elemLen, z)
 	}
 	if wf != nil && len(payload) > 0 {
-		wf(dst, src, m.Tag, payload)
+		wf(dst, src, m.Tag, int(m.Epoch), payload)
 	}
 	e.publishRecord(dst, advance)
 	return nil
@@ -357,10 +359,27 @@ func (e *shmEndpoint) Send(dst, src int, m Message, abort <-chan struct{}) bool 
 		}
 		return false
 	}
+	e.stats.add(true, dataFrameBytes(m))
 	if m.pb != nil {
 		payloads.Put(m.pb)
 	}
 	return true
+}
+
+// SerializesInline implements InlineSerializer: writeData consumes the
+// caller's slice synchronously (the in-ring serialization sweep finishes
+// before Send returns), so Isend can skip the pooled staging copy.
+func (e *shmEndpoint) SerializesInline() bool { return true }
+
+// WireStats implements the stats capability: every shm frame travels
+// peer-direct over its ring (the topology is already a mesh, with no relay
+// to count).
+func (e *shmEndpoint) WireStats() WireStats {
+	s := e.stats.snapshot()
+	if w := e.w; w != nil {
+		s.MaxEpochsInFlight = w.EpochHighWater()
+	}
+	return s
 }
 
 // Recv implements Transport for this process's rank (dst == e.rank).
@@ -459,7 +478,7 @@ func (e *shmEndpoint) readLoop(src int) {
 			copy(rb.data, body)
 			head += advance
 			atomic.StoreUint64(headP, head)
-			m := Message{Tag: h.tag, count: h.count, rb: rb}
+			m := Message{Tag: h.tag, Epoch: h.epoch, count: h.count, rb: rb}
 			off := 0
 			if h.flags&flagHasCS != 0 {
 				m.CS[0] = getComplex(rb.data, 0)

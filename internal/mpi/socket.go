@@ -1,15 +1,20 @@
 // socket.go implements the multi-process wire: a hub-and-spoke socket
 // transport (Unix-domain by default, TCP optionally) carrying the framed
-// codec of wire.go.
+// codec of wire.go, optionally upgraded to a full worker mesh.
 //
 // Topology: the root process listens (HubTransport, rank 0); each worker
 // process dials in (WorkerTransport, one rank per process, assigned in
-// connection order). Worker↔worker messages relay through the hub at the
-// byte level — the hub forwards the serialized frame without decoding the
-// payload. A star keeps connection management trivial (p-1 sockets, one
-// listener) at the cost of one extra hop for worker pairs; on one machine
-// over Unix sockets that hop is cheap, and the transport seam leaves room
-// for a full mesh later without touching the layers above.
+// connection order). Under ListenHub, worker↔worker messages relay through
+// the hub at the byte level — the hub forwards the serialized frame without
+// decoding the payload. Under ListenMeshHub, each worker opens its own peer
+// listener and advertises it in the hello; once the handshake completes the
+// hub hands every worker the full address list (framePeers) and workers dial
+// each other directly — deterministically, lower rank dials higher, so
+// exactly one connection exists per pair — and worker↔worker data frames go
+// point-to-point. The hub connection remains the control channel (abort,
+// goodbye) and the per-pair fallback: a peer that cannot be dialed within
+// meshDialTimeout, or whose connection later dies, degrades that pair to the
+// hub relay with a logged note instead of failing the world.
 //
 // Lifecycle and failure:
 //
@@ -36,7 +41,12 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"log"
 	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,8 +54,9 @@ import (
 
 // WireFault may corrupt the serialized payload of an outgoing data frame:
 // payload is the count×16-byte little-endian element region (checksums and
-// header excluded). Install with InjectWireFaults.
-type WireFault func(dst, src, tag int, payload []byte)
+// header excluded), epoch the frame's transform round (0 outside pipelined
+// batches). Install with InjectWireFaults.
+type WireFault func(dst, src, tag, epoch int, payload []byte)
 
 // handshakeTimeout bounds the accept/hello/config exchange; a worker that
 // never completes its handshake fails the hub instead of hanging it forever.
@@ -54,6 +65,58 @@ const handshakeTimeout = 120 * time.Second
 // dialRetryInterval paces DialWorker's connection attempts while the hub's
 // listener is not up yet.
 const dialRetryInterval = 25 * time.Millisecond
+
+// meshDialTimeout bounds one worker's dial + peer-hello exchange to another
+// worker's advertised listener, the same way abort/goodbye writes are
+// bounded: an unreachable or black-holed peer address costs at most this long
+// before the pair degrades to the hub relay. A var so tests can shorten it.
+var meshDialTimeout = 5 * time.Second
+
+// meshLogf reports mesh degradations (unreachable peer, lost peer conn) —
+// the world keeps running over the relay, so these are log lines, not
+// errors. Swappable for tests.
+var meshLogf = log.Printf
+
+// meshSockSeq disambiguates per-process Unix peer-listener socket paths when
+// several workers share one process (in-process benches and tests).
+var meshSockSeq atomic.Uint32
+
+// wireCounters aggregates a transport's data-frame traffic. Direct frames
+// went over a single-hop connection (hub↔worker leg, or a worker↔worker mesh
+// conn); relayed frames took — or, on the hub, were forwarded along — the
+// two-hop worker↔hub↔worker path. Snapshot with WireStats.
+type wireCounters struct {
+	framesDirect, bytesDirect   atomic.Int64
+	framesRelayed, bytesRelayed atomic.Int64
+}
+
+func (c *wireCounters) add(direct bool, frameBytes int) {
+	if direct {
+		c.framesDirect.Add(1)
+		c.bytesDirect.Add(int64(frameBytes))
+	} else {
+		c.framesRelayed.Add(1)
+		c.bytesRelayed.Add(int64(frameBytes))
+	}
+}
+
+func (c *wireCounters) snapshot() WireStats {
+	return WireStats{
+		FramesDirect:  c.framesDirect.Load(),
+		BytesDirect:   c.bytesDirect.Load(),
+		FramesRelayed: c.framesRelayed.Load(),
+		BytesRelayed:  c.bytesRelayed.Load(),
+	}
+}
+
+// dataFrameBytes is the on-wire size of a data frame carrying m.
+func dataFrameBytes(m Message) int {
+	n := frameHeaderLen + len(m.Data)*elemLen
+	if m.HasCS {
+		n += checksumLen
+	}
+	return n
+}
 
 // teardownFlushTimeout bounds the abort/goodbye writes (and, transitively,
 // any in-flight data write wedged on a dead peer's full socket buffer —
@@ -94,7 +157,7 @@ func newWireConn(c net.Conn) *wireConn {
 func (wc *wireConn) writeData(dst, src int, m Message, wf WireFault) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
-	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data)}
+	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data), epoch: m.Epoch}
 	pre := wc.pre[:frameHeaderLen]
 	if m.HasCS {
 		h.flags = flagHasCS
@@ -113,7 +176,7 @@ func (wc *wireConn) writeData(dst, src int, m Message, wf WireFault) error {
 		putComplex(payload, i*elemLen, z)
 	}
 	if wf != nil && len(payload) > 0 {
-		wf(dst, src, m.Tag, payload)
+		wf(dst, src, m.Tag, int(m.Epoch), payload)
 	}
 	err := wc.writeVectored(pre, payload)
 	putWireBuf(rb)
@@ -136,9 +199,21 @@ func (wc *wireConn) writeVectored(pre, payload []byte) error {
 
 // writeControl writes one control frame.
 func (wc *wireConn) writeControl(typ byte, payload []byte) error {
+	return wc.writeControlFrom(typ, 0, payload)
+}
+
+// writeControlFrom writes one control frame with an explicit src rank —
+// the peer-hello exchange identifies the sending worker through it.
+func (wc *wireConn) writeControlFrom(typ byte, src int, payload []byte) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
-	wc.enc = encodeControlFrame(wc.enc, typ, payload)
+	total := frameHeaderLen + len(payload)
+	if cap(wc.enc) < total {
+		wc.enc = make([]byte, total)
+	}
+	wc.enc = wc.enc[:total]
+	putHeader(wc.enc, frameHeader{typ: typ, src: src, count: len(payload)})
+	copy(wc.enc[frameHeaderLen:], payload)
 	if _, err := wc.bw.Write(wc.enc); err != nil {
 		return err
 	}
@@ -169,6 +244,16 @@ type HubTransport struct {
 	inbox    []chan Message // local rank 0's inbox, indexed by src
 	maxElems int
 
+	// mesh marks a hub opened with ListenMeshHub: the handshake collects each
+	// worker's advertised peer-listener address and broadcasts the list, so
+	// workers dial each other directly. peerAddrOverride is a test hook that
+	// rewrites an advertised address before broadcast (black-hole tests).
+	mesh             bool
+	peerAddrs        []string // by worker rank; "" = worker did not advertise
+	peerAddrOverride func(rank int, addr string) string
+
+	stats wireCounters
+
 	w         *World
 	accepted  bool
 	started   bool
@@ -192,8 +277,24 @@ func ListenHub(network, addr string, p int) (*HubTransport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpi: listen %s %s: %w", network, addr, err)
 	}
-	t := &HubTransport{p: p, ln: ln, conns: make([]*wireConn, p)}
+	t := &HubTransport{p: p, ln: ln, conns: make([]*wireConn, p), peerAddrs: make([]string, p)}
 	t.inbox = newInboxRow(p)
+	return t, nil
+}
+
+// ListenMeshHub is ListenHub with the worker mesh enabled: the handshake
+// hands every worker its peers' advertised listen addresses, workers dial
+// each other directly (lower rank dials higher — exactly one connection per
+// pair), and worker↔worker data frames skip the hub relay. Workers that
+// advertise no listener, or whose peers prove unreachable within the dial
+// deadline, fall back to the relay per pair; the hub connection stays the
+// abort/goodbye control channel regardless.
+func ListenMeshHub(network, addr string, p int) (*HubTransport, error) {
+	t, err := ListenHub(network, addr, p)
+	if err != nil {
+		return nil, err
+	}
+	t.mesh = true
 	return t, nil
 }
 
@@ -260,12 +361,44 @@ func (t *HubTransport) ConfigureWorld(meta WorldMeta) error {
 		}
 		wc.c.SetWriteDeadline(time.Time{})
 	}
+	if t.mesh {
+		peers := t.encodePeerList()
+		for r := 1; r < t.p; r++ {
+			wc := t.conns[r]
+			wc.c.SetWriteDeadline(cfgDone)
+			if err := wc.writeControl(framePeers, peers); err != nil {
+				return fmt.Errorf("mpi: sending peer list to rank %d: %w", r, err)
+			}
+			wc.c.SetWriteDeadline(time.Time{})
+		}
+	}
 	t.maxElems = meta.N
 	t.started = true
 	for r := 1; r < t.p; r++ {
 		go t.readLoop(r)
 	}
 	return nil
+}
+
+// encodePeerList renders the advertised worker listener addresses as the
+// framePeers payload: one "rank addr\n" line per advertising worker. Workers
+// that sent a bare hello are simply absent — their pairs stay on the relay.
+func (t *HubTransport) encodePeerList() []byte {
+	var b strings.Builder
+	for r := 1; r < t.p; r++ {
+		addr := t.peerAddrs[r]
+		if t.peerAddrOverride != nil {
+			addr = t.peerAddrOverride(r, addr)
+		}
+		if addr == "" {
+			continue
+		}
+		b.WriteString(strconv.Itoa(r))
+		b.WriteByte(' ')
+		b.WriteString(addr)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
 }
 
 // acceptWorkers accepts and hello-validates the p-1 worker connections.
@@ -286,9 +419,17 @@ func (t *HubTransport) acceptWorkers() error {
 		wc := newWireConn(c)
 		c.SetReadDeadline(time.Now().Add(handshakeTimeout))
 		h, body, err := readFrame(wc.br, nil, t.p, 0)
-		if err != nil || h.typ != frameHello || !bytes.Equal(body, []byte(wireMagic)) {
+		// The hello is the magic alone (relay-only worker) or the magic, a
+		// NUL, and the worker's advertised peer-listener address.
+		if err != nil || h.typ != frameHello || !bytes.HasPrefix(body, []byte(wireMagic)) {
 			c.Close()
 			return fmt.Errorf("mpi: worker %d handshake failed (type %d, %q): %v", r, h.typ, body, err)
+		}
+		if rest := body[len(wireMagic):]; len(rest) > 1 && rest[0] == 0 {
+			t.peerAddrs[r] = string(rest[1:])
+		} else if len(rest) != 0 {
+			c.Close()
+			return fmt.Errorf("mpi: worker %d handshake failed: malformed hello %q", r, body)
 		}
 		c.SetReadDeadline(time.Time{})
 		t.conns[r] = wc
@@ -346,6 +487,7 @@ func (t *HubTransport) readLoop(src int) {
 					t.connLost(h.dst, err)
 					return
 				}
+				t.stats.add(false, frameHeaderLen+len(body))
 			}
 		case frameAbort:
 			t.remote.Store(true)
@@ -403,6 +545,7 @@ func (t *HubTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool
 		t.connLost(dst, err)
 		return false
 	}
+	t.stats.add(true, dataFrameBytes(m))
 	if m.pb != nil {
 		payloads.Put(m.pb)
 	}
@@ -417,6 +560,25 @@ func (t *HubTransport) Recv(dst, src int, abort <-chan struct{}) (Message, bool)
 	case <-abort:
 		return Message{}, false
 	}
+}
+
+// SerializesInline implements InlineSerializer: a send's payload is fully
+// encoded onto the socket before Send returns, so worlds over this wire skip
+// the pooled defensive copy.
+func (t *HubTransport) SerializesInline() bool { return true }
+
+// PeerMesh reports whether this hub was opened with ListenMeshHub.
+func (t *HubTransport) PeerMesh() bool { return t.mesh }
+
+// WireStats snapshots the hub's traffic counters: direct frames are rank 0's
+// own sends to workers, relayed frames the worker↔worker traffic it
+// forwarded (zero in steady state once a mesh is fully established).
+func (t *HubTransport) WireStats() WireStats {
+	s := t.stats.snapshot()
+	if t.w != nil {
+		s.MaxEpochsInFlight = t.w.EpochHighWater()
+	}
+	return s
 }
 
 // PropagateAbort implements AbortPropagator: broadcast the pill to every
@@ -468,28 +630,56 @@ func (t *HubTransport) Close() error {
 }
 
 // WorkerTransport is one worker process's side of the socket wire: exactly
-// one rank lives here, with a single connection to the hub that carries
-// every message (the hub relays worker↔worker traffic).
+// one rank lives here, with a connection to the hub that carries control
+// traffic and any message without a better route. Under a mesh hub the
+// worker additionally owns a peer listener and direct connections to its
+// peers; worker↔worker data frames prefer those and fall back to the hub
+// relay per pair.
 type WorkerTransport struct {
 	p, rank  int
 	wc       *wireConn
 	inbox    []chan Message // this rank's inbox, indexed by src
 	maxElems int
+	network  string
+
+	// meshLn is this worker's peer listener (nil when mesh participation is
+	// disabled); peers[s] holds the direct connection to worker s, nil while
+	// unestablished or after a fallback to the relay.
+	meshLn net.Listener
+	peers  []atomic.Pointer[wireConn]
+
+	stats wireCounters
 
 	w         *World
 	wfMu      sync.Mutex
 	wireFault WireFault
 	remote    atomic.Bool
 	shutdown  atomic.Bool
+	closing   atomic.Bool
 	closeOnce sync.Once
 }
 
 // DialWorker connects to a hub at network/addr, retrying while the listener
 // comes up (bounded by handshakeTimeout), and completes the handshake: it
-// sends the protocol hello, then blocks until the hub assigns this process a
-// rank and ships the job metadata. The returned transport hosts exactly that
-// rank; build the matching plan from meta and serve it.
+// sends the protocol hello — advertising a freshly opened peer listener, so
+// a mesh hub can introduce this worker to its peers — then blocks until the
+// hub assigns this process a rank and ships the job metadata. The returned
+// transport hosts exactly that rank; build the matching plan from meta and
+// serve it.
 func DialWorker(network, addr string) (*WorkerTransport, WorldMeta, error) {
+	return dialWorker(network, addr, true)
+}
+
+// DialWorkerNoMesh is DialWorker without mesh participation: the worker
+// advertises no peer listener, so all of its worker↔worker traffic relays
+// through the hub even under a mesh hub. Exists for heterogeneous fleets
+// (a worker behind a one-way reachable network) and for exercising the
+// relay fallback deliberately.
+func DialWorkerNoMesh(network, addr string) (*WorkerTransport, WorldMeta, error) {
+	return dialWorker(network, addr, false)
+}
+
+func dialWorker(network, addr string, mesh bool) (*WorkerTransport, WorldMeta, error) {
 	deadline := time.Now().Add(handshakeTimeout)
 	var c net.Conn
 	var err error
@@ -504,25 +694,78 @@ func DialWorker(network, addr string) (*WorkerTransport, WorldMeta, error) {
 		time.Sleep(dialRetryInterval)
 	}
 	wc := newWireConn(c)
+	var meshLn net.Listener
+	hello := []byte(wireMagic)
+	if mesh {
+		// Best-effort: a worker that cannot open a listener still joins the
+		// world, it just stays on the relay for every pair.
+		if ln, advert, err := listenPeer(network, c); err == nil {
+			meshLn = ln
+			hello = append(append(hello, 0), advert...)
+		} else {
+			meshLogf("mpi: peer listener unavailable (%v); worker joins relay-only", err)
+		}
+	}
 	c.SetDeadline(deadline)
-	if err := wc.writeControl(frameHello, []byte(wireMagic)); err != nil {
+	if err := wc.writeControl(frameHello, hello); err != nil {
 		c.Close()
+		closeIfOpen(meshLn)
 		return nil, WorldMeta{}, fmt.Errorf("mpi: hello: %w", err)
 	}
 	h, body, err := readFrame(wc.br, nil, 1, 0)
 	if err != nil || h.typ != frameConfig {
 		c.Close()
+		closeIfOpen(meshLn)
 		return nil, WorldMeta{}, fmt.Errorf("mpi: waiting for hub config (type %d): %v", h.typ, err)
 	}
 	rank, meta, err := decodeConfig(body)
 	if err != nil {
 		c.Close()
+		closeIfOpen(meshLn)
 		return nil, WorldMeta{}, err
 	}
 	c.SetDeadline(time.Time{})
-	t := &WorkerTransport{p: meta.P, rank: rank, wc: wc, maxElems: meta.N}
+	t := &WorkerTransport{p: meta.P, rank: rank, wc: wc, maxElems: meta.N, network: network, meshLn: meshLn}
 	t.inbox = newInboxRow(meta.P)
+	t.peers = make([]atomic.Pointer[wireConn], meta.P)
 	return t, meta, nil
+}
+
+func closeIfOpen(ln net.Listener) {
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// listenPeer opens this worker's peer listener on the same network family it
+// reached the hub over, returning the address to advertise. Unix listeners
+// get a per-process temp socket path; TCP listeners bind an ephemeral port
+// and advertise it at the host address the worker used to reach the hub
+// (the address it is provably reachable at on that network).
+func listenPeer(network string, hub net.Conn) (net.Listener, string, error) {
+	if network == "unix" {
+		path := filepath.Join(os.TempDir(),
+			fmt.Sprintf("ftfft-mesh-%d-%d.sock", os.Getpid(), meshSockSeq.Add(1)))
+		ln, err := net.Listen(network, path)
+		if err != nil {
+			return nil, "", err
+		}
+		return ln, path, nil
+	}
+	ln, err := net.Listen(network, ":0")
+	if err != nil {
+		return nil, "", err
+	}
+	host, _, err := net.SplitHostPort(hub.LocalAddr().String())
+	if err != nil || host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	_, port, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, "", err
+	}
+	return ln, net.JoinHostPort(host, port), nil
 }
 
 // Rank returns the rank the hub assigned this process.
@@ -547,10 +790,141 @@ func (t *WorkerTransport) getWireFault() WireFault {
 	return t.wireFault
 }
 
-// Bind implements WorldBinder and starts the connection reader.
+// Bind implements WorldBinder and starts the connection reader, plus the
+// peer-accept loop when this worker advertises a mesh listener. (Peers dial
+// only after receiving the hub's framePeers broadcast, which this worker's
+// own read loop also consumes — both strictly after Bind, so the listener's
+// kernel backlog covers the gap.)
 func (t *WorkerTransport) Bind(w *World) {
 	t.w = w
+	if t.meshLn != nil {
+		go t.acceptPeers()
+	}
 	go t.readLoop()
+}
+
+// acceptPeers accepts direct connections from lower-ranked peers until the
+// mesh listener closes.
+func (t *WorkerTransport) acceptPeers() {
+	for {
+		c, err := t.meshLn.Accept()
+		if err != nil {
+			return
+		}
+		go t.handlePeerConn(c)
+	}
+}
+
+// handlePeerConn validates one inbound peer connection: a peer hello naming
+// a lower rank, answered with our own hello as the ack. Both legs are
+// deadline-bounded; a connection that stalls or misidentifies itself is
+// dropped (its owner falls back to the relay), never fatal.
+func (t *WorkerTransport) handlePeerConn(c net.Conn) {
+	pc := newWireConn(c)
+	c.SetDeadline(time.Now().Add(meshDialTimeout))
+	h, body, err := readFrame(pc.br, nil, t.p, 0)
+	if err != nil || h.typ != framePeerHello || !bytes.Equal(body, []byte(wireMagic)) ||
+		h.src < 1 || h.src >= t.p || h.src >= t.rank {
+		c.Close()
+		return
+	}
+	if err := pc.writeControlFrom(framePeerHello, t.rank, []byte(wireMagic)); err != nil {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Time{})
+	if !t.peers[h.src].CompareAndSwap(nil, pc) {
+		c.Close() // duplicate dial; exactly one conn per pair
+		return
+	}
+	go t.peerReadLoop(h.src, pc)
+}
+
+// startMesh parses the hub's framePeers payload and dials every advertised
+// peer with a rank above ours (the deterministic dialer side). Dials run
+// concurrently and deadline-bounded; an unreachable peer logs a fallback
+// note and leaves that pair on the hub relay.
+func (t *WorkerTransport) startMesh(peers string) {
+	for _, line := range strings.Split(peers, "\n") {
+		rankStr, addr, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		s, err := strconv.Atoi(rankStr)
+		if err != nil || s <= t.rank || s >= t.p || addr == "" {
+			continue
+		}
+		go t.dialPeer(s, addr)
+	}
+}
+
+// dialPeer establishes the direct connection to higher-ranked peer s.
+func (t *WorkerTransport) dialPeer(s int, addr string) {
+	c, err := net.DialTimeout(t.network, addr, meshDialTimeout)
+	if err != nil {
+		meshLogf("mpi: rank %d: peer rank %d unreachable at %s (%v); using hub relay for this pair", t.rank, s, addr, err)
+		return
+	}
+	pc := newWireConn(c)
+	c.SetDeadline(time.Now().Add(meshDialTimeout))
+	if err := pc.writeControlFrom(framePeerHello, t.rank, []byte(wireMagic)); err != nil {
+		c.Close()
+		meshLogf("mpi: rank %d: peer hello to rank %d failed (%v); using hub relay for this pair", t.rank, s, err)
+		return
+	}
+	h, body, err := readFrame(pc.br, nil, t.p, 0)
+	if err != nil || h.typ != framePeerHello || h.src != s || !bytes.Equal(body, []byte(wireMagic)) {
+		c.Close()
+		meshLogf("mpi: rank %d: peer rank %d handshake failed (type %d, %v); using hub relay for this pair", t.rank, s, h.typ, err)
+		return
+	}
+	c.SetDeadline(time.Time{})
+	if !t.peers[s].CompareAndSwap(nil, pc) {
+		c.Close()
+		return
+	}
+	go t.peerReadLoop(s, pc)
+}
+
+// peerReadLoop drains one direct peer connection. Only data frames addressed
+// to this rank from that peer are legal; anything else — including a read
+// error — drops the connection back to the relay, never aborting the world
+// (the hub connection is the world's failure channel).
+func (t *WorkerTransport) peerReadLoop(src int, pc *wireConn) {
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		h, err := readHeader(pc.br, hdr, t.p, t.maxElems)
+		if err != nil {
+			t.dropPeer(src, pc, err)
+			return
+		}
+		if h.typ != frameData || h.dst != t.rank || h.src != src {
+			t.dropPeer(src, pc, fmt.Errorf("mpi: unexpected peer frame type %d %d→%d", h.typ, h.src, h.dst))
+			return
+		}
+		m, err := readDataBody(pc.br, h)
+		if err != nil {
+			t.dropPeer(src, pc, err)
+			return
+		}
+		if !deliver(t.inbox[h.src], m, t.w.done) {
+			putWireBuf(m.rb)
+			return
+		}
+	}
+}
+
+// dropPeer retires a direct peer connection; subsequent traffic for the pair
+// relays through the hub. Quiet during shutdown/abort teardown.
+func (t *WorkerTransport) dropPeer(src int, pc *wireConn, err error) {
+	if !t.peers[src].CompareAndSwap(pc, nil) {
+		return
+	}
+	pc.c.Close()
+	if t.closing.Load() || t.shutdown.Load() || (t.w != nil && t.w.Aborted()) {
+		return
+	}
+	meshLogf("mpi: rank %d: peer conn to rank %d lost (%v); falling back to hub relay", t.rank, src, err)
 }
 
 // readLoop drains the hub connection into the local rank's inbox. Data
@@ -591,6 +965,13 @@ func (t *WorkerTransport) readLoop() {
 		switch h.typ {
 		case frameData:
 			// Misrouted (dst is another rank); drop.
+		case framePeers:
+			// A worker without a peer listener (DialWorkerNoMesh, or a failed
+			// listen) is relay-only in both directions: it must not dial out
+			// either, or its outbound traffic would bypass the relay contract.
+			if t.meshLn != nil {
+				t.startMesh(string(body))
+			}
 		case frameAbort:
 			t.remote.Store(true)
 			t.w.Abort(&RemoteAbortError{Msg: string(body)})
@@ -604,8 +985,11 @@ func (t *WorkerTransport) readLoop() {
 	}
 }
 
-// Send implements Transport: self-sends land in the inbox, everything else
-// goes to the hub, which routes on the frame's dst field.
+// Send implements Transport: self-sends land in the inbox; a frame for a
+// peer with an established direct connection goes point-to-point; everything
+// else goes to the hub, which routes on the frame's dst field. A failed peer
+// write retires that connection and retries over the relay — only the hub
+// connection's failure aborts the world.
 func (t *WorkerTransport) Send(dst, src int, m Message, abort <-chan struct{}) bool {
 	if dst == t.rank {
 		return deliver(t.inbox[src], m, abort)
@@ -615,16 +999,56 @@ func (t *WorkerTransport) Send(dst, src int, m Message, abort <-chan struct{}) b
 		return false
 	default:
 	}
+	if pc := t.peers[dst].Load(); pc != nil {
+		if err := pc.writeData(dst, src, m, t.getWireFault()); err == nil {
+			t.stats.add(true, dataFrameBytes(m))
+			if m.pb != nil {
+				payloads.Put(m.pb)
+			}
+			return true
+		} else {
+			t.dropPeer(dst, pc, err)
+		}
+	}
 	if err := t.wc.writeData(dst, src, m, t.getWireFault()); err != nil {
 		if !t.shutdown.Load() && !t.w.Aborted() {
 			t.w.Abort(fmt.Errorf("mpi: hub connection lost: %w", err))
 		}
 		return false
 	}
+	t.stats.add(dst == 0, dataFrameBytes(m))
 	if m.pb != nil {
 		payloads.Put(m.pb)
 	}
 	return true
+}
+
+// SerializesInline implements InlineSerializer (see HubTransport).
+func (t *WorkerTransport) SerializesInline() bool { return true }
+
+// PeerMesh reports whether this worker advertises a peer listener.
+func (t *WorkerTransport) PeerMesh() bool { return t.meshLn != nil }
+
+// InMesh reports whether the direct connection to peer rank s is currently
+// established (false = that pair is on the hub relay).
+func (t *WorkerTransport) InMesh(s int) bool {
+	return s >= 0 && s < t.p && t.peers[s].Load() != nil
+}
+
+// WireStats snapshots this worker's traffic counters: direct frames went
+// over a peer connection or straight to rank 0, relayed frames took the
+// two-hop path through the hub.
+func (t *WorkerTransport) WireStats() WireStats {
+	s := t.stats.snapshot()
+	for i := range t.peers {
+		if t.peers[i].Load() != nil {
+			s.PeerConns++
+		}
+	}
+	if t.w != nil {
+		s.MaxEpochsInFlight = t.w.EpochHighWater()
+	}
+	return s
 }
 
 // Recv implements Transport for the worker's local rank (dst == Rank()).
@@ -648,8 +1072,18 @@ func (t *WorkerTransport) PropagateAbort(cause error) {
 	t.wc.writeControl(frameAbort, []byte(cause.Error()))
 }
 
-// Close tears the hub connection down. Idempotent.
+// Close tears the hub connection, the peer listener and every direct peer
+// connection down. Idempotent.
 func (t *WorkerTransport) Close() error {
-	t.closeOnce.Do(func() { t.wc.c.Close() })
+	t.closeOnce.Do(func() {
+		t.closing.Store(true)
+		closeIfOpen(t.meshLn)
+		for i := range t.peers {
+			if pc := t.peers[i].Load(); pc != nil {
+				pc.c.Close()
+			}
+		}
+		t.wc.c.Close()
+	})
 	return nil
 }

@@ -5,17 +5,24 @@
 //
 // Frame layout (all integers little-endian):
 //
-//	off  0  u8   type      (frameData, frameAbort, frameGoodbye, frameConfig, frameHello)
+//	off  0  u8   type      (frameData, frameAbort, frameGoodbye, frameConfig, frameHello, framePeers, framePeerHello)
 //	off  1  u8   flags     (bit 0: block checksums present)
 //	off  2  u16  reserved  (0)
 //	off  4  u32  tag
 //	off  8  u32  src
 //	off 12  u32  dst
 //	off 16  u32  count     (data: complex128 elements; control: payload bytes)
-//	off 20  u32  reserved  (0)
-//	        [32 bytes]     2 × complex128 block checksums, when flags bit 0
-//	        payload        count × 16 bytes (float64 re, float64 im bits) for
-//	                       data frames; count raw bytes for control frames
+//	off 20  u32  epoch     (data frames only; must be 0 on every other type)
+//
+// The epoch field is the protocol's one versioned widening: FTFFT/1 as
+// originally shipped required offset 20 to be zero on every frame, so an old
+// decoder confronted with a pipelined (nonzero-epoch) data frame rejects it
+// loudly instead of silently mismatching transforms. Control and service
+// frames keep the strict-zero rule, preserving the reserved space.
+//
+//	[32 bytes]     2 × complex128 block checksums, when flags bit 0
+//	payload        count × 16 bytes (float64 re, float64 im bits) for
+//	               data frames; count raw bytes for control frames
 //
 // complex128 elements are serialized as the IEEE-754 bit patterns of their
 // real and imaginary parts, so a round trip is bit-exact for every value,
@@ -41,6 +48,13 @@ const (
 	frameGoodbye = 3 // clean shutdown from the root process
 	frameConfig  = 4 // hub → worker: rank assignment + WorldMeta
 	frameHello   = 5 // worker → hub (or client → server): protocol magic
+
+	// Mesh control frames (9–10): the hub hands each worker its peers'
+	// advertised listen addresses; workers then dial each other directly and
+	// identify themselves with a peer hello. Both are control frames (epoch
+	// stays strict-zero) so a v1-era decoder rejects nothing it used to accept.
+	framePeers     = 9  // hub → worker: newline-separated rank:addr list
+	framePeerHello = 10 // worker → worker: dialing rank (src) introduces itself
 )
 
 const (
@@ -67,6 +81,7 @@ type frameHeader struct {
 	src   int
 	dst   int
 	count int
+	epoch uint32 // data frames only; zero on control/service frames
 }
 
 // putHeader encodes h into buf[:frameHeaderLen].
@@ -78,7 +93,7 @@ func putHeader(buf []byte, h frameHeader) {
 	binary.LittleEndian.PutUint32(buf[8:], uint32(h.src))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(h.dst))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(h.count))
-	binary.LittleEndian.PutUint32(buf[20:], 0)
+	binary.LittleEndian.PutUint32(buf[20:], h.epoch)
 	_ = buf[frameHeaderLen-1]
 }
 
@@ -97,13 +112,19 @@ func parseHeader(buf []byte, p, maxElems int) (frameHeader, error) {
 		src:   int(binary.LittleEndian.Uint32(buf[8:])),
 		dst:   int(binary.LittleEndian.Uint32(buf[12:])),
 		count: int(binary.LittleEndian.Uint32(buf[16:])),
+		epoch: binary.LittleEndian.Uint32(buf[20:]),
 	}
 	// Reserved fields must be zero: the codec is strict, so decode∘encode is
 	// the identity on every accepted frame (no information the re-encoder
 	// would silently drop) and the reserved space stays usable for future
-	// protocol versions.
-	if binary.LittleEndian.Uint16(buf[2:]) != 0 || binary.LittleEndian.Uint32(buf[20:]) != 0 {
+	// protocol versions. Offset 20 was reserved in the original FTFFT/1 and is
+	// now the data-frame epoch — the one deliberate widening — so nonzero
+	// values stay rejected on every other frame type.
+	if binary.LittleEndian.Uint16(buf[2:]) != 0 {
 		return h, fmt.Errorf("mpi: nonzero reserved header fields")
+	}
+	if h.typ != frameData && h.epoch != 0 {
+		return h, fmt.Errorf("mpi: nonzero epoch on non-data frame type %d", h.typ)
 	}
 	switch h.typ {
 	case frameData:
@@ -116,7 +137,7 @@ func parseHeader(buf []byte, p, maxElems int) (frameHeader, error) {
 		if h.flags&^flagHasCS != 0 {
 			return h, fmt.Errorf("mpi: unknown data frame flags %#x", h.flags)
 		}
-	case frameAbort, frameGoodbye, frameConfig, frameHello:
+	case frameAbort, frameGoodbye, frameConfig, frameHello, framePeers, framePeerHello:
 		if h.count < 0 || h.count > maxControlPayload {
 			return h, fmt.Errorf("mpi: control frame payload %d bytes exceeds limit %d", h.count, maxControlPayload)
 		}
@@ -272,7 +293,7 @@ func readDataBody(r io.Reader, h frameHeader) (Message, error) {
 		putWireBuf(rb)
 		return Message{}, err
 	}
-	m := Message{Tag: h.tag, count: h.count, rb: rb}
+	m := Message{Tag: h.tag, Epoch: h.epoch, count: h.count, rb: rb}
 	off := 0
 	if h.flags&flagHasCS != 0 {
 		m.CS[0] = getComplex(body, 0)
@@ -289,7 +310,7 @@ func readDataBody(r io.Reader, h frameHeader) (Message, error) {
 // payloadOff, so wire-level fault hooks can corrupt the serialized elements
 // without touching the header or checksums.
 func encodeDataFrame(buf []byte, dst, src int, m Message) (frame []byte, payloadOff int) {
-	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data)}
+	h := frameHeader{typ: frameData, tag: m.Tag, src: src, dst: dst, count: len(m.Data), epoch: m.Epoch}
 	if m.HasCS {
 		h.flags = flagHasCS
 	}
@@ -320,7 +341,7 @@ func decodeDataBody(h frameHeader, body []byte) (Message, error) {
 	if len(body) != h.payloadBytes() {
 		return Message{}, fmt.Errorf("mpi: data frame body %d bytes, want %d", len(body), h.payloadBytes())
 	}
-	m := Message{Tag: h.tag}
+	m := Message{Tag: h.tag, Epoch: h.epoch}
 	off := 0
 	if h.flags&flagHasCS != 0 {
 		m.CS[0] = getComplex(body, 0)

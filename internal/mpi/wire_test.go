@@ -36,8 +36,9 @@ func TestDataFrameRoundTrip(t *testing.T) {
 	var enc []byte
 	for iter := 0; iter < 2000; iter++ {
 		m := Message{
-			Tag:  rng.Intn(1 << 20),
-			Data: randomPayload(rng, rng.Intn(64)),
+			Tag:   rng.Intn(1 << 20),
+			Epoch: rng.Uint32(),
+			Data:  randomPayload(rng, rng.Intn(64)),
 		}
 		if rng.Intn(2) == 0 {
 			m.HasCS = true
@@ -61,14 +62,14 @@ func TestDataFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parseHeader: %v", err)
 		}
-		if h.typ != frameData || h.tag != m.Tag || h.src != src || h.dst != dst || h.count != len(m.Data) {
-			t.Fatalf("header mismatch: %+v vs tag=%d src=%d dst=%d n=%d", h, m.Tag, src, dst, len(m.Data))
+		if h.typ != frameData || h.tag != m.Tag || h.src != src || h.dst != dst || h.count != len(m.Data) || h.epoch != m.Epoch {
+			t.Fatalf("header mismatch: %+v vs tag=%d epoch=%d src=%d dst=%d n=%d", h, m.Tag, m.Epoch, src, dst, len(m.Data))
 		}
 		got, err := decodeDataBody(h, frame[frameHeaderLen:])
 		if err != nil {
 			t.Fatalf("decodeDataBody: %v", err)
 		}
-		if got.Tag != m.Tag || got.HasCS != m.HasCS || len(got.Data) != len(m.Data) {
+		if got.Tag != m.Tag || got.Epoch != m.Epoch || got.HasCS != m.HasCS || len(got.Data) != len(m.Data) {
 			t.Fatalf("decoded message mismatch: %+v", got)
 		}
 		if m.HasCS && (!bitsEqual(got.CS[0], m.CS[0]) || !bitsEqual(got.CS[1], m.CS[1])) {
@@ -129,11 +130,17 @@ func TestParseHeaderRejectsGarbage(t *testing.T) {
 		return frame
 	}
 	cases := map[string][]byte{
-		"short":        make([]byte, frameHeaderLen-1),
-		"type":         mk(func(b []byte) { b[0] = 99 }),
-		"flags":        mk(func(b []byte) { b[1] = 0x80 }),
-		"reserved-a":   mk(func(b []byte) { b[2] = 1 }),
-		"reserved-b":   mk(func(b []byte) { b[21] = 7 }),
+		"short":      make([]byte, frameHeaderLen-1),
+		"type":       mk(func(b []byte) { b[0] = 99 }),
+		"flags":      mk(func(b []byte) { b[1] = 0x80 }),
+		"reserved-a": mk(func(b []byte) { b[2] = 1 }),
+		// Bytes 20–23 are the data-frame epoch since the PR 9 widening; on
+		// every other frame type they are still reserved-zero.
+		"epoch-on-control": func() []byte {
+			f := encodeControlFrame(nil, frameAbort, []byte("x"))
+			f[21] = 7
+			return f
+		}(),
 		"src-range":    mk(func(b []byte) { b[8] = 200 }),
 		"dst-range":    mk(func(b []byte) { b[12] = 200 }),
 		"count-bound":  mk(func(b []byte) { b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0x7f }),

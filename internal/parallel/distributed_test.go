@@ -68,11 +68,16 @@ func TestMessageOnlyBitIdentical(t *testing.T) {
 // process: the returned hub hosts rank 0; p-1 goroutines dial in and serve
 // plans configured by the handshake, each on a private executor (separate
 // single-rank gangs block on each other, so sharing one saturated pool
-// would deadlock — real deployments run them in separate processes).
-func startSocketWorld(t *testing.T, p int, workerInj func(rank int) fault.Injector) (*mpi.HubTransport, *sync.WaitGroup) {
+// would deadlock — real deployments run them in separate processes). With
+// mesh, the hub is a ListenMeshHub and the workers dial each other directly.
+func startSocketWorld(t *testing.T, p int, mesh bool, workerInj func(rank int) fault.Injector) (*mpi.HubTransport, *sync.WaitGroup) {
 	t.Helper()
 	sock := filepath.Join(t.TempDir(), "world.sock")
-	hub, err := mpi.ListenHub("unix", sock, p)
+	listen := mpi.ListenHub
+	if mesh {
+		listen = mpi.ListenMeshHub
+	}
+	hub, err := listen("unix", sock, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,13 +164,15 @@ type wireWorld interface {
 	Close() error
 }
 
-// startWireWorld dispatches on the wire name CI and the test matrix use.
+// startWireWorld dispatches on the wire name CI and the test matrix use:
+// "socket" is the star relay, "mesh" the peer-dialed socket mesh, "shm" the
+// memory-mapped rings.
 func startWireWorld(t *testing.T, wire string, p int) (wireWorld, *sync.WaitGroup) {
 	t.Helper()
 	if wire == "shm" {
 		return startShmWorld(t, p, nil)
 	}
-	return startSocketWorld(t, p, nil)
+	return startSocketWorld(t, p, wire == "mesh", nil)
 }
 
 // TestSocketTransportBitIdentical runs the protected-optimized pipeline over
@@ -191,7 +198,7 @@ func TestSocketTransportBitIdentical(t *testing.T) {
 		)
 	}
 
-	for _, wire := range []string{"socket", "shm"} {
+	for _, wire := range []string{"socket", "mesh", "shm"} {
 		for _, faulty := range []bool{false, true} {
 			name := wire + "/clean"
 			if faulty {
@@ -276,7 +283,7 @@ func TestSocketWireCorruptionRepaired(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, wire := range []string{"socket", "shm"} {
+	for _, wire := range []string{"socket", "mesh", "shm"} {
 		t.Run(wire, func(t *testing.T) {
 			hub, wg := startWireWorld(t, wire, p)
 			defer func() { hub.Close(); wg.Wait() }()
@@ -285,7 +292,7 @@ func TestSocketWireCorruptionRepaired(t *testing.T) {
 				t.Fatal(err)
 			}
 			flips := 0
-			hub.InjectWireFaults(func(dst, src, tag int, payload []byte) {
+			hub.InjectWireFaults(func(dst, src, tag, epoch int, payload []byte) {
 				// One mantissa-bit flip in the first outbound transpose payload.
 				if flips == 0 && tag == tagTran1 && len(payload) >= 8 {
 					payload[3] ^= 0x10

@@ -49,6 +49,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"sync/atomic"
 
 	"ftfft/internal/checksum"
 	"ftfft/internal/core"
@@ -81,10 +82,11 @@ type Config struct {
 	// Transport selects the wire the rank world communicates over. nil
 	// builds a fresh in-process channel wire per execution context (the
 	// zero-copy shared-memory fast path). A non-nil transport is a physical
-	// resource — the plan builds exactly one world over it, so concurrent
-	// Transforms serialize; socket transports additionally place only a
-	// subset of ranks in this process (the rest run in worker processes
-	// driving Plan.Serve).
+	// resource — the plan builds exactly one world over it — but up to
+	// epochRing transforms pipeline through it concurrently, each tagged
+	// with a distinct epoch so their messages never interleave; socket
+	// transports additionally place only a subset of ranks in this process
+	// (the rest run in worker processes driving Plan.Serve).
 	Transport mpi.Transport
 }
 
@@ -108,9 +110,12 @@ type Plan struct {
 	mu   sync.Mutex
 	free []*execCtx // idle execution contexts (see workspace.go)
 
-	// exclusive holds the single context of a plan built over an explicit
-	// Transport (nil otherwise); see getCtx.
-	exclusive chan *execCtx
+	// ring holds the epoch-ring contexts of a plan built over an explicit
+	// Transport (nil otherwise): epochRing slots sharing the plan's single
+	// world, each drawing a fresh epoch per transform so up to epochRing
+	// transforms pipeline over one wire. See getCtx.
+	ring     chan *execCtx
+	epochSeq atomic.Uint32 // next epoch a transport-backed Begin assigns
 }
 
 // NewPlan validates the geometry — p must divide n, p must divide q = n/p,
@@ -143,7 +148,6 @@ func NewPlan(n, p int, cfg Config) (*Plan, error) {
 		if rp, ok := cfg.Transport.(mpi.RankPlacement); ok {
 			pl.gang = len(rp.LocalRanks())
 		}
-		pl.exclusive = make(chan *execCtx, 1)
 	}
 	if p > 1 {
 		var err error
@@ -161,20 +165,34 @@ func NewPlan(n, p int, cfg Config) (*Plan, error) {
 			pl.weightsR = checksum.Weights(reportWords)
 		}
 	}
+	if cfg.Transport != nil {
+		// One world per transport wire, epochRing contexts over it: the wire
+		// handshake runs here, so plan construction blocks until the remote
+		// workers have dialed in; each ring slot then carries its own per-rank
+		// workspaces and endpoints, and concurrent transforms pipeline through
+		// distinct epochs instead of serializing on one context.
+		world, err := pl.newWorld()
+		if err != nil {
+			return nil, err
+		}
+		pl.ring = make(chan *execCtx, epochRing)
+		for i := 0; i < epochRing; i++ {
+			ec, err := pl.newCtxOn(world)
+			if err != nil {
+				return nil, err
+			}
+			pl.ring <- ec
+		}
+		return pl, nil
+	}
 	// Build the first execution context eagerly: it validates the FFT2
 	// decomposition of q and pre-warms the pool, so the first Transform is
-	// already on the steady-state path. (Over a socket transport this also
-	// runs the wire handshake, so plan construction blocks until the remote
-	// workers have dialed in.)
+	// already on the steady-state path.
 	ec, err := pl.newCtx()
 	if err != nil {
 		return nil, err
 	}
-	if pl.exclusive != nil {
-		pl.exclusive <- ec
-	} else {
-		pl.free = append(pl.free, ec)
-	}
+	pl.free = append(pl.free, ec)
 	return pl, nil
 }
 
@@ -204,12 +222,21 @@ func twiddleTable(n, p, q int) []complex128 {
 // Workers returns the worker budget of the executor the plan dispatches on.
 func (pl *Plan) Workers() int { return pl.ex.Workers() }
 
-// Exclusive reports whether the plan owns a single execution context (an
-// explicit Transport wire): at most one transform can be in flight, so batch
-// drivers must reap each invocation before beginning the next — pipelining
-// Begins would park the second caller on the context it can only get by
-// reaping the first.
-func (pl *Plan) Exclusive() bool { return pl.exclusive != nil }
+// MaxInflight reports how many transforms can be in flight on the plan at
+// once: the epoch-ring depth for a transport-backed plan (its ring slots
+// pipeline over the one wire, each on its own epoch), the context-pool cap
+// otherwise. Batch drivers size their reap window by this — a Begin past the
+// bound parks until a slot is reaped.
+func (pl *Plan) MaxInflight() int {
+	if pl.ring != nil {
+		return epochRing
+	}
+	return maxPooledCtx
+}
+
+// Gang returns the executor admission a single transform reserves: the count
+// of ranks local to this process (p in-process, usually 1 for a socket root).
+func (pl *Plan) Gang() int { return pl.gang }
 
 // N returns the global transform size; P the number of ranks.
 func (pl *Plan) N() int { return pl.n }
@@ -277,6 +304,10 @@ type Invocation struct {
 	ec *execCtx
 	l  *mpi.Launch
 
+	// epoched marks a transport-backed invocation: it drew an epoch in Begin
+	// and must close it (world.EpochEnd) in Wait.
+	epoched bool
+
 	// p == 1 fast path: the transform completed synchronously in Begin.
 	done bool
 	rep  core.Report
@@ -322,6 +353,19 @@ func (pl *Plan) Begin(ctx context.Context, dst, src []complex128) (*Invocation, 
 		return nil, fmt.Errorf("parallel: world is dead: %w", cause)
 	}
 	inv := &Invocation{pl: pl, ec: ec}
+	if pl.ring != nil {
+		// Assign this transform the next epoch and stamp it on the slot's
+		// endpoints: its frames match only against this epoch's receives, so
+		// a later transform's scatter can overtake an earlier gather on the
+		// wire without crossing streams. Epochs count up in Begin order —
+		// remote serve lanes expect exactly that sequence.
+		epoch := pl.epochSeq.Add(1) - 1
+		for _, r := range ec.world.LocalRanks() {
+			ec.ranks[r].comm.SetEpoch(epoch)
+		}
+		ec.world.EpochBegin()
+		inv.epoched = true
+	}
 	inv.l = ec.world.LaunchReserved(ctx, res, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		rep, err := pl.rankBody(ctx, ec.ranks[rank], dst, src)
@@ -344,14 +388,17 @@ func (inv *Invocation) Wait() (core.Report, error) {
 	}
 	pl, ec := inv.pl, inv.ec
 	firstErr := inv.l.Wait()
+	if inv.epoched {
+		ec.world.EpochEnd()
+	}
 	var total core.Report
 	for r := 0; r < pl.p; r++ {
 		total.Add(ec.reports[r])
 	}
 	if firstErr == nil {
 		// A world aborted by a cancel that raced completion is dropped
-		// (finishCtx keeps exclusive transport worlds either way); the
-		// finished results are still valid.
+		// (finishCtx keeps transport ring slots either way); the finished
+		// results are still valid.
 		pl.finishCtx(ec, !ec.world.Aborted())
 		return total, nil
 	}
@@ -372,27 +419,96 @@ func (inv *Invocation) Wait() (core.Report, error) {
 // Transport whose placement puts at least one rank here; it must mirror the
 // root's geometry and scheme exactly, which is what the wire handshake's
 // WorldMeta guarantees.
+//
+// Serve runs epochRing concurrent lanes, mirroring the root's epoch ring:
+// lane s handles epochs s, s+R, s+2R, … (the root assigns epochs to
+// transforms sequentially), so transform k+1's scatter is consumed while
+// transform k's gather drains. Lanes reserve executor admission in strict
+// epoch order (a turn token circulates lane→lane), so a small executor
+// degrades gracefully to the old serial schedule: the lane holding the one
+// admission slot is always the lane whose epoch the root is driving.
 func (pl *Plan) Serve(ctx context.Context) error {
 	if pl.cfg.Transport == nil || pl.p == 1 {
 		return fmt.Errorf("parallel: Serve needs a plan over an explicit multi-rank transport")
 	}
-	ec, err := pl.getCtx(ctx)
-	if err != nil {
-		return err
-	}
-	defer pl.finishCtx(ec, false)
-	for {
-		if err := ctx.Err(); err != nil {
+	lanes := make([]*execCtx, 0, epochRing)
+	for i := 0; i < epochRing; i++ {
+		ec, err := pl.getCtx(ctx)
+		if err != nil {
+			for _, held := range lanes {
+				pl.finishCtx(held, false)
+			}
 			return err
 		}
-		l, err := ec.world.Launch(ctx, pl.ex, func(c *mpi.Comm) error {
-			_, err := pl.rankBody(ctx, ec.ranks[c.Rank()], nil, nil)
-			return err
-		})
+		lanes = append(lanes, ec)
+	}
+	turns := make([]chan struct{}, len(lanes))
+	for i := range turns {
+		turns[i] = make(chan struct{}, 1)
+	}
+	turns[0] <- struct{}{} // epoch 0 reserves first
+	var wg sync.WaitGroup
+	errs := make([]error, len(lanes))
+	for s, ec := range lanes {
+		wg.Add(1)
+		go func(s int, ec *execCtx) {
+			defer wg.Done()
+			defer pl.finishCtx(ec, false)
+			next := turns[(s+1)%len(turns)]
+			errs[s] = pl.serveLane(ctx, ec, uint32(s), uint32(len(lanes)), turns[s], next)
+		}(s, ec)
+	}
+	wg.Wait()
+	// The lanes share one world, so a failure anywhere aborts them all; the
+	// root cause beats the per-lane echoes, and a clean goodbye is success.
+	if cause := lanes[0].world.AbortCause(); cause != nil && !errors.Is(cause, mpi.ErrShutdown) {
+		return cause
+	}
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		if err := l.Wait(); err != nil {
+	}
+	return nil
+}
+
+// serveLane is one Serve lane: it runs this process's rank bodies for epochs
+// epoch, epoch+stride, epoch+2·stride, … until shutdown (nil), cancellation,
+// or a world abort (the cause). turn gates executor admission: the lane
+// reserves only when the token says its epoch is next, then passes the token
+// on, so admission order matches epoch order and a lane can never starve the
+// lane whose epoch the root is actually driving. A lane that exits without
+// passing the token leaves its peers parked on turn — safe, because every
+// exit path below has closed the world or canceled ctx, and the peers select
+// on both.
+func (pl *Plan) serveLane(ctx context.Context, ec *execCtx, epoch, stride uint32, turn, next chan struct{}) error {
+	for {
+		select {
+		case <-turn:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ec.world.Done():
+			if err := ec.world.AbortCause(); !errors.Is(err, mpi.ErrShutdown) {
+				return err
+			}
+			return nil
+		}
+		res, err := pl.ex.Reserve(ctx, pl.gang)
+		if err != nil {
+			return err
+		}
+		next <- struct{}{}
+		for _, r := range ec.world.LocalRanks() {
+			ec.ranks[r].comm.SetEpoch(epoch)
+		}
+		ec.world.EpochBegin()
+		l := ec.world.LaunchReserved(ctx, res, func(c *mpi.Comm) error {
+			_, err := pl.rankBody(ctx, ec.ranks[c.Rank()], nil, nil)
+			return err
+		})
+		err = l.Wait()
+		ec.world.EpochEnd()
+		if err != nil {
 			if errors.Is(err, mpi.ErrShutdown) {
 				return nil
 			}
@@ -401,6 +517,7 @@ func (pl *Plan) Serve(ctx context.Context) error {
 			}
 			return err
 		}
+		epoch += stride
 	}
 }
 

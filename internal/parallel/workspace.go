@@ -44,13 +44,14 @@ type rankState struct {
 }
 
 // execCtx bundles everything one Transform invocation needs that cannot be
-// shared between concurrent invocations: the mpi.World (transport and
-// in-flight message state), the per-rank workspaces and transformers, and
-// the per-rank report slots. Contexts are pooled on the Plan, so
-// back-to-back Transforms reuse one context and concurrent Transforms each
-// get their own — except over an explicit Transport, which admits exactly
-// one world, so the plan keeps a single exclusive context and concurrent
-// Transforms serialize on it.
+// shared between concurrent invocations: the per-rank workspaces and
+// transformers, the per-rank report slots, and the rank endpoints into the
+// mpi.World. Contexts are pooled on the Plan, so back-to-back Transforms
+// reuse one context and concurrent Transforms each get their own. An
+// in-process context owns a private world; over an explicit Transport the
+// plan builds one world and an epoch ring of contexts sharing it — each
+// slot's endpoints stamp a distinct epoch per transform, so up to epochRing
+// transforms pipeline over the wire without their messages crossing.
 type execCtx struct {
 	world *mpi.World
 	ranks []*rankState // indexed by rank; nil for ranks local to other processes
@@ -72,23 +73,12 @@ func (pl *Plan) coreConfig() core.Config {
 	}
 }
 
-// newCtx builds a complete execution context: world, endpoints, per-rank
-// transformers and workspaces — for the ranks that live in this process.
-// All construction-time work lives here.
-func (pl *Plan) newCtx() (*execCtx, error) {
-	ec := &execCtx{}
-	if pl.p == 1 {
-		tr, err := core.NewInPlace(pl.n, pl.coreConfig())
-		if err != nil {
-			return nil, err
-		}
-		ec.seq = tr
-		return ec, nil
-	}
-	ec.world = mpi.NewWorldTransport(pl.p, pl.cfg.Injector, pl.cfg.Transport)
+// newWorld builds the plan's single world over its explicit Transport and
+// completes the wire handshake: remote workers get the metadata they need to
+// build the identical plan.
+func (pl *Plan) newWorld() (*mpi.World, error) {
+	w := mpi.NewWorldTransport(pl.p, pl.cfg.Injector, pl.cfg.Transport)
 	if wc, ok := pl.cfg.Transport.(mpi.WorldConfigurer); ok {
-		// Complete the wire handshake: remote workers get the metadata they
-		// need to build the identical plan.
 		if err := wc.ConfigureWorld(mpi.WorldMeta{
 			N: pl.n, P: pl.p,
 			Protected: pl.cfg.Protected, Optimized: pl.cfg.Optimized,
@@ -97,6 +87,29 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 			return nil, fmt.Errorf("parallel: transport handshake: %w", err)
 		}
 	}
+	return w, nil
+}
+
+// newCtx builds a complete execution context: world, endpoints, per-rank
+// transformers and workspaces — for the ranks that live in this process.
+// All construction-time work lives here.
+func (pl *Plan) newCtx() (*execCtx, error) {
+	if pl.p == 1 {
+		tr, err := core.NewInPlace(pl.n, pl.coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &execCtx{seq: tr}, nil
+	}
+	return pl.newCtxOn(mpi.NewWorldTransport(pl.p, pl.cfg.Injector, pl.cfg.Transport))
+}
+
+// newCtxOn builds an execution context's rank endpoints and workspaces over
+// an existing world. Ring slots of a transport plan all pass the same world:
+// each slot gets fresh endpoints (mpi.NewEndpoint), so concurrent slots hold
+// independent epoch stamps while sharing the world's matching state.
+func (pl *Plan) newCtxOn(world *mpi.World) (*execCtx, error) {
+	ec := &execCtx{world: world}
 	shared := ec.world.Shared()
 	dist := ec.world.Distributed()
 	ec.ranks = make([]*rankState, pl.p)
@@ -108,7 +121,7 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 		}
 		fft2.SetRank(r)
 		rs := &rankState{
-			comm:     ec.world.Endpoint(r),
+			comm:     ec.world.NewEndpoint(r),
 			fft2:     fft2,
 			sched:    mpi.TransposeSchedule(r, pl.p),
 			shared:   shared,
@@ -137,16 +150,22 @@ func (pl *Plan) newCtx() (*execCtx, error) {
 // caps steady-state memory at maxPooledCtx concurrent-Transform footprints.
 const maxPooledCtx = 4
 
+// epochRing is the depth of a transport plan's execution-context ring: how
+// many epoch-tagged transforms can pipeline over the one wire at once. Kept
+// a power of two so the u32 epoch counter wraps onto the same lane schedule
+// (epoch mod epochRing stays consistent across the wrap).
+const epochRing = 4
+
 // getCtx pops a pooled context or builds a fresh one. An explicit freelist
 // (not a sync.Pool) is used so the steady-state single-caller path is
 // deterministically allocation-free across garbage collections. Plans over
-// an explicit Transport own exactly one context; callers queue on it (the
-// wire is a physical resource — one world's messages must not interleave
-// with another's).
+// an explicit Transport draw from the fixed epoch ring instead: the wire is
+// a physical resource, so callers past the ring depth queue here until a
+// slot is reaped.
 func (pl *Plan) getCtx(ctx context.Context) (*execCtx, error) {
-	if pl.exclusive != nil {
+	if pl.ring != nil {
 		select {
-		case ec := <-pl.exclusive:
+		case ec := <-pl.ring:
 			return ec, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -166,12 +185,12 @@ func (pl *Plan) getCtx(ctx context.Context) (*execCtx, error) {
 
 // finishCtx returns a context after an invocation. Cleanly finished contexts
 // go back to the pool; ones whose world aborted are dropped (the world may
-// hold undelivered messages) — except the exclusive transport context, which
-// is always returned so later callers fail fast on the dead wire instead of
-// blocking forever on an empty slot.
+// hold undelivered messages) — except transport ring slots, which are always
+// returned so later callers fail fast on the dead wire instead of blocking
+// forever on an empty ring.
 func (pl *Plan) finishCtx(ec *execCtx, clean bool) {
-	if pl.exclusive != nil {
-		pl.exclusive <- ec
+	if pl.ring != nil {
+		pl.ring <- ec
 		return
 	}
 	if !clean {
@@ -185,11 +204,12 @@ func (pl *Plan) finishCtx(ec *execCtx, clean bool) {
 }
 
 // PooledContexts reports how many idle execution contexts the plan retains
-// and the freelist cap; a burst of concurrent Transforms never pins more
-// than the cap once it drains. Exposed for the context-pool bound tests.
+// and the pool cap (the epoch-ring depth for transport plans); a burst of
+// concurrent Transforms never pins more than the cap once it drains.
+// Exposed for the context-pool bound tests.
 func (pl *Plan) PooledContexts() (free, capacity int) {
-	if pl.exclusive != nil {
-		return len(pl.exclusive), 1
+	if pl.ring != nil {
+		return len(pl.ring), epochRing
 	}
 	pl.mu.Lock()
 	defer pl.mu.Unlock()

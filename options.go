@@ -24,6 +24,7 @@ type config struct {
 	executor    *Executor // WithExecutor
 	executorSet bool
 	transport   mpi.Transport // WithTransport; nil means per-plan in-process wire
+	noPeerMesh  bool          // WithoutPeerMesh; ServeWorker-only
 
 	// pool is the resolved executor every layer dispatches on, filled in by
 	// New; nil (the deprecated-shim path) falls back to exec.Default().

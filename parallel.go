@@ -106,19 +106,17 @@ const maxBatchWorlds = 4
 // concurrency comes from the executor admitting as many rank groups as its
 // budget allows, and admission back-pressure paces the submission loop when
 // it is saturated. The window is sized to the rank groups the executor can
-// actually run at once (budget / ranks, within the world-pool cap), so a
-// saturated batch holds no more worlds than it is using. A transport-backed
-// plan owns exactly one world, so its window is 1 — each item is reaped
-// before the next begins (pipelining would self-deadlock on the exclusive
-// execution context).
+// actually run at once (budget / local gang size, within the plan's
+// in-flight bound), so a saturated batch holds no more worlds than it is
+// using. A transport-backed plan pipelines through its epoch ring: up to
+// MaxInflight items ride the wire at once, each on its own epoch, with
+// reserve back-pressure (a Begin past the ring depth parks until the oldest
+// item is reaped) instead of the old clamp to window = 1.
 func (t *parTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
 	if err := checkBatch(t.n, dst, src); err != nil {
 		return Report{}, err
 	}
-	window := min(maxBatchWorlds, max(1, t.pl.Workers()/t.ranks))
-	if t.pl.Exclusive() {
-		window = 1
-	}
+	window := min(maxBatchWorlds, t.pl.MaxInflight(), max(1, t.pl.Workers()/t.pl.Gang()))
 	type pending struct {
 		inv  *parallel.Invocation
 		item int

@@ -156,6 +156,9 @@ func (c *config) validate(n int) error {
 	if c.executorSet && c.executor == nil {
 		return fmt.Errorf("ftfft: invalid executor: WithExecutor requires a non-nil Executor")
 	}
+	if c.noPeerMesh {
+		return fmt.Errorf("ftfft: invalid option: WithoutPeerMesh applies to ServeWorker, not New (mesh topology is chosen by the hub: ListenMeshHub vs ListenHub)")
+	}
 	if c.rows != 0 || c.cols != 0 {
 		if c.dimsSet {
 			return fmt.Errorf("ftfft: invalid geometry options: WithDims and WithShape are mutually exclusive")
