@@ -257,15 +257,15 @@ func TestWireRecvAllocs(t *testing.T) {
 		bench  func(*testing.B)
 	}{
 		// Budgets are ceilings with slack over the measured steady state
-		// (chan ≈ 10, socket ≈ 62, shm ≈ 34 at 2^14, p = 4 — the remainder
+		// (chan ≈ 10, socket ≈ 36, shm ≈ 16 at 2^14, p = 4 — the remainder
 		// is per-transform plan contexts, shared by every wire), far below
 		// the pre-decode-in-place socket cost of ~117 plus one header
-		// allocation per frame. The socket ceiling includes the in-process
-		// workers' epoch-lane serve rotation (one launch + reservation per
-		// lane round since PR 9).
+		// allocation per frame. PR 9's epoch-lane serve rotation cost one
+		// launch + reservation + watcher per lane round (socket crept to
+		// ~62); the prebuilt mpi.Lane / exec.FixedGang rotation recovered it.
 		{"chan", 20, BenchmarkWireChanMessage_Parallel4},
-		{"socket", 72, BenchmarkWireUnixSocket_Parallel4},
-		{"shm", 60, BenchmarkWireShm_Parallel4},
+		{"socket", 44, BenchmarkWireUnixSocket_Parallel4},
+		{"shm", 24, BenchmarkWireShm_Parallel4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			res := testing.Benchmark(tc.bench)

@@ -38,6 +38,18 @@
 // -inject takes a mix like "2m+1c": m = memory faults, c = computational
 // faults. -dims runs the N-dimensional axis-pass engine over the given
 // row-major shape (with -parallel as the per-pass dispatch width).
+//
+// Autotuning (FFTW-style MEASURE with persistent wisdom):
+//
+//	ftfft -n 20 -tune -wisdom /tmp/ftfft.wisdom   # measure, run, save wisdom
+//	ftfft -n 20 -wisdom /tmp/ftfft.wisdom         # reuse the saved choices
+//
+// -tune builds the plan under WithTuning(TuneMeasured): legal candidates for
+// each tunable plan choice are timed at plan build and the winners recorded
+// as wisdom. -wisdom names a wisdom file imported (if present) before
+// planning; with -tune the updated table is written back after the run, so
+// the same flag on a later invocation — or on ftserve — replays the measured
+// choices without re-measuring.
 package main
 
 import (
@@ -81,11 +93,14 @@ func main() {
 	transport := flag.String("transport", "socket", "distributed wire: socket (unix/tcp, inferred from the address) or shm (same-host memory-mapped rings; -listen/-connect is the ring-file path)")
 	mesh := flag.Bool("mesh", false, "with -listen: socket workers dial each other directly; worker↔worker frames skip the hub relay")
 	noMesh := flag.Bool("no-mesh", false, "with -worker: join relay-only, declining peer mesh connections")
+	tune := flag.Bool("tune", false, "build the plan under measured tuning: time candidate plan choices and record the winners as wisdom")
+	wisdomPath := flag.String("wisdom", "", "wisdom file: imported before planning if present; with -tune, the updated table is saved back after the run")
 	flag.Parse()
 
 	if *transport != "socket" && *transport != "shm" {
 		fatalf("unknown -transport %q (want socket or shm)", *transport)
 	}
+	importWisdom(*wisdomPath)
 	if *worker {
 		if *connectAddr == "" {
 			fatalf("-worker requires -connect")
@@ -163,11 +178,15 @@ func main() {
 	if sched != nil {
 		opts = append(opts, ftfft.WithInjector(sched))
 	}
+	if *tune {
+		opts = append(opts, ftfft.WithTuning(ftfft.TuneMeasured))
+	}
 	if *realInput {
 		if isND || dims != nil || *parallelRanks > 0 || *listenAddr != "" {
 			fatalf("-real is a sequential 1-D transform; drop -dims/-parallel/-listen")
 		}
 		runReal(n, *logN, p, sched, opts, *timeout)
+		saveWisdom(*tune, *wisdomPath)
 		return
 	}
 	label := "sequential " + p.String()
@@ -287,6 +306,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("result    : verified output (DC bin X[0] = %v)\n", dst[0])
+	saveWisdom(*tune, *wisdomPath)
+}
+
+// importWisdom merges a wisdom file into the process table before any plan
+// is built; a missing file is fine (first -tune run creates it on save).
+func importWisdom(path string) {
+	if path == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		fatalf("reading -wisdom %s: %v", path, err)
+	}
+	if err := ftfft.ImportWisdom(data); err != nil {
+		fatalf("importing -wisdom %s: %v", path, err)
+	}
+}
+
+// saveWisdom writes the (possibly grown) wisdom table back after a measured
+// run, so later invocations replay the choices without re-measuring.
+func saveWisdom(tuned bool, path string) {
+	if !tuned || path == "" {
+		return
+	}
+	if err := os.WriteFile(path, ftfft.ExportWisdom(), 0o644); err != nil {
+		fatalf("saving -wisdom %s: %v", path, err)
+	}
 }
 
 // runReal executes the -real path: a protected RFFT of n samples, an IRFFT

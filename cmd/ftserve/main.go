@@ -22,6 +22,12 @@
 // computational faults) into every plan the server builds — a demo of the
 // service's ABFT story: clients requesting a protecting scheme see the
 // faults detected and repaired in their response reports.
+//
+// -wisdom imports a tuning-wisdom file (produced by ftfft -tune -wisdom)
+// before serving: plans built for cache misses apply the recorded measured
+// choices, but the server itself never benchmarks inside a request. Servers
+// sharing one wisdom file build identical plans and return bit-identical
+// spectra.
 package main
 
 import (
@@ -46,11 +52,24 @@ func main() {
 	workers := flag.Int("workers", 0, "server-owned executor width (0 = shared process pool)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM/SIGINT")
 	inject := flag.String("inject", "", "server-side fault mix for every built plan, e.g. 1m+1c")
+	wisdomPath := flag.String("wisdom", "", "tuning-wisdom file to import before serving (from ftfft -tune -wisdom)")
 	quiet := flag.Bool("quiet", false, "suppress startup and shutdown chatter")
 	flag.Parse()
 
 	if *listenAddr == "" {
 		fatalf("-listen is required")
+	}
+	if *wisdomPath != "" {
+		data, err := os.ReadFile(*wisdomPath)
+		if err != nil {
+			fatalf("reading -wisdom %s: %v", *wisdomPath, err)
+		}
+		if err := ftfft.ImportWisdom(data); err != nil {
+			fatalf("importing -wisdom %s: %v", *wisdomPath, err)
+		}
+		if !*quiet {
+			fmt.Printf("ftserve: imported wisdom from %s\n", *wisdomPath)
+		}
 	}
 	network := networkFor(*listenAddr)
 	if network == "unix" {

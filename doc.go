@@ -267,6 +267,38 @@
 // parallel transforms allocate only the O(ranks) dispatch cost of one rank
 // task group on pooled workers.
 //
+// # Autotuning and wisdom
+//
+// Several plan choices are made by analytic cost models that can miss on a
+// given host. WithTuning(TuneMeasured) replaces them with FFTW-style
+// measurement: at plan build — never during execution — New and NewReal time
+// the legal candidates for each tunable choice and install the fastest:
+//
+//	kernel engine      flat vs recursive, power-of-two sub-plans only
+//	Bluestein conv     the {1,3,5,9,15}·2^k ladder ≥ 2n−1 (ConvCandidates)
+//	nd tile size       the BenchmarkTileSize ladder (nd.TileLadder)
+//	ForwardBatch       epoch-pipelining window 1, 2 or 4 (or WithBatchWindow)
+//
+// Winners are recorded in a process-wide bounded wisdom table keyed by
+// (knob, size, dims, scheme, real/complex): later builds of the same
+// geometry hit the table and skip the sweeps, so a wisdom-hit plan build
+// costs the same as the default. ExportWisdom serializes the table as a
+// versioned, checksummed blob and ImportWisdom merges one back — the fleet
+// workflow is tune once on a canary host, ship the file, import everywhere
+// (cmd/ftfft -tune -wisdom writes it; cmd/ftserve -wisdom loads it).
+//
+// The determinism contract: wisdom stores *choices*, never timings, and
+// every candidate computes a correct transform — so timing noise only ever
+// picks which deterministic plan wins. Two plans built from the same wisdom
+// make identical choices and produce bit-identical outputs, locally or
+// served. A server applies wisdom on plan-cache misses but never measures
+// inside a request, and its plan cache keys on the wisdom epoch, so an
+// import rotates out plans tuned under the old table instead of mixing them.
+//
+// Migration: the default is TuneEstimate — the analytic heuristics,
+// bit-identical to plans built before tuning existed. Nothing measures,
+// nothing consults wisdom, unless a plan opts in.
+//
 // Transforms are safe for concurrent use by multiple goroutines.
 // Workspaces are per-call: every executor keeps a pool of execution
 // contexts, and each in-flight call draws its own, so concurrent calls on

@@ -21,6 +21,7 @@ package core
 
 import (
 	"ftfft/internal/fault"
+	"ftfft/internal/fft"
 )
 
 // Scheme selects the protection protocol.
@@ -93,6 +94,19 @@ type Config struct {
 	// MaxRetries caps recomputation attempts per protected unit before the
 	// transform is declared uncorrectable. 0 means 3.
 	MaxRetries int
+	// Kernel forces the fft execution engine for the sub-FFT plans; the zero
+	// value (fft.KernelAuto) keeps the planner's heuristic. Set by the
+	// autotuner under measured tuning.
+	Kernel fft.Kernel
+	// ConvLen, when non-nil, chooses the Bluestein convolution length per
+	// leaf size for the sub-FFT plans (see fft.PlanConfig.ConvLen); nil keeps
+	// the heuristic chooser.
+	ConvLen func(leaf int) int
+}
+
+// planConfig is the fft-level knob view of the Config.
+func (c Config) planConfig() fft.PlanConfig {
+	return fft.PlanConfig{Kernel: c.Kernel, ConvLen: c.ConvLen}
 }
 
 func (c Config) batchSize() int {

@@ -62,11 +62,11 @@ func NewInPlace(n int, cfg Config) (*InPlaceTransformer, error) {
 		return nil, err
 	}
 	t := &InPlaceTransformer{n: n, k: k, r: r, n1: r * k, cfg: cfg}
-	if t.planK, err = fft.NewPlan(k, fft.Forward); err != nil {
+	if t.planK, err = fft.NewPlanConfig(k, fft.Forward, cfg.planConfig()); err != nil {
 		return nil, err
 	}
 	if r > 1 {
-		if t.planR, err = fft.NewPlan(r, fft.Forward); err != nil {
+		if t.planR, err = fft.NewPlanConfig(r, fft.Forward, cfg.planConfig()); err != nil {
 			return nil, err
 		}
 		t.crv = checksum.CheckVector(r)

@@ -83,10 +83,10 @@ func New(n int, cfg Config) (*Transformer, error) {
 		// "decomposition" m=n, k=1.
 		t.m, t.k = n, 1
 	}
-	if t.planM, err = fft.NewPlan(t.m, fft.Forward); err != nil {
+	if t.planM, err = fft.NewPlanConfig(t.m, fft.Forward, cfg.planConfig()); err != nil {
 		return nil, err
 	}
-	if t.planK, err = fft.NewPlan(t.k, fft.Forward); err != nil {
+	if t.planK, err = fft.NewPlanConfig(t.k, fft.Forward, cfg.planConfig()); err != nil {
 		return nil, err
 	}
 	t.twiddle = twiddleTable(n, t.m, t.k)

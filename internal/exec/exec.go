@@ -402,6 +402,23 @@ func (r *Reservation) Cancel() {
 	r.p.release(r.cost)
 }
 
+// ReserveInto is Reserve writing into a caller-owned Reservation — the
+// steady-state admission path for serve loops that re-admit the same gang
+// every round: no per-round reservation allocation. r must not be an
+// admitted-but-unconsumed reservation (its permits would leak); a zero or
+// already-consumed value is reusable.
+func (p *Pool) ReserveInto(ctx context.Context, n int, r *Reservation) error {
+	if n < 1 {
+		return fmt.Errorf("exec: invalid gang size %d", n)
+	}
+	cost := min(n, p.workers)
+	if err := p.acquire(ctx, cost); err != nil {
+		return err
+	}
+	*r = Reservation{p: p, n: n, cost: cost}
+	return nil
+}
+
 // Launch consumes the reservation and starts fn(ctx, 0..n-1) — tasks that
 // may block on one another, all running concurrently — returning the handle
 // to join. It never blocks: the permits are already held.
@@ -425,4 +442,76 @@ func (r *Reservation) Launch(ctx context.Context, fn func(ctx context.Context, i
 		}
 	}
 	return g
+}
+
+// FixedGang is a reusable gang for loops that launch the same n-task fan-out
+// round after round (the epoch-lane serve rotation): every closure is built
+// once at construction, so a steady-state LaunchReserved/Wait round allocates
+// nothing. A FixedGang is single-flight — after LaunchReserved, no further
+// launch until Wait returns — and not safe for concurrent launches.
+type FixedGang struct {
+	p      *Pool
+	n      int
+	bodies []func() // prebuilt dispatch bodies, one per task
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+	firstIdx int
+}
+
+// NewFixedGang prebuilds a reusable gang of n tasks running fn(0..n-1).
+// Launch it with (*FixedGang).LaunchReserved on a reservation of the same
+// size from the same pool.
+func (p *Pool) NewFixedGang(n int, fn func(i int) error) *FixedGang {
+	if n < 1 {
+		panic(fmt.Sprintf("exec: invalid gang size %d", n))
+	}
+	g := &FixedGang{p: p, n: n, bodies: make([]func(), n)}
+	for i := 0; i < n; i++ {
+		i := i
+		errFn := func() error { return fn(i) }
+		g.bodies[i] = func() {
+			defer g.wg.Done()
+			if err := protect(errFn); err != nil {
+				g.mu.Lock()
+				if g.firstErr == nil || i < g.firstIdx {
+					g.firstErr, g.firstIdx = err, i
+				}
+				g.mu.Unlock()
+			}
+		}
+	}
+	return g
+}
+
+// LaunchReserved consumes the reservation and starts one round of the gang's
+// prebuilt tasks. The reservation must come from the gang's pool with the
+// gang's size; like Reservation.Launch it never blocks, and tasks beyond the
+// reservation's permit count run on transient goroutines.
+func (g *FixedGang) LaunchReserved(r *Reservation) {
+	if r.used {
+		panic("exec: reservation already consumed")
+	}
+	if r.p != g.p || r.n != g.n {
+		panic("exec: reservation does not match fixed gang")
+	}
+	r.used = true
+	g.firstErr, g.firstIdx = nil, 0
+	g.wg.Add(g.n)
+	for i, body := range g.bodies {
+		if i < r.cost {
+			g.p.dispatch(body)
+		} else {
+			go body()
+		}
+	}
+}
+
+// Wait joins the in-flight round and reports its first (lowest-index) task
+// error; contained panics surface as *PanicError. The gang is reusable once
+// Wait returns.
+func (g *FixedGang) Wait() error {
+	g.wg.Wait()
+	return g.firstErr
 }

@@ -1,6 +1,9 @@
 package fft
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // bluestein implements the chirp-z transform, turning a DFT of arbitrary
 // size n into a circular convolution of size M ≥ 2n-1 that the fast kernels
@@ -58,6 +61,47 @@ func convCost(m, o int) float64 {
 	}
 	perPoint += 24000 / float64(m) // fixed recursive-engine overhead, amortized
 	return float64(m) * perPoint
+}
+
+// ConvCandidates returns the legal Bluestein convolution lengths for an
+// n-point leaf — for each odd cofactor in convOdd, the smallest o·2^k ≥ 2n−1
+// — sorted ascending. This is exactly the candidate set convLen scores,
+// exported so the autotuner measures the same ladder the heuristic ranks and
+// the two cannot drift.
+func ConvCandidates(n int) []int {
+	need := 2*n - 1
+	out := make([]int, 0, len(convOdd))
+	for _, o := range convOdd {
+		m := o
+		for m < need {
+			m <<= 1
+		}
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BluesteinLeaf returns the Bluestein leaf size a plan for n will carry (the
+// remainder after every generic radix stage), or 0 when n factors entirely
+// into radices the recursive engine handles — the key the convolution-length
+// knob is tuned and remembered under.
+func BluesteinLeaf(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for n%2 == 0 {
+		n /= 2
+	}
+	for f := 3; f <= maxGenericRadix; f += 2 {
+		for n%f == 0 {
+			n /= f
+		}
+	}
+	if n > 1 {
+		return n
+	}
+	return 0
 }
 
 // convLen picks the convolution length for a Bluestein leaf of size n: the

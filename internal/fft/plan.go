@@ -125,31 +125,56 @@ func NewPlan(n int, sign Sign) (*Plan, error) {
 // so benchmarks and cross-kernel tests can pit the two engines against each
 // other on the same binary.
 func NewPlanKernel(n int, sign Sign, kernel Kernel) (*Plan, error) {
+	return NewPlanConfig(n, sign, PlanConfig{Kernel: kernel})
+}
+
+// PlanConfig carries the plan-time knobs the autotuner (internal/tune) can
+// set. The zero value reproduces NewPlan exactly — KernelAuto, heuristic
+// Bluestein convolution lengths — so untuned plans stay bit-identical.
+type PlanConfig struct {
+	// Kernel forces the execution engine; KernelAuto keeps the planner's
+	// choice (flat for powers of two).
+	Kernel Kernel
+	// ConvLen, when non-nil, chooses the Bluestein convolution length for a
+	// leaf of the given size; a return ≤ 0 defers to the convCost heuristic,
+	// anything else must satisfy m ≥ 2·leaf−1 (enforced at plan build).
+	ConvLen func(leaf int) int
+}
+
+// NewPlanConfig is NewPlan with explicit knob settings; see PlanConfig.
+func NewPlanConfig(n int, sign Sign, cfg PlanConfig) (*Plan, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fft: size must be positive, got %d", n)
 	}
 	if sign != Forward && sign != Inverse {
 		return nil, fmt.Errorf("fft: sign must be Forward or Inverse, got %d", sign)
 	}
-	switch kernel {
+	switch cfg.Kernel {
 	case KernelAuto, KernelRecursive:
 	case KernelFlat:
 		if !isPow2(n) {
 			return nil, fmt.Errorf("fft: the flat kernel needs a power-of-two size, got %d", n)
 		}
 	default:
-		return nil, fmt.Errorf("fft: unknown kernel %d", int(kernel))
+		return nil, fmt.Errorf("fft: unknown kernel %d", int(cfg.Kernel))
 	}
 	p := &Plan{n: n, sign: sign}
 	p.factorize()
-	if kernel != KernelRecursive && isPow2(n) {
+	if cfg.Kernel != KernelRecursive && isPow2(n) {
 		// Flat path: the recursive per-level twiddle tables are never read,
 		// so only the factorization (cheap, kept for Factors()) is built.
 		p.flat = flatStateFor(n, sign)
 	} else {
 		p.buildTwiddles()
 		if leaf := p.sizes[len(p.factors)]; leaf > 1 {
-			b, err := newBluestein(leaf, sign, convLen(leaf))
+			m := 0
+			if cfg.ConvLen != nil {
+				m = cfg.ConvLen(leaf)
+			}
+			if m <= 0 {
+				m = convLen(leaf)
+			}
+			b, err := newBluestein(leaf, sign, m)
 			if err != nil {
 				return nil, err
 			}

@@ -597,6 +597,73 @@ func runRankBody(body func(c *Comm) error, c *Comm) (err error) {
 	return body(c)
 }
 
+// Lane is a reusable launch slot for a serve loop that re-runs the same rank
+// fan-out round after round: the executor gang and every rank-body closure
+// are prebuilt at construction, so a steady-state Launch/Wait round allocates
+// nothing (PR 9's per-round Launch burned a gang, closures, and a watcher
+// goroutine per epoch). A Lane is single-flight: Launch must not be called
+// again until Wait returns. Lanes do not watch a context — serve loops that
+// need cancellation install one WatchContext for the whole loop instead of
+// one watcher per round.
+type Lane struct {
+	fg *exec.FixedGang
+}
+
+// NewLane prebuilds a reusable fan-out of body over this world's local ranks
+// on ex (nil means exec.Default()). As with Launch, a rank body that fails or
+// panics poisons the world so its peers unwind.
+func (w *World) NewLane(ex *exec.Pool, body func(c *Comm) error) *Lane {
+	if ex == nil {
+		ex = exec.Default()
+	}
+	return &Lane{fg: ex.NewFixedGang(len(w.local), func(i int) error {
+		err := runRankBody(body, w.endpoints[w.local[i]])
+		if err != nil {
+			w.Abort(err)
+		}
+		return err
+	})}
+}
+
+// Launch starts one round on a pre-admitted reservation, which must have been
+// made on the lane's pool for this world's local rank count. It never blocks;
+// join the round with Wait.
+func (ln *Lane) Launch(res *exec.Reservation) { ln.fg.LaunchReserved(res) }
+
+// Wait joins the in-flight round and returns the lowest-rank error; the
+// world's AbortCause usually carries the root failure when peers report abort
+// echoes. The lane is reusable once Wait returns.
+func (ln *Lane) Wait() error { return ln.fg.Wait() }
+
+// WatchContext converts a cancellation of ctx into the world's poison-pill
+// abort for as long as the watch is installed — the per-Launch watcher
+// hoisted to once per serve loop. The returned stop func halts and joins the
+// watcher (idempotent); call it before reusing the world under a different
+// context, so a late cancel cannot poison a later round.
+func (w *World) WatchContext(ctx context.Context) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-done:
+			w.Abort(ctx.Err())
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-finished
+		})
+	}
+}
+
 // Wait joins the rank group and stops the cancellation watcher (joining it
 // too, so a late cancel cannot poison a world after its reuse). It returns
 // the lowest-rank error; the world's AbortCause usually carries the root

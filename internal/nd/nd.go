@@ -46,20 +46,30 @@ type Config struct {
 	// MaxPooled workspaces once it drains.
 	MaxPooled int
 	// TileElems overrides the tile working-set target in complex128
-	// elements (0 means defaultTileElems). Tests use it to force multi-tile
-	// schedules on small shapes.
+	// elements (0 means DefaultTileElems). Tests use it to force multi-tile
+	// schedules on small shapes; the autotuner sweeps TileLadder.
 	TileElems int
 }
 
 // DefaultMaxPooled is the default per-call context freelist cap.
 const DefaultMaxPooled = 4
 
-// defaultTileElems is the tile working-set target: 1<<12 complex128 = 64
+// DefaultTileElems is the tile working-set target: 1<<12 complex128 = 64
 // KiB, sized to sit comfortably inside L2 (and close to L1) so the cache
 // lines of one tile survive all of a protected scheme's passes over its
 // strided lines — the checksum sweeps re-read each line several times, and
-// oversized tiles measurably lose that reuse (see BenchmarkTileSize).
-const defaultTileElems = 1 << 12
+// oversized tiles measurably lose that reuse. The value was picked by
+// BenchmarkTileSize on one host; measured tuning sweeps the same TileLadder
+// per shape instead of trusting this constant.
+const DefaultTileElems = 1 << 12
+
+// TileLadder returns the TileElems candidates the autotuner measures — the
+// L1/L2-scaled ladder BenchmarkTileSize sweeps (32 KiB … 1 MiB working sets
+// around the DefaultTileElems pick), shared so the benchmark, the default,
+// and the tuner cannot drift apart.
+func TileLadder() []int {
+	return []int{1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 16}
+}
 
 // pass is one planned axis pass. Lines along axis a are indexed by
 // (outer, t): the line's first element sits at outer·length·inner + t, and
@@ -136,7 +146,7 @@ func New(dims []int, cfg Config) (*Plan, error) {
 	}
 	tileElems := cfg.TileElems
 	if tileElems <= 0 {
-		tileElems = defaultTileElems
+		tileElems = DefaultTileElems
 	}
 	p := &Plan{
 		dims:      append([]int(nil), dims...),
@@ -164,19 +174,16 @@ func New(dims []int, cfg Config) (*Plan, error) {
 			p.lens = append(p.lens, length)
 			p.maxLen = max(p.maxLen, length)
 		}
-		block := max(1, tileElems/length)
-		block = min(block, inner)
 		p.passes = append(p.passes, pass{
 			length: length,
 			lenIdx: li,
 			stride: inner,
 			outer:  n / (length * inner),
 			inner:  inner,
-			block:  block,
-			tiles:  (inner + block - 1) / block,
 		})
 		inner *= length
 	}
+	p.Retile(tileElems)
 	// Build the first context eagerly: it validates every axis length
 	// against the protection scheme and pre-warms the pool.
 	cc, err := p.newCtx()
@@ -185,6 +192,25 @@ func New(dims []int, cfg Config) (*Plan, error) {
 	}
 	p.free = append(p.free, cc)
 	return p, nil
+}
+
+// Retile recomputes every pass's cache blocking for a new tile working-set
+// target (≤ 0 means DefaultTileElems). Blocking only groups independent
+// lines — it never changes any line's arithmetic — so outputs are
+// bit-identical across tile sizes; the autotuner exploits that to sweep
+// TileLadder on the finished plan at build time. Not safe to call
+// concurrently with transforms.
+func (p *Plan) Retile(tileElems int) {
+	if tileElems <= 0 {
+		tileElems = DefaultTileElems
+	}
+	for i := range p.passes {
+		ps := &p.passes[i]
+		block := max(1, tileElems/ps.length)
+		block = min(block, ps.inner)
+		ps.block = block
+		ps.tiles = (ps.inner + block - 1) / block
+	}
 }
 
 // Dims returns a copy of the planned shape.

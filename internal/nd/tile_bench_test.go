@@ -8,7 +8,10 @@ import (
 
 // BenchmarkTileSize probes the column-pass tile budget on a 512×512 grid:
 // the protected schemes make several passes over each strided line, so the
-// sweet spot is where one tile's cache lines survive all of them.
+// sweet spot is where one tile's cache lines survive all of them. The swept
+// sizes are exactly TileLadder() — the candidates the autotuner measures and
+// the set DefaultTileElems was picked from — plus the degenerate tile=1
+// (per-line dispatch) as the no-blocking baseline.
 func BenchmarkTileSize(b *testing.B) {
 	const rows, cols = 512, 512
 	for _, cfg := range []struct {
@@ -18,7 +21,7 @@ func BenchmarkTileSize(b *testing.B) {
 		{"plain", core.Config{Scheme: core.Plain}},
 		{"online-mem", core.Config{Scheme: core.Online, Variant: core.Optimized, MemoryFT: true}},
 	} {
-		for _, tile := range []int{1, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 16} {
+		for _, tile := range append([]int{1}, TileLadder()...) {
 			b.Run(cfg.name+"/"+itoa(tile), func(b *testing.B) {
 				p, err := New([]int{rows, cols}, Config{Core: cfg.core, TileElems: tile})
 				if err != nil {

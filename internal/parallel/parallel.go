@@ -447,6 +447,10 @@ func (pl *Plan) Serve(ctx context.Context) error {
 		turns[i] = make(chan struct{}, 1)
 	}
 	turns[0] <- struct{}{} // epoch 0 reserves first
+	// One cancellation watcher for the whole serve loop: the lanes share one
+	// world and one ctx, so per-round watchers (PR 9) were pure allocation.
+	stopWatch := lanes[0].world.WatchContext(ctx)
+	defer stopWatch()
 	var wg sync.WaitGroup
 	errs := make([]error, len(lanes))
 	for s, ec := range lanes {
@@ -482,6 +486,15 @@ func (pl *Plan) Serve(ctx context.Context) error {
 // exit path below has closed the world or canceled ctx, and the peers select
 // on both.
 func (pl *Plan) serveLane(ctx context.Context, ec *execCtx, epoch, stride uint32, turn, next chan struct{}) error {
+	// The lane's rank fan-out is identical every round, so the gang and every
+	// rank-body closure are prebuilt once here and the round loop below runs
+	// allocation-free: reservation into a stack slot, prebuilt launch, wait.
+	// Cancellation unwinds through Serve's world-level WatchContext.
+	lane := ec.world.NewLane(pl.ex, func(c *mpi.Comm) error {
+		_, err := pl.rankBody(ctx, ec.ranks[c.Rank()], nil, nil)
+		return err
+	})
+	var res exec.Reservation
 	for {
 		select {
 		case <-turn:
@@ -493,8 +506,7 @@ func (pl *Plan) serveLane(ctx context.Context, ec *execCtx, epoch, stride uint32
 			}
 			return nil
 		}
-		res, err := pl.ex.Reserve(ctx, pl.gang)
-		if err != nil {
+		if err := pl.ex.ReserveInto(ctx, pl.gang, &res); err != nil {
 			return err
 		}
 		next <- struct{}{}
@@ -502,11 +514,8 @@ func (pl *Plan) serveLane(ctx context.Context, ec *execCtx, epoch, stride uint32
 			ec.ranks[r].comm.SetEpoch(epoch)
 		}
 		ec.world.EpochBegin()
-		l := ec.world.LaunchReserved(ctx, res, func(c *mpi.Comm) error {
-			_, err := pl.rankBody(ctx, ec.ranks[c.Rank()], nil, nil)
-			return err
-		})
-		err = l.Wait()
+		lane.Launch(&res)
+		err := lane.Wait()
 		ec.world.EpochEnd()
 		if err != nil {
 			if errors.Is(err, mpi.ErrShutdown) {

@@ -24,12 +24,15 @@ import (
 
 // planKey is the cache identity: every field that changes the built plan or
 // the wire checksum algebra. The dims array is fixed-size so the key is
-// comparable without allocation.
+// comparable without allocation. epoch is the Config.PlanEpoch sample at
+// lookup time (0 without one): a wisdom import changes what a freshly built
+// plan would choose, so plans from different epochs must not share an entry.
 type planKey struct {
-	n    int
-	dims [mpi.MaxServeDims]int32
-	prot byte
-	real bool
+	n     int
+	dims  [mpi.MaxServeDims]int32
+	epoch uint64
+	prot  byte
+	real  bool
 }
 
 // scratch is one request's output buffers, recycled through the owning

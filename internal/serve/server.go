@@ -73,6 +73,13 @@ type Config struct {
 	// NewReal builds a real-input plan for n samples (n even).
 	NewReal func(n int, protection byte) (RealTransformer, error)
 
+	// PlanEpoch, when non-nil, is sampled per request and folded into the
+	// plan-cache key. The public package injects the wisdom epoch here:
+	// importing or forgetting tuning wisdom bumps it, so plans built under
+	// old wisdom age out of rotation instead of being served alongside
+	// plans that made different tuned choices.
+	PlanEpoch func() uint64
+
 	// PlanCache bounds the number of cached plans (default 64).
 	PlanCache int
 	// MaxInFlight bounds concurrently executing requests (default
@@ -338,9 +345,13 @@ func (e *planEntry) respWeights(op mpi.ServeOp) []complex128 {
 	}
 }
 
-// keyOf builds the cache key for a validated request.
-func keyOf(req *mpi.ServeRequest) planKey {
+// keyOf builds the cache key for a validated request, stamping the current
+// plan epoch so wisdom changes rotate cached plans out.
+func (s *Server) keyOf(req *mpi.ServeRequest) planKey {
 	key := planKey{n: req.N, prot: req.Protection}
+	if s.cfg.PlanEpoch != nil {
+		key.epoch = s.cfg.PlanEpoch()
+	}
 	switch req.Op {
 	case mpi.OpRealForward, mpi.OpRealInverse:
 		key.real = true
@@ -433,7 +444,7 @@ func (s *Server) execute(ctx context.Context, req *mpi.ServeRequest, cur checksu
 	if err := s.validate(req); err != nil {
 		return fail(err)
 	}
-	key := keyOf(req)
+	key := s.keyOf(req)
 	e, err := s.cache.get(key, func() (*planEntry, error) { return s.build(req, key) })
 	if err != nil {
 		return fail(fmt.Errorf("serve: building plan: %w", err))

@@ -1,0 +1,35 @@
+package tune
+
+import (
+	"fmt"
+	"testing"
+
+	"ftfft/internal/fft"
+)
+
+// BenchmarkConv4099 times a pure-Bluestein 4099-point transform at every
+// legal convolution length — the exact ladder MeasureConv sweeps
+// (fft.ConvCandidates, shared with the convCost heuristic). One
+// sub-benchmark per candidate makes the heuristic's miss visible in the
+// dated JSON trajectory next to the tuner's measured winner.
+func BenchmarkConv4099(b *testing.B) {
+	const leaf = 4099
+	src := make([]complex128, leaf)
+	for i := range src {
+		src[i] = complex(float64(i%17)-8, float64(i%13)-6)
+	}
+	dst := make([]complex128, leaf)
+	for _, m := range fft.ConvCandidates(leaf) {
+		m := m
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			p, err := fft.NewPlanConfig(leaf, fft.Forward, fft.PlanConfig{ConvLen: func(int) int { return m }})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Execute(dst, src)
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+// Package tune is the plan-time autotuner: the FFTW-style measured planner
+// beneath the public WithTuning option. Every performance-critical choice a
+// plan makes — flat vs recursive kernel, Bluestein convolution length, nd
+// tile size, ForwardBatch epoch window — is a knob with a small legal
+// candidate set; under measured tuning the plan builder times the candidates
+// on the host and the winner is remembered in a process-wide bounded wisdom
+// table, exportable as a versioned checksummed byte blob so a fleet tunes
+// once on a canary and ships the file.
+//
+// Determinism contract: wisdom stores *choices*, not timings. Two plans
+// built from the same wisdom table make identical choices and therefore
+// produce bit-identical outputs — measurement noise can change which
+// candidate wins on a given run, never what a recorded winner computes.
+// Estimate-mode plans ignore wisdom entirely, so the default heuristics stay
+// bit-identical to their pre-tuning behavior.
+package tune
+
+import "sync"
+
+// Mode is the planner's tuning policy.
+type Mode uint8
+
+const (
+	// Estimate keeps the analytic heuristics and ignores wisdom entirely —
+	// the default, bit-identical to untuned behavior.
+	Estimate Mode = iota
+	// Measured times the legal candidates for each knob at plan build and
+	// records the winners as wisdom; subsequent builds hit the table.
+	Measured
+	// Wisdom consults the table but never measures on a miss (falling back
+	// to the heuristics) — the serve-side policy: a service applies imported
+	// wisdom deterministically without pausing a request to benchmark.
+	Wisdom
+)
+
+// Knob identifies one tunable plan choice.
+type Knob uint8
+
+const (
+	// KnobKernel is the fft engine choice (flat vs recursive) for the
+	// sub-FFT plans; value is the fft.Kernel constant (1 flat, 2 recursive).
+	KnobKernel Knob = 1 + iota
+	// KnobConv is the Bluestein convolution length, keyed by leaf size
+	// (an engine property: every plan sharing the leaf shares the choice);
+	// value is the chosen length m ≥ 2·leaf−1.
+	KnobConv
+	// KnobTile is the nd cache-tile working set in complex128 elements,
+	// keyed by the transform shape; value is the TileElems choice.
+	KnobTile
+	// KnobWindow is the ForwardBatch epoch-pipelining window for parallel
+	// plans; value is the window depth (1, 2 or 4).
+	KnobWindow
+
+	knobEnd // one past the last valid knob
+)
+
+// MaxDims bounds the dims a wisdom key can carry, matching the serve wire's
+// dimension cap (mpi.MaxServeDims); higher-rank shapes simply go untuned.
+const MaxDims = 8
+
+// Key identifies one knob instance: the knob plus the plan geometry it was
+// measured under. The zero Dims array means a 1-D (or shape-free) key.
+type Key struct {
+	Knob   Knob
+	Real   bool
+	Scheme uint8 // protection scheme ordinal; 0 for engine-level knobs
+	N      int64
+	Dims   [MaxDims]int32
+}
+
+// KeyFor assembles a wisdom key, folding a dims slice into the fixed array.
+// ok is false when the shape has more than MaxDims axes — such plans go
+// untuned rather than aliasing another key.
+func KeyFor(knob Knob, n int, dims []int, scheme uint8, real bool) (k Key, ok bool) {
+	if len(dims) > MaxDims {
+		return Key{}, false
+	}
+	k = Key{Knob: knob, Real: real, Scheme: scheme, N: int64(n)}
+	for i, d := range dims {
+		k.Dims[i] = int32(d)
+	}
+	return k, true
+}
+
+// keyLess is the canonical wisdom ordering: the order Export writes and
+// Import demands, making the wire encoding of any accepted table unique.
+func keyLess(a, b Key) bool {
+	if a.Knob != b.Knob {
+		return a.Knob < b.Knob
+	}
+	if a.Real != b.Real {
+		return !a.Real
+	}
+	if a.Scheme != b.Scheme {
+		return a.Scheme < b.Scheme
+	}
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return a.Dims[i] < b.Dims[i]
+		}
+	}
+	return false
+}
+
+// DefaultCap is the wisdom table's entry cap: far above any realistic plan
+// mix (a few knobs per distinct geometry) while bounding a pathological
+// caller the way the fft kernel cache bounds plan tables.
+const DefaultCap = 512
+
+// Table is a bounded wisdom table. The zero value is not usable; use
+// NewTable. All methods are safe for concurrent use.
+type Table struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[Key]int64
+	order []Key // insertion order, for FIFO eviction past cap
+	epoch uint64
+}
+
+// NewTable creates a wisdom table holding at most cap entries (values < 1
+// get DefaultCap).
+func NewTable(cap int) *Table {
+	if cap < 1 {
+		cap = DefaultCap
+	}
+	return &Table{cap: cap, m: make(map[Key]int64)}
+}
+
+// Lookup returns the recorded choice for k.
+func (t *Table) Lookup(k Key) (int64, bool) {
+	t.mu.Lock()
+	v, ok := t.m[k]
+	t.mu.Unlock()
+	return v, ok
+}
+
+// Record stores a measured winner. Values ≤ 0 are ignored (no knob has a
+// non-positive choice). When the table is full the oldest entry is evicted,
+// mirroring the fft kernel cache's bound.
+func (t *Table) Record(k Key, v int64) {
+	if v <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if _, exists := t.m[k]; !exists {
+		if len(t.order) >= t.cap {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.m, oldest)
+		}
+		t.order = append(t.order, k)
+	}
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+// Len reports the current entry count.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Epoch returns the table's import generation. Plan caches keyed on it
+// cannot serve a plan tuned under different wisdom: Import and Forget bump
+// the epoch, Record does not (local measurement refines, it cannot conflict
+// with a cached plan's own build-time choices).
+func (t *Table) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Forget clears the table and bumps the epoch.
+func (t *Table) Forget() {
+	t.mu.Lock()
+	t.m = make(map[Key]int64)
+	t.order = nil
+	t.epoch++
+	t.mu.Unlock()
+}
+
+// global is the process-wide table behind the public ftfft wisdom API.
+var global = NewTable(DefaultCap)
+
+// Lookup consults the process-wide table.
+func Lookup(k Key) (int64, bool) { return global.Lookup(k) }
+
+// Record stores into the process-wide table.
+func Record(k Key, v int64) { global.Record(k, v) }
+
+// Epoch returns the process-wide table's import generation.
+func Epoch() uint64 { return global.Epoch() }
+
+// Forget clears the process-wide table.
+func Forget() { global.Forget() }
+
+// Export serializes the process-wide table.
+func Export() []byte { return global.Export() }
+
+// Import merges a wisdom blob into the process-wide table.
+func Import(data []byte) error { return global.Import(data) }

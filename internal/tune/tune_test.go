@@ -1,0 +1,216 @@
+package tune
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ftfft/internal/fft"
+)
+
+// sampleKeys covers every knob and key shape: engine-level (no scheme, no
+// dims), scheme-keyed 1-D, real-input, and multi-dim up to the MaxDims cap.
+func sampleKeys() []Key {
+	ks := []Key{
+		{Knob: KnobKernel, N: 4096, Scheme: 2},
+		{Knob: KnobKernel, N: 4096, Scheme: 2, Real: true},
+		{Knob: KnobConv, N: 4099},
+		{Knob: KnobConv, N: 40961},
+		{Knob: KnobWindow, N: 1 << 14, Scheme: 2},
+	}
+	if k, ok := KeyFor(KnobTile, 512*512, []int{512, 512}, 1, false); ok {
+		ks = append(ks, k)
+	}
+	if k, ok := KeyFor(KnobTile, 1<<18, []int{64, 64, 64}, 2, false); ok {
+		ks = append(ks, k)
+	}
+	if k, ok := KeyFor(KnobTile, 256, []int{2, 2, 2, 2, 2, 2, 2, 2}, 0, false); ok {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestWisdomRoundTrip is the export∘import identity property: a table's
+// entries survive the wire byte-exactly across every key shape, and the
+// re-export of an imported blob reproduces it bit for bit.
+func TestWisdomRoundTrip(t *testing.T) {
+	src := NewTable(0)
+	for i, k := range sampleKeys() {
+		src.Record(k, int64(1000+i))
+	}
+	blob := src.Export()
+
+	dst := NewTable(0)
+	if err := dst.Import(blob); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("imported %d entries, want %d", dst.Len(), src.Len())
+	}
+	for i, k := range sampleKeys() {
+		v, ok := dst.Lookup(k)
+		if !ok || v != int64(1000+i) {
+			t.Fatalf("key %+v: got (%d, %v), want (%d, true)", k, v, ok, 1000+i)
+		}
+	}
+	if again := dst.Export(); !bytes.Equal(again, blob) {
+		t.Fatalf("re-export differs: %d bytes vs %d", len(again), len(blob))
+	}
+}
+
+// TestWisdomKeyForOverflow pins that shapes beyond MaxDims go untuned
+// instead of aliasing a truncated key.
+func TestWisdomKeyForOverflow(t *testing.T) {
+	dims := make([]int, MaxDims+1)
+	for i := range dims {
+		dims[i] = 2
+	}
+	if _, ok := KeyFor(KnobTile, 1<<(MaxDims+1), dims, 0, false); ok {
+		t.Fatal("KeyFor accepted a shape beyond MaxDims")
+	}
+}
+
+// TestWisdomImportRejects pins the reject paths: corrupted checksum, bad
+// magic, truncation, non-canonical order, trailing bytes.
+func TestWisdomImportRejects(t *testing.T) {
+	src := NewTable(0)
+	for i, k := range sampleKeys() {
+		src.Record(k, int64(1+i))
+	}
+	blob := src.Export()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:10],
+		"truncated": blob[:len(blob)-9],
+		"trailing":  append(append([]byte{}, blob...), 0),
+	}
+	flipped := append([]byte{}, blob...)
+	flipped[len(flipped)/2] ^= 1
+	cases["bitflip"] = flipped
+	badMagic := append([]byte{}, blob...)
+	badMagic[0] ^= 0xff
+	cases["magic"] = badMagic
+	for name, data := range cases {
+		if err := NewTable(0).Import(data); err == nil {
+			t.Errorf("%s: Import accepted a malformed blob", name)
+		}
+	}
+}
+
+// TestWisdomEpoch pins the epoch contract: Import and Forget bump it,
+// Record does not — serve plan caches keyed on the epoch must not churn
+// under local measurement, only under wisdom changes.
+func TestWisdomEpoch(t *testing.T) {
+	tb := NewTable(0)
+	e0 := tb.Epoch()
+	tb.Record(Key{Knob: KnobConv, N: 4099}, 16384)
+	if tb.Epoch() != e0 {
+		t.Fatal("Record bumped the epoch")
+	}
+	blob := tb.Export()
+	if err := tb.Import(blob); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Epoch() != e0+1 {
+		t.Fatalf("Import epoch: got %d, want %d", tb.Epoch(), e0+1)
+	}
+	tb.Forget()
+	if tb.Epoch() != e0+2 {
+		t.Fatalf("Forget epoch: got %d, want %d", tb.Epoch(), e0+2)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("Forget left entries behind")
+	}
+}
+
+// TestWisdomTableBounded mirrors the fft kernel-cache eviction tests: the
+// table never exceeds its cap, the oldest entry is evicted first, and an
+// oversized import is rejected whole.
+func TestWisdomTableBounded(t *testing.T) {
+	const cap = 8
+	tb := NewTable(cap)
+	for i := 0; i < 3*cap; i++ {
+		tb.Record(Key{Knob: KnobConv, N: int64(100 + i)}, int64(1+i))
+		if tb.Len() > cap {
+			t.Fatalf("table grew to %d entries, cap %d", tb.Len(), cap)
+		}
+	}
+	if tb.Len() != cap {
+		t.Fatalf("table holds %d entries, want %d", tb.Len(), cap)
+	}
+	if _, ok := tb.Lookup(Key{Knob: KnobConv, N: 100}); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := tb.Lookup(Key{Knob: KnobConv, N: int64(100 + 3*cap - 1)}); !ok {
+		t.Fatal("newest entry missing")
+	}
+
+	big := NewTable(0)
+	for i := 0; i < cap+1; i++ {
+		big.Record(Key{Knob: KnobConv, N: int64(100 + i)}, 1)
+	}
+	if err := tb.Import(big.Export()); err == nil {
+		t.Fatal("Import accepted a blob larger than the table cap")
+	}
+}
+
+// TestMeasureConvLegal pins that the measured winner is always a legal
+// candidate (m ≥ 2·leaf−1 from the shared ladder) and that non-Bluestein
+// sizes are refused — the tuner can pick a different winner than the
+// heuristic but never an illegal one.
+func TestMeasureConvLegal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timing sweeps")
+	}
+	const leaf = 4099
+	m := MeasureConv(leaf)
+	if m == 0 {
+		t.Fatal("MeasureConv(4099) returned nothing")
+	}
+	legal := false
+	for _, c := range fft.ConvCandidates(leaf) {
+		if c == m {
+			legal = true
+		}
+	}
+	if !legal {
+		t.Fatalf("winner %d is not in ConvCandidates(%d) = %v", m, leaf, fft.ConvCandidates(leaf))
+	}
+	if m < 2*leaf-1 {
+		t.Fatalf("winner %d < 2n-1 = %d", m, 2*leaf-1)
+	}
+	for _, n := range []int{16, 1024, 3 * 1024} {
+		if got := MeasureConv(n); got != 0 {
+			t.Errorf("MeasureConv(%d) = %d, want 0 (no Bluestein leaf)", n, got)
+		}
+	}
+}
+
+// TestItersDeterministic pins that measurement work depends only on n.
+func TestItersDeterministic(t *testing.T) {
+	for _, n := range []int{1, 64, 4099, 1 << 14, 1 << 22} {
+		a, b := Iters(n), Iters(n)
+		if a != b || a < 1 {
+			t.Fatalf("Iters(%d): %d then %d", n, a, b)
+		}
+	}
+	if Iters(16) != 64 {
+		t.Fatalf("small-n iteration cap: got %d, want 64", Iters(16))
+	}
+	if Iters(1<<30) != 3 {
+		t.Fatalf("large-n iteration floor: got %d, want 3", Iters(1<<30))
+	}
+}
+
+func ExampleTable() {
+	tb := NewTable(0)
+	k, _ := KeyFor(KnobConv, 4099, nil, 0, false)
+	tb.Record(k, 16384)
+	blob := tb.Export()
+
+	fresh := NewTable(0)
+	_ = fresh.Import(blob)
+	v, ok := fresh.Lookup(k)
+	fmt.Println(v, ok)
+	// Output: 16384 true
+}

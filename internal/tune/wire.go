@@ -1,0 +1,163 @@
+package tune
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Wisdom wire format (little-endian), versioned and checksummed like the
+// serve wire's frames:
+//
+//	magic   [4]byte  "FTWS"
+//	version uint16   (currently 1)
+//	count   uint32   entries that follow, ≤ the table cap
+//	entry × count:
+//	    knob   uint8   KnobKernel..KnobWindow
+//	    flags  uint8   bit0 = real-input plan; other bits reserved (zero)
+//	    scheme uint8   protection scheme ordinal
+//	    ndims  uint8   encoded dims (trailing zero dims trimmed), ≤ MaxDims
+//	    n      uint64  transform size / leaf size (≥ 1)
+//	    dims   uint32 × ndims (each ≥ 1; dims[ndims-1] ≠ 0 — canonical)
+//	    value  uint64  the recorded choice (≥ 1)
+//	checksum uint64   FNV-64a of every preceding byte
+//
+// Entries are sorted in the canonical key order and must be strictly
+// increasing, so every accepted blob has exactly one byte representation:
+// importing it into a fresh table and re-exporting reproduces the input
+// bit for bit (the FuzzWisdomDecode contract, mirroring FuzzFrameDecode).
+const (
+	wisdomVersion = 1
+	flagReal      = 1 << 0
+)
+
+var wisdomMagic = [4]byte{'F', 'T', 'W', 'S'}
+
+// Export serializes the table's entries in canonical order.
+func (t *Table) Export() []byte {
+	t.mu.Lock()
+	keys := make([]Key, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	vals := make([]int64, len(keys))
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for i, k := range keys {
+		vals[i] = t.m[k]
+	}
+	t.mu.Unlock()
+
+	buf := make([]byte, 0, 10+len(keys)*(12+4*MaxDims+8))
+	buf = append(buf, wisdomMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, wisdomVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for i, k := range keys {
+		ndims := MaxDims
+		for ndims > 0 && k.Dims[ndims-1] == 0 {
+			ndims--
+		}
+		flags := byte(0)
+		if k.Real {
+			flags |= flagReal
+		}
+		buf = append(buf, byte(k.Knob), flags, k.Scheme, byte(ndims))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k.N))
+		for d := 0; d < ndims; d++ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(k.Dims[d]))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(vals[i]))
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// Import validates a wisdom blob and merges its entries into the table,
+// bumping the epoch so plan caches keyed on it cannot mix plans tuned under
+// different wisdom. A malformed blob is rejected whole — no partial merge.
+func (t *Table) Import(data []byte) error {
+	const header = 4 + 2 + 4
+	if len(data) < header+8 {
+		return fmt.Errorf("tune: wisdom blob too short (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return fmt.Errorf("tune: wisdom checksum mismatch")
+	}
+	if [4]byte(body[:4]) != wisdomMagic {
+		return fmt.Errorf("tune: bad wisdom magic")
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != wisdomVersion {
+		return fmt.Errorf("tune: unsupported wisdom version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(body[6:])
+	if int(count) > t.cap {
+		return fmt.Errorf("tune: wisdom blob holds %d entries, table cap is %d", count, t.cap)
+	}
+	off := header
+	keys := make([]Key, 0, count)
+	vals := make([]int64, 0, count)
+	for e := uint32(0); e < count; e++ {
+		if len(body)-off < 12 {
+			return fmt.Errorf("tune: wisdom entry %d truncated", e)
+		}
+		knob, flags, scheme, ndims := Knob(body[off]), body[off+1], body[off+2], int(body[off+3])
+		n := int64(binary.LittleEndian.Uint64(body[off+4:]))
+		off += 12
+		if knob < KnobKernel || knob >= knobEnd {
+			return fmt.Errorf("tune: wisdom entry %d: unknown knob %d", e, knob)
+		}
+		if flags&^byte(flagReal) != 0 {
+			return fmt.Errorf("tune: wisdom entry %d: reserved flag bits set", e)
+		}
+		if ndims > MaxDims {
+			return fmt.Errorf("tune: wisdom entry %d: %d dims exceeds %d", e, ndims, MaxDims)
+		}
+		if n < 1 {
+			return fmt.Errorf("tune: wisdom entry %d: invalid size %d", e, n)
+		}
+		if len(body)-off < 4*ndims+8 {
+			return fmt.Errorf("tune: wisdom entry %d truncated", e)
+		}
+		k := Key{Knob: knob, Real: flags&flagReal != 0, Scheme: scheme, N: n}
+		for d := 0; d < ndims; d++ {
+			dim := int32(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+			if dim < 1 {
+				return fmt.Errorf("tune: wisdom entry %d: invalid dim %d", e, dim)
+			}
+			k.Dims[d] = dim
+		}
+		v := int64(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		if v < 1 {
+			return fmt.Errorf("tune: wisdom entry %d: invalid value %d", e, v)
+		}
+		if len(keys) > 0 && !keyLess(keys[len(keys)-1], k) {
+			return fmt.Errorf("tune: wisdom entry %d out of canonical order", e)
+		}
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	if off != len(body) {
+		return fmt.Errorf("tune: %d trailing bytes after wisdom entries", len(body)-off)
+	}
+	t.mu.Lock()
+	for i, k := range keys {
+		if _, exists := t.m[k]; !exists {
+			if len(t.order) >= t.cap {
+				oldest := t.order[0]
+				t.order = t.order[1:]
+				delete(t.m, oldest)
+			}
+			t.order = append(t.order, k)
+		}
+		t.m[k] = vals[i]
+	}
+	t.epoch++
+	t.mu.Unlock()
+	return nil
+}

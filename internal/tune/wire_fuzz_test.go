@@ -1,0 +1,39 @@
+package tune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWisdomDecode is the wisdom decoder's robustness contract, mirroring
+// the serve wire's FuzzFrameDecode: arbitrary bytes never panic the
+// importer, and any blob it accepts is canonical — importing it into a
+// fresh table and re-exporting reproduces the input bit for bit.
+func FuzzWisdomDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FTWS"))
+	empty := NewTable(0)
+	f.Add(empty.Export())
+	seeded := NewTable(0)
+	for i, k := range sampleKeys() {
+		seeded.Record(k, int64(1+i))
+	}
+	f.Add(seeded.Export())
+	// A deliberately near-miss blob: valid prefix, flipped tail.
+	blob := seeded.Export()
+	if len(blob) > 4 {
+		blob[len(blob)-4] ^= 0x40
+	}
+	f.Add(blob)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable(0)
+		if err := tb.Import(data); err != nil {
+			return // rejected is always fine; not panicking is the contract
+		}
+		again := tb.Export()
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted blob is not canonical: %d bytes in, %d bytes re-encoded", len(data), len(again))
+		}
+	})
+}

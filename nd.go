@@ -46,6 +46,7 @@ func newNDTransform(c config) (*ndTransform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ftfft: %w", err)
 	}
+	applyTileTuning(pl, &c)
 	return &ndTransform{
 		dims:    pl.Dims(),
 		n:       pl.Len(),

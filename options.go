@@ -25,6 +25,8 @@ type config struct {
 	executorSet bool
 	transport   mpi.Transport // WithTransport; nil means per-plan in-process wire
 	noPeerMesh  bool          // WithoutPeerMesh; ServeWorker-only
+	tuning      TuningMode    // WithTuning; TuneEstimate means heuristics
+	batchWindow int           // WithBatchWindow; 0 means auto
 
 	// pool is the resolved executor every layer dispatches on, filled in by
 	// New; nil (the deprecated-shim path) falls back to exec.Default().
@@ -81,4 +83,25 @@ func WithEtaScale(s float64) Option {
 // transform is declared uncorrectable; 0 means 3.
 func WithMaxRetries(n int) Option {
 	return func(c *config) { c.maxRetries = n }
+}
+
+// WithTuning selects the plan-time tuning policy (default TuneEstimate).
+// Under TuneMeasured, New and NewReal time the legal candidates for each
+// tunable plan choice on this host at plan build — kernel engine, Bluestein
+// convolution length, nd tile size, ForwardBatch epoch window — and record
+// the winners in the process-wide wisdom table (ExportWisdom/ImportWisdom);
+// later builds of the same geometry hit the table instead of re-measuring.
+// All measurement is confined to plan build: steady-state execution keeps
+// its allocation and determinism contracts either way.
+func WithTuning(m TuningMode) Option {
+	return func(c *config) { c.tuning = m }
+}
+
+// WithBatchWindow pins a parallel plan's ForwardBatch epoch-pipelining
+// window to k in-flight items (1 ≤ k ≤ 4); 0 (the default) keeps the
+// automatic choice — the executor-budget heuristic, or the measured winner
+// under WithTuning(TuneMeasured). Non-parallel New plans accept and ignore
+// it, like WithRanks(1); NewReal rejects it with the other parallel options.
+func WithBatchWindow(k int) Option {
+	return func(c *config) { c.batchWindow = k }
 }

@@ -41,6 +41,10 @@ func TestOptionValidationUniform(t *testing.T) {
 		{"dims product short", 64, []ftfft.Option{ftfft.WithDims(2, 2)}},
 		{"dims product overflow", 64, []ftfft.Option{ftfft.WithDims(1<<30, 1<<30, 1<<30)}},
 		{"dims and shape together", 64, []ftfft.Option{ftfft.WithDims(8, 8), ftfft.WithShape(8, 8)}},
+		{"unknown tuning mode", 64, []ftfft.Option{ftfft.WithTuning(ftfft.TuningMode(99))}},
+		{"negative tuning mode", 64, []ftfft.Option{ftfft.WithTuning(ftfft.TuningMode(-1))}},
+		{"negative batch window", 64, []ftfft.Option{ftfft.WithBatchWindow(-1)}},
+		{"oversized batch window", 64, []ftfft.Option{ftfft.WithBatchWindow(5)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tr, err := ftfft.New(tc.n, tc.opts...)
@@ -65,6 +69,9 @@ func TestOptionValidationUniform(t *testing.T) {
 		{"one-axis dims", []ftfft.Option{ftfft.WithDims(64)}},
 		{"multi-axis dims", []ftfft.Option{ftfft.WithDims(4, 4, 4)}},
 		{"dims with unit axes", []ftfft.Option{ftfft.WithDims(1, 64, 1)}},
+		{"zero tuning mode", []ftfft.Option{ftfft.WithTuning(ftfft.TuneEstimate)}},
+		{"zero batch window", []ftfft.Option{ftfft.WithBatchWindow(0)}},
+		{"batch window on sequential plan", []ftfft.Option{ftfft.WithBatchWindow(2)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, err := ftfft.New(64, tc.opts...); err != nil {

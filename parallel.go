@@ -17,6 +17,7 @@ type parTransform struct {
 	n, ranks int
 	prot     Protection
 	pl       *parallel.Plan
+	window   int       // pinned ForwardBatch window; 0 means heuristic
 	scratch  sync.Pool // of *[]complex128, conjugation staging for Inverse
 }
 
@@ -55,6 +56,11 @@ func newParTransform(n int, c config) (*parTransform, error) {
 		return nil, err
 	}
 	t := &parTransform{n: n, ranks: c.ranks, prot: c.protection, pl: pl}
+	if c.batchWindow > 0 {
+		t.window = clampWindow(c.batchWindow, pl)
+	} else {
+		applyWindowTuning(t, &c)
+	}
 	t.scratch.New = func() any {
 		buf := make([]complex128, n)
 		return &buf
@@ -111,12 +117,22 @@ const maxBatchWorlds = 4
 // using. A transport-backed plan pipelines through its epoch ring: up to
 // MaxInflight items ride the wire at once, each on its own epoch, with
 // reserve back-pressure (a Begin past the ring depth parks until the oldest
-// item is reaped) instead of the old clamp to window = 1.
+// item is reaped) instead of the old clamp to window = 1. WithBatchWindow or
+// a measured-tuning wisdom hit pins the window instead of the heuristic.
 func (t *parTransform) ForwardBatch(ctx context.Context, dst, src [][]complex128) (Report, error) {
 	if err := checkBatch(t.n, dst, src); err != nil {
 		return Report{}, err
 	}
-	window := min(maxBatchWorlds, t.pl.MaxInflight(), max(1, t.pl.Workers()/t.pl.Gang()))
+	window := t.window
+	if window < 1 {
+		window = min(maxBatchWorlds, t.pl.MaxInflight(), max(1, t.pl.Workers()/t.pl.Gang()))
+	}
+	return t.forwardBatchWindow(ctx, dst, src, window)
+}
+
+// forwardBatchWindow runs the pipelined batch loop at an explicit in-flight
+// window; the tuner times candidate depths through it at plan build.
+func (t *parTransform) forwardBatchWindow(ctx context.Context, dst, src [][]complex128, window int) (Report, error) {
 	type pending struct {
 		inv  *parallel.Invocation
 		item int

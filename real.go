@@ -49,8 +49,8 @@ type RealTransform interface {
 // (the two-layer decomposition runs on the inner complex transform, so
 // powers of two are ideal). Protection and tuning options compose exactly as
 // with New; geometry and parallelism options (WithDims, WithShape,
-// WithRanks, WithTransport, WithWorkers, WithExecutor) do not apply to the
-// 1-D real path and are rejected.
+// WithRanks, WithTransport, WithWorkers, WithExecutor, WithBatchWindow) do
+// not apply to the 1-D real path and are rejected.
 func NewReal(n int, opts ...Option) (RealTransform, error) {
 	var c config
 	for _, o := range opts {
@@ -68,6 +68,8 @@ func NewReal(n int, opts ...Option) (RealTransform, error) {
 		return nil, fmt.Errorf("ftfft: invalid real-transform options: WithTransport does not apply to NewReal")
 	case c.workers > 0 || c.executorSet:
 		return nil, fmt.Errorf("ftfft: invalid real-transform options: WithWorkers/WithExecutor do not apply to NewReal")
+	case c.batchWindow > 0:
+		return nil, fmt.Errorf("ftfft: invalid real-transform options: WithBatchWindow does not apply to NewReal")
 	}
 	cfg, err := c.protection.coreConfig()
 	if err != nil {
@@ -76,6 +78,7 @@ func NewReal(n int, opts ...Option) (RealTransform, error) {
 	cfg.Injector = c.injector
 	cfg.EtaScale = c.etaScale
 	cfg.MaxRetries = c.maxRetries
+	applyCoreTuning(n, &cfg, &c, true)
 	r := &realTransform{n: n, prot: c.protection, cfg: cfg}
 	// Build the first context eagerly: it validates n against the scheme.
 	rc, err := core.NewReal(n, cfg)

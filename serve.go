@@ -13,6 +13,7 @@ import (
 
 	"ftfft/internal/mpi"
 	"ftfft/internal/serve"
+	"ftfft/internal/tune"
 )
 
 // Server is a long-lived FFT service instance: it accepts client
@@ -66,9 +67,18 @@ type ServerConfig struct {
 // scheme — and cached across clients under cfg.PlanCache. Use
 // (*Server).Addr to recover the bound address and (*Server).Shutdown for a
 // graceful drain.
+//
+// Served plans follow the process-wide wisdom table (ImportWisdom) but never
+// measure: a cache miss applies any recorded tuned choices and otherwise
+// keeps the heuristics, so request latency never pays for a benchmark sweep.
+// The plan cache keys on the wisdom epoch — importing or forgetting wisdom
+// rotates cached plans out rather than mixing plans tuned under different
+// tables.
 func ListenServe(network, addr string, cfg ServerConfig) (*Server, error) {
 	tuning := func() []Option {
-		var opts []Option
+		// tuneWisdom, not the client-visible modes: apply wisdom hits,
+		// never benchmark inside a request.
+		opts := []Option{WithTuning(tuneWisdom)}
 		if cfg.Injector != nil {
 			opts = append(opts, WithInjector(cfg.Injector))
 		}
@@ -92,6 +102,7 @@ func ListenServe(network, addr string, cfg ServerConfig) (*Server, error) {
 			opts := append(tuning(), WithProtection(Protection(protection)))
 			return NewReal(n, opts...)
 		},
+		PlanEpoch:   tune.Epoch,
 		PlanCache:   cfg.PlanCache,
 		MaxInFlight: cfg.MaxInFlight,
 		MaxElems:    cfg.MaxElems,
@@ -208,6 +219,10 @@ func clientOptions(n int, opts []Option) (protection byte, dims []int, err error
 		return 0, nil, fmt.Errorf("ftfft: invalid client options: WithInjector is server-side (ServerConfig.Injector); use InjectWireFaults for wire faults")
 	case c.etaScale != 0 || c.maxRetries != 0:
 		return 0, nil, fmt.Errorf("ftfft: invalid client options: WithEtaScale/WithMaxRetries are server-side tuning (ServerConfig)")
+	case c.tuning != TuneEstimate:
+		return 0, nil, fmt.Errorf("ftfft: invalid client options: WithTuning is plan-side; tune where plans are built and ship wisdom to the server (ImportWisdom)")
+	case c.batchWindow != 0:
+		return 0, nil, fmt.Errorf("ftfft: invalid client options: WithBatchWindow configures execution, which belongs to the server")
 	}
 	if err := c.validate(n); err != nil {
 		return 0, nil, err

@@ -142,6 +142,12 @@ func (c *config) validate(n int) error {
 	if c.workers < 0 {
 		return fmt.Errorf("ftfft: invalid worker count %d", c.workers)
 	}
+	if c.tuning != TuneEstimate && c.tuning != TuneMeasured && c.tuning != tuneWisdom {
+		return fmt.Errorf("ftfft: invalid tuning mode %d", int(c.tuning))
+	}
+	if c.batchWindow < 0 || c.batchWindow > maxBatchWorlds {
+		return fmt.Errorf("ftfft: invalid batch window %d (0 means auto, max %d)", c.batchWindow, maxBatchWorlds)
+	}
 	if c.workers > 0 && c.executorSet {
 		return fmt.Errorf("ftfft: invalid executor options: WithWorkers and WithExecutor are mutually exclusive")
 	}
@@ -296,6 +302,7 @@ func newSeqTransform(n int, c config) (*seqTransform, error) {
 	cfg.Injector = c.injector
 	cfg.EtaScale = c.etaScale
 	cfg.MaxRetries = c.maxRetries
+	applyCoreTuning(n, &cfg, &c, false)
 	ex := c.pool
 	if ex == nil {
 		ex = exec.Default()
